@@ -1,0 +1,26 @@
+"""F10 — Figure 10: IP dataset2 (hour 3) colocated inclusive vs plain.
+
+Same shape checks as Figure 9, on the hour-3 slice of the 4-period trace.
+"""
+
+import pytest
+
+from repro.evaluation.experiments import experiment_colocated_inclusive
+
+from workloads import K_VALUES, RUNS, ip2_colocated
+
+
+@pytest.mark.parametrize("key_kind", ["destip", "4tuple"])
+def test_fig10_panel(benchmark, emit, key_kind):
+    dataset = ip2_colocated(key_kind)
+
+    def run():
+        return experiment_colocated_inclusive(
+            dataset, K_VALUES, runs=RUNS, seed=101, experiment_id="F10",
+            title=f"Fig.10 key={key_kind}: inclusive/plain ΣV ratios (hour 3)",
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result.render(), name=f"F10_{key_kind}")
+    for label, series in result.series.items():
+        assert all(v <= 1.0 + 1e-9 for v in series), label

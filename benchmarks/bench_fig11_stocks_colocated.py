@@ -1,0 +1,37 @@
+"""F11 — Figure 11: stocks colocated inclusive vs plain (six attributes).
+
+Paper shape: ratios < 1; because the five price attributes are almost
+identical, the *coordinated* union is barely larger than a single sketch,
+so the coordinated inclusive gain is modest (paper: 0.7–0.95) while the
+independent-summary gain is much larger (paper: 0.05–0.6).
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.experiments import experiment_colocated_inclusive
+
+from workloads import K_VALUES, RUNS, stocks_colocated
+
+
+def test_fig11_stocks(benchmark, emit):
+    dataset = stocks_colocated(0)
+
+    def run():
+        return experiment_colocated_inclusive(
+            dataset, K_VALUES, runs=RUNS, seed=111, experiment_id="F11",
+            title="Fig.11 stocks: inclusive/plain ΣV ratios, 6 attributes",
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result.render(), name="F11_stocks")
+    for label, series in result.series.items():
+        assert all(v <= 1.0 + 1e-9 for v in series), label
+    coord_price = np.mean(
+        [result.series[f"coord/{b}"][0] for b in ("open", "high", "low")]
+    )
+    ind_price = np.mean(
+        [result.series[f"ind/{b}"][0] for b in ("open", "high", "low")]
+    )
+    # independent summaries gain far more than coordinated ones here
+    assert ind_price < coord_price

@@ -1,0 +1,64 @@
+"""F12–F16 — Figures 12–16: nΣV as a function of combined sample size.
+
+One bench per paper figure: IP1 destIP (F12), IP1 4tuple (F13), IP2
+destIP (F14), IP2 4tuple (F15), stocks (F16), each over the figure's
+weight attributes.  Paper shape at equal storage: plain-over-independent
+is worst, plain-over-coordinated next, the two inclusive estimators are
+similar and best; independent unions are larger than coordinated ones at
+the same k.
+"""
+
+import pytest
+
+from repro.evaluation.experiments import experiment_variance_vs_size
+
+from workloads import (
+    K_VALUES,
+    RUNS,
+    ip1_colocated,
+    ip2_colocated,
+    stocks_colocated,
+)
+
+FIGURES = [
+    ("F12", "ip1_destip", lambda: ip1_colocated("destip"),
+     ["bytes", "packets", "flows", "uniform"]),
+    ("F13", "ip1_4tuple", lambda: ip1_colocated("4tuple"),
+     ["bytes", "packets", "uniform"]),
+    ("F14", "ip2_destip", lambda: ip2_colocated("destip"),
+     ["bytes", "packets", "flows", "uniform"]),
+    ("F15", "ip2_4tuple", lambda: ip2_colocated("4tuple"),
+     ["bytes", "packets", "uniform"]),
+    ("F16", "stocks", lambda: stocks_colocated(0), ["high", "volume"]),
+]
+
+CASES = [
+    (fig_id, label, builder, assignment)
+    for fig_id, label, builder, assignments in FIGURES
+    for assignment in assignments
+]
+
+
+@pytest.mark.parametrize(
+    "fig_id,label,builder,assignment",
+    CASES,
+    ids=[f"{c[0]}_{c[1]}_{c[3]}" for c in CASES],
+)
+def test_variance_vs_size(benchmark, emit, fig_id, label, builder, assignment):
+    dataset = builder()
+
+    def run():
+        return experiment_variance_vs_size(
+            dataset, assignment, K_VALUES, runs=RUNS, seed=121,
+            experiment_id=fig_id,
+            title=f"Fig {fig_id} ({label}): nΣV vs combined size",
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result.render(), name=f"{fig_id}_{label}_{assignment}")
+    _, headers, rows = result.tables[0]
+    for row in rows:
+        k, size_c, size_i, n_cc, n_ic, n_cp, n_ip = row
+        assert size_i >= size_c  # independent unions hold more keys
+        assert n_cc <= n_cp + 1e-12  # inclusive beats plain (coordinated)
+        assert n_ic <= n_ip + 1e-12  # inclusive beats plain (independent)

@@ -1,0 +1,47 @@
+"""F17 — Figure 17: sharing index of coordinated vs independent sketches.
+
+Paper shape: the coordinated index is below the independent one at every
+k (Theorem 4.2: shared-seed minimizes expected distinct keys); both
+decrease as k approaches the population size; the coordinated index is
+lowest where assignments are most similar (stocks prices).
+"""
+
+import pytest
+
+from repro.evaluation.experiments import experiment_sharing_index
+
+from workloads import (
+    K_VALUES,
+    ip1_colocated,
+    ip2_colocated,
+    stocks_colocated,
+)
+
+PANELS = [
+    ("ip1_destIP_4w", lambda: ip1_colocated("destip")),
+    ("ip1_4tuple_3w", lambda: ip1_colocated("4tuple")),
+    ("ip2_destIP_4w", lambda: ip2_colocated("destip")),
+    ("ip2_4tuple_3w", lambda: ip2_colocated("4tuple")),
+    ("stocks_6w", lambda: stocks_colocated(0)),
+]
+
+
+@pytest.mark.parametrize("label,builder", PANELS, ids=[p[0] for p in PANELS])
+def test_fig17_sharing(benchmark, emit, label, builder):
+    dataset = builder()
+
+    def run():
+        return experiment_sharing_index(
+            dataset, K_VALUES, runs=6, seed=171,
+            title=f"Fig.17 {label}: sharing index ({dataset.n_assignments} "
+                  "assignments)",
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result.render(), name=f"F17_{label}")
+    coordinated = result.series["coordinated"]
+    independent = result.series["independent"]
+    m = dataset.n_assignments
+    for c, i in zip(coordinated, independent):
+        assert c <= i + 1e-9
+        assert 1.0 / m - 1e-9 <= c <= 1.0 + 1e-9

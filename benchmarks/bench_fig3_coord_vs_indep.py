@@ -1,0 +1,66 @@
+"""F3 — Figure 3: ΣV[independent min] / ΣV[coordinated min-l] vs k.
+
+Paper shape (all five panels): the ratio is ≫ 1 everywhere, decreases
+with k, and grows dramatically with the number of assignments |R| —
+the independent inclusion probability Π_b F(·) collapses exponentially
+in |R| (Section 7.2).
+"""
+
+import pytest
+
+from repro.evaluation.experiments import experiment_coord_vs_indep
+
+from workloads import (
+    K_VALUES,
+    RUNS,
+    ip1_dispersed,
+    ip2_dispersed,
+    netflix,
+    stocks_dispersed,
+)
+
+PANELS = [
+    ("ip1_destIP_bytes", lambda: ip1_dispersed("destip", "bytes")),
+    ("ip2_destIP_bytes_4h", lambda: ip2_dispersed("destip", 4)),
+    ("netflix_6mo", lambda: netflix(6)),
+    ("stocks_high_5d", lambda: stocks_dispersed("high", 5)),
+    ("stocks_volume_5d", lambda: stocks_dispersed("volume", 5)),
+]
+
+
+@pytest.mark.parametrize("label,builder", PANELS, ids=[p[0] for p in PANELS])
+def test_fig3_ratio(benchmark, emit, label, builder):
+    dataset = builder()
+
+    def run():
+        return experiment_coord_vs_indep(
+            dataset, K_VALUES, runs=RUNS, seed=31,
+            title=f"Fig.3 panel {label}: ΣV[ind min]/ΣV[coord min-l]",
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result.render(), name=f"F3_{label}")
+    ratios = result.series["ratio ind/coord"]
+    assert all(r > 1.0 for r in ratios), "coordination must win everywhere"
+    assert ratios[0] > ratios[-1], "gap shrinks as k grows"
+
+
+def test_fig3_gap_explodes_with_assignments(benchmark, emit):
+    """The cross-panel claim: more assignments → astronomically larger gap."""
+
+    def run():
+        out = {}
+        for n_hours in (2, 4):
+            res = experiment_coord_vs_indep(
+                ip2_dispersed("destip", n_hours), [10], runs=RUNS, seed=32
+            )
+            out[n_hours] = res.series["ratio ind/coord"][0]
+        return out
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "== F3 cross-panel: ratio at k=10 vs number of assignments ==\n"
+        + "\n".join(f"  |R| = {h}: ratio = {r:.3e}" for h, r in ratios.items()),
+        name="F3_cross_panel",
+    )
+    assert ratios[4] > ratios[2] * 10

@@ -1,0 +1,54 @@
+"""F6 — Figure 6: Netflix-substitute dispersed estimators.
+
+Panels: R = first 2 / 6 / 12 months.  Same shape as Figures 4–5; the
+min-norm shrinks as R widens, so nΣV[min] grows relative to the others
+(the paper's "reversed relations" for normalized variance).
+"""
+
+import pytest
+
+from repro.evaluation.experiments import experiment_dispersed_estimators
+
+from workloads import K_VALUES, RUNS, netflix
+
+PANELS = [("2mo", 2), ("6mo", 6), ("12mo", 12)]
+
+
+@pytest.mark.parametrize("label,n_months", PANELS, ids=[p[0] for p in PANELS])
+def test_fig6_panel(benchmark, emit, label, n_months):
+    dataset = netflix(n_months)
+
+    def run():
+        return experiment_dispersed_estimators(
+            dataset, K_VALUES, runs=RUNS, seed=61, experiment_id="F6",
+            title=f"Fig.6 {label}: dispersed estimators, Netflix substitute",
+            include_independent=(n_months <= 6),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result.render(), name=f"F6_{label}")
+    last = {name: values[-1] for name, values in result.series.items()}
+    singles = [v for name, v in last.items() if name.startswith("single[")]
+    assert last["coord min-l"] <= min(singles) * 1.05
+    # ΣV[L1] < ΣV[max] is empirical on the paper's data; the guaranteed
+    # relation is Lemma 8.6: ΣV[L1] <= ΣV[min] + ΣV[max].
+    assert last["coord L1-l"] <= (last["coord min-l"] + last["coord max"]) * 1.01
+
+
+def test_fig6_normalized_reversal(benchmark, emit):
+    """nΣV[min] >= nΣV[max]: the min normalizer is much smaller."""
+
+    def run():
+        return experiment_dispersed_estimators(
+            netflix(6), [40], runs=RUNS, seed=62, include_independent=False
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    n_min = result.variance.n_sigma_v["coord min-l"][40]
+    n_max = result.variance.n_sigma_v["coord max"][40]
+    emit(
+        f"== F6 normalized reversal == nΣV[min]={n_min:.3e} "
+        f"nΣV[max]={n_max:.3e}",
+        name="F6_normalized_reversal",
+    )
+    assert n_min >= n_max

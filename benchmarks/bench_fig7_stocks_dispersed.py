@@ -1,0 +1,70 @@
+"""F7 — Figure 7: stocks-substitute dispersed estimators.
+
+Panels: attribute ∈ {high, volume} × day windows {2, 5, 10}.
+Paper shape: for the strongly correlated *price* attribute the min and max
+estimators are nearly as tight as single-day estimators and L1 is small;
+volume behaves like the IP data (larger churn, larger L1).
+"""
+
+import pytest
+
+from repro.evaluation.experiments import experiment_dispersed_estimators
+
+from workloads import K_VALUES, RUNS, stocks_dispersed
+
+PANELS = [
+    ("high_2d", "high", 2),
+    ("high_5d", "high", 5),
+    ("high_10d", "high", 10),
+    ("volume_2d", "volume", 2),
+    ("volume_5d", "volume", 5),
+    ("volume_10d", "volume", 10),
+]
+
+
+@pytest.mark.parametrize("label,attribute,days", PANELS,
+                         ids=[p[0] for p in PANELS])
+def test_fig7_panel(benchmark, emit, label, attribute, days):
+    dataset = stocks_dispersed(attribute, days)
+
+    def run():
+        return experiment_dispersed_estimators(
+            dataset, K_VALUES, runs=RUNS, seed=71, experiment_id="F7",
+            title=f"Fig.7 {label}: dispersed estimators, stocks substitute",
+            include_independent=(days <= 5),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result.render(), name=f"F7_{label}")
+    last = {name: values[-1] for name, values in result.series.items()}
+    singles = [v for name, v in last.items() if name.startswith("single[")]
+    assert last["coord min-l"] <= min(singles) * 1.05
+    # ΣV[L1] < ΣV[max] is an empirical observation on the paper's data, not
+    # a theorem; the guaranteed relation is Lemma 8.6's
+    # ΣV[L1] <= ΣV[min] + ΣV[max], which must hold on every workload.
+    assert last["coord L1-l"] <= (last["coord min-l"] + last["coord max"]) * 1.01
+
+
+def test_fig7_price_l1_much_smaller_than_volume(benchmark, emit):
+    """Correlated prices → tiny L1 relative to max; noisy volume → large."""
+
+    def run():
+        out = {}
+        for attribute in ("high", "volume"):
+            res = experiment_dispersed_estimators(
+                stocks_dispersed(attribute, 5), [40], runs=RUNS, seed=72,
+                include_independent=False,
+            )
+            tasks = res.variance
+            out[attribute] = (
+                tasks.sigma_v["coord L1-l"][40] / tasks.sigma_v["coord max"][40]
+            )
+        return out
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "== F7 cross-panel: ΣV[L1]/ΣV[max] at k=40 ==\n"
+        + "\n".join(f"  {a}: {r:.4f}" for a, r in ratios.items()),
+        name="F7_cross_panel",
+    )
+    assert ratios["high"] < ratios["volume"]

@@ -1,0 +1,43 @@
+"""F8 — Figure 8: ΣV[s-set] / ΣV[l-set] for the min and L1 estimators.
+
+Paper shape: ratios ≥ 1 everywhere (l-set's more inclusive selection
+dominates, Lemma 5.1); the advantage varies by dataset (0%–300% in the
+paper) and is largest where per-assignment thresholds differ most.
+"""
+
+import pytest
+
+from repro.evaluation.experiments import experiment_sset_vs_lset
+
+from workloads import (
+    K_VALUES,
+    RUNS,
+    ip1_dispersed,
+    ip2_dispersed,
+    netflix,
+    stocks_dispersed,
+)
+
+PANELS = [
+    ("ip1_destIP_bytes", lambda: ip1_dispersed("destip", "bytes")),
+    ("ip2_destIP_4h", lambda: ip2_dispersed("destip", 4)),
+    ("netflix_6mo", lambda: netflix(6)),
+    ("stocks_volume_5d", lambda: stocks_dispersed("volume", 5)),
+    ("stocks_high_5d", lambda: stocks_dispersed("high", 5)),
+]
+
+
+@pytest.mark.parametrize("label,builder", PANELS, ids=[p[0] for p in PANELS])
+def test_fig8_ratios(benchmark, emit, label, builder):
+    dataset = builder()
+
+    def run():
+        return experiment_sset_vs_lset(
+            dataset, K_VALUES, runs=RUNS, seed=81,
+            title=f"Fig.8 {label}: ΣV s-set / l-set",
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result.render(), name=f"F8_{label}")
+    for series in result.series.values():
+        assert all(r >= 1.0 - 1e-9 for r in series)

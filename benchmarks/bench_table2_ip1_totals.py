@@ -1,0 +1,42 @@
+"""T2 — Table 2: IP dataset1 dispersed totals.
+
+Paper rows: (key, weight) ∈ {(destIP, 4tuple-count), (destIP, bytes),
+(srcIP+destIP, packets), (srcIP+destIP, bytes)} with the per-period totals
+and the min/max/L1 norms over the two periods.
+Shape: Σmin < Σw^(1), Σw^(2) < Σmax, L1 = Σmax − Σmin > 0 (real churn).
+"""
+
+import pytest
+
+from repro.evaluation.experiments import table_totals
+
+from workloads import ip1_dispersed
+
+CASES = [
+    ("destIP_4tuples", "destip", "flows"),
+    ("destIP_bytes", "destip", "bytes"),
+    ("srcdest_packets", "src_dest", "packets"),
+    ("srcdest_bytes", "src_dest", "bytes"),
+]
+
+
+@pytest.mark.parametrize("label,key_kind,weight", CASES)
+def test_table2_totals(benchmark, emit, label, key_kind, weight):
+    dataset = ip1_dispersed(key_kind, weight)
+
+    def run():
+        return table_totals(
+            dataset,
+            [tuple(dataset.assignments)],
+            experiment_id="T2",
+            title=f"IP dataset1 totals — key={key_kind} weight={weight}",
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result.render(), name=f"T2_{label}")
+    # shape assertions: both periods populated, churn visible in the norms
+    norms = result.tables[1][2][0]
+    _, total_min, total_max, total_l1 = norms
+    assert total_min < total_max
+    assert total_l1 == pytest.approx(total_max - total_min)
+    assert total_l1 > 0

@@ -1,0 +1,40 @@
+"""T2b — the §9.1 IP dataset2 tables: hourly distinct keys, totals, norms.
+
+Paper shape: per-hour distinct keys and byte totals are of similar
+magnitude; the min/max/L1 norms for R = {1,2} and R = {1,2,3,4} show the
+max growing and the min shrinking as more hours are included.
+"""
+
+import pytest
+
+from repro.core.aggregates import max_weights, min_weights
+from repro.evaluation.experiments import table_totals
+
+from workloads import ip2_dispersed
+
+
+@pytest.mark.parametrize("key_kind", ["destip", "4tuple"])
+def test_table2b_totals(benchmark, emit, key_kind):
+    dataset = ip2_dispersed(key_kind, 4)
+
+    def run():
+        return table_totals(
+            dataset,
+            [tuple(dataset.assignments[:2]), tuple(dataset.assignments)],
+            experiment_id="T2b",
+            title=f"IP dataset2 hourly totals — key={key_kind}",
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result.render(), name=f"T2b_{key_kind}")
+    norms = {row[0]: row for row in result.tables[1][2]}
+    two = norms["period1+period2"]
+    four = norms["period1+period2+period3+period4"]
+    # adding hours can only grow the max-norm and shrink the min-norm
+    assert four[2] >= two[2]
+    assert four[1] <= two[1]
+    # sanity against direct computation
+    assert two[1] == pytest.approx(
+        float(min_weights(dataset, dataset.assignments[:2]).sum())
+    )
+    assert four[2] == pytest.approx(float(max_weights(dataset).sum()))

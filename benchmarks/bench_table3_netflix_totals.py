@@ -1,0 +1,39 @@
+"""T3 — Table 3: Netflix-substitute monthly statistics.
+
+Paper shape: distinct movies per month grow through the year (catalogue
+growth); for month sets {1,2}, {1..6}, {1..12} the max-norm grows and the
+min-norm shrinks as the set widens, with L1 = max − min growing.
+"""
+
+import pytest
+
+from repro.evaluation.experiments import table_totals
+
+from workloads import netflix
+
+
+def test_table3_totals(benchmark, emit):
+    dataset = netflix(12)
+    months = dataset.assignments
+
+    def run():
+        return table_totals(
+            dataset,
+            [tuple(months[:2]), tuple(months[:6]), tuple(months)],
+            experiment_id="T3",
+            title="Netflix-substitute: monthly ratings totals and norms",
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result.render(), name="T3_netflix")
+    per_month = result.tables[0][2]
+    distinct = [row[1] for row in per_month]
+    # catalogue growth: December has more active movies than January
+    assert distinct[-1] > distinct[0]
+    norms = result.tables[1][2]
+    mins = [row[1] for row in norms]
+    maxs = [row[2] for row in norms]
+    l1s = [row[3] for row in norms]
+    assert mins[0] >= mins[1] >= mins[2]
+    assert maxs[0] <= maxs[1] <= maxs[2]
+    assert l1s[0] <= l1s[1] <= l1s[2]

@@ -1,0 +1,55 @@
+"""T4 — Table 4 + §9.1 stocks norms table.
+
+Paper shape: the price attributes' min-norm stays close to the max-norm
+over short day windows and the L1 stays small relative to totals (prices
+are strongly correlated), whereas volume L1 grows quickly with the window.
+"""
+
+import pytest
+
+from repro.evaluation.experiments import table_totals
+
+from workloads import stocks_colocated, stocks_dispersed
+
+
+def test_table4_daily_attribute_totals(benchmark, emit):
+    dataset = stocks_colocated(0)
+
+    def run():
+        return table_totals(
+            dataset,
+            [("open", "high", "low", "close", "adj_close")],
+            experiment_id="T4",
+            title="Stocks-substitute: day-1 attribute totals",
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result.render(), name="T4_stocks_daily")
+    totals = {row[0]: row[2] for row in result.tables[0][2]}
+    assert totals["high"] >= totals["low"]
+    # prices are tightly clustered: L1 across price attributes is small
+    norms = result.tables[1][2][0]
+    assert norms[3] < 0.2 * norms[2]  # ΣL1 < 20% of Σmax
+
+
+@pytest.mark.parametrize("attribute", ["high", "volume"])
+def test_table4_day_window_norms(benchmark, emit, attribute):
+    dataset = stocks_dispersed(attribute, 10)
+    days = dataset.assignments
+
+    def run():
+        return table_totals(
+            dataset,
+            [tuple(days[:2]), tuple(days[:5]), tuple(days)],
+            experiment_id="T4",
+            title=f"Stocks-substitute: {attribute} norms over day windows",
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result.render(), name=f"T4_window_{attribute}")
+    norms = result.tables[1][2]
+    l1_ratio = [row[3] / row[2] for row in norms]
+    assert l1_ratio[0] <= l1_ratio[1] <= l1_ratio[2]
+    if attribute == "high":
+        # prices: even the 10-day window keeps L1 well below the max norm
+        assert l1_ratio[-1] < 0.5

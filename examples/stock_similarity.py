@@ -1,0 +1,71 @@
+"""Stock-market similarity: weighted Jaccard across trading days.
+
+Uses coordinated k-mins sketches with independent-differences EXP ranks
+(Theorem 4.1) to estimate the weighted Jaccard similarity of daily trading
+*volume* across a window of days — a clustering primitive: days whose
+volume distributed similarly across tickers get high similarity.  Price
+attributes, being near-identical day to day, show similarity ≈ 1 and are
+included for contrast.
+
+Run:  python examples/stock_similarity.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import jaccard_similarity
+from repro.datasets.stocks import StocksConfig, stocks_daily_dataset
+from repro.estimators.jaccard import jaccard_matrix
+from repro.ranks import ExponentialRanks, get_rank_method
+from repro.sampling import kmins_sketches
+
+DAYS = 5
+K = 600
+
+
+def similarity_report(attribute: str, seed: int) -> None:
+    dataset = stocks_daily_dataset(
+        StocksConfig(n_tickers=1200, n_days=DAYS),
+        seed=11,
+        mode="dispersed",
+        attribute=attribute,
+    )
+    family = ExponentialRanks()
+    method = get_rank_method("independent_differences")
+    rng = np.random.default_rng(seed)
+    sketches = kmins_sketches(dataset.weights, family, method, K, rng)
+    estimated = jaccard_matrix(sketches)
+    exact = np.eye(DAYS)
+    for i in range(DAYS):
+        for j in range(i + 1, DAYS):
+            value = jaccard_similarity(
+                dataset, dataset.assignments[i], dataset.assignments[j]
+            )
+            exact[i, j] = exact[j, i] = value
+
+    print(f"== weighted Jaccard matrix, attribute = {attribute} ==")
+    header = "        " + "  ".join(f"{name:>7}" for name in dataset.assignments)
+    print(header)
+    for i, name in enumerate(dataset.assignments):
+        cells = "  ".join(
+            f"{estimated[i, j]:.3f}/{exact[i, j]:.3f}" for j in range(DAYS)
+        )
+        print(f"  {name:>5}  {cells}")
+    print("  (each cell: k-mins estimate / exact)")
+    error = np.abs(estimated - exact).max()
+    print(f"  max abs error = {error:.4f} at k = {K}\n")
+
+
+def main() -> None:
+    similarity_report("volume", seed=1)
+    similarity_report("high", seed=2)
+    print(
+        "Prices are near-identical across days (similarity ≈ 1); volume\n"
+        "similarity decays with day distance — the structure a clustering\n"
+        "application would consume."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim (metadata lives in pyproject.toml).
+
+Present so `pip install -e .` works in offline environments whose
+setuptools predates full PEP 660 editable-install support.
+"""
+
+from setuptools import setup
+
+setup()

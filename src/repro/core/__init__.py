@@ -1,0 +1,41 @@
+"""Core data model: weighted sets, multi-assignment datasets, aggregates.
+
+This package defines the vocabulary the rest of the library speaks:
+:class:`~repro.core.dataset.WeightedSet` (one weight assignment),
+:class:`~repro.core.dataset.MultiAssignmentDataset` (keys × assignments),
+key-wise aggregation functions (min/max/L1/ℓ-th largest over a subset of
+assignments), selection predicates, and the summary containers produced by
+the samplers and consumed by the estimators.
+"""
+
+from repro.core.dataset import MultiAssignmentDataset, WeightedSet
+from repro.core.aggregates import (
+    AggregationSpec,
+    exact_aggregate,
+    jaccard_similarity,
+    key_values,
+    lth_largest_weights,
+    max_weights,
+    min_weights,
+    range_weights,
+    single_weights,
+)
+from repro.core.predicates import Predicate, all_keys, attribute_equals, key_in
+
+__all__ = [
+    "WeightedSet",
+    "MultiAssignmentDataset",
+    "AggregationSpec",
+    "key_values",
+    "exact_aggregate",
+    "min_weights",
+    "max_weights",
+    "range_weights",
+    "lth_largest_weights",
+    "single_weights",
+    "jaccard_similarity",
+    "Predicate",
+    "all_keys",
+    "attribute_equals",
+    "key_in",
+]

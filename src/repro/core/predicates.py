@@ -1,0 +1,142 @@
+"""Selection predicates over keys.
+
+A predicate ``d`` selects the subpopulation a query aggregates over.  The
+whole point of sample-based summaries is that ``d`` can be specified *after*
+the summary was built, as long as it can be evaluated on the information the
+summary carries per key (the key identifier and its stored attributes).
+
+Predicates are evaluated in two ways:
+
+* :meth:`Predicate.mask` — dense boolean mask over a full dataset (ground
+  truth / exact answers);
+* :meth:`Predicate.select` — per-key decision given the key and its
+  attributes (what an estimator applies to sampled keys).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Collection, Hashable, Mapping
+
+import numpy as np
+
+from repro.core.dataset import MultiAssignmentDataset
+
+__all__ = [
+    "Predicate",
+    "AllKeys",
+    "KeyIn",
+    "AttributeEquals",
+    "AttributePredicate",
+    "all_keys",
+    "key_in",
+    "attribute_equals",
+    "attribute_predicate",
+]
+
+
+class Predicate(ABC):
+    """A selection predicate ``d`` over keys."""
+
+    @abstractmethod
+    def select(self, key: Hashable, attributes: Mapping[str, object]) -> bool:
+        """Decide a single key given its identifier and attribute values."""
+
+    def mask(self, dataset: MultiAssignmentDataset) -> np.ndarray:
+        """Boolean mask over ``dataset.keys`` (default: per-key loop)."""
+        names = list(dataset.attributes)
+        columns = [dataset.attributes[name] for name in names]
+        out = np.empty(dataset.n_keys, dtype=bool)
+        for pos, key in enumerate(dataset.keys):
+            attrs = {name: column[pos] for name, column in zip(names, columns)}
+            out[pos] = self.select(key, attrs)
+        return out
+
+
+class AllKeys(Predicate):
+    """The trivial predicate: every key is selected."""
+
+    def select(self, key: Hashable, attributes: Mapping[str, object]) -> bool:
+        return True
+
+    def mask(self, dataset: MultiAssignmentDataset) -> np.ndarray:
+        return np.ones(dataset.n_keys, dtype=bool)
+
+    def __repr__(self) -> str:
+        return "AllKeys()"
+
+
+class KeyIn(Predicate):
+    """Select keys belonging to an explicit collection.
+
+    >>> KeyIn({"a", "b"}).select("a", {})
+    True
+    """
+
+    def __init__(self, keys: Collection[Hashable]) -> None:
+        self.keys = frozenset(keys)
+
+    def select(self, key: Hashable, attributes: Mapping[str, object]) -> bool:
+        return key in self.keys
+
+    def __repr__(self) -> str:
+        return f"KeyIn(n={len(self.keys)})"
+
+
+class AttributeEquals(Predicate):
+    """Select keys whose stored attribute equals a constant.
+
+    Typical use: flows to a given destination AS, movies of a given genre.
+    """
+
+    def __init__(self, attribute: str, value: object) -> None:
+        self.attribute = attribute
+        self.value = value
+
+    def select(self, key: Hashable, attributes: Mapping[str, object]) -> bool:
+        return attributes.get(self.attribute) == self.value
+
+    def __repr__(self) -> str:
+        return f"AttributeEquals({self.attribute!r}, {self.value!r})"
+
+
+class AttributePredicate(Predicate):
+    """Select keys by an arbitrary function of (key, attributes).
+
+    The function must depend only on information the summary stores per key
+    (identifier + attributes), never on weights of *other* keys.
+    """
+
+    def __init__(
+        self, fn: Callable[[Hashable, Mapping[str, object]], bool], label: str = ""
+    ) -> None:
+        self.fn = fn
+        self.label = label or getattr(fn, "__name__", "lambda")
+
+    def select(self, key: Hashable, attributes: Mapping[str, object]) -> bool:
+        return bool(self.fn(key, attributes))
+
+    def __repr__(self) -> str:
+        return f"AttributePredicate({self.label})"
+
+
+def all_keys() -> AllKeys:
+    """The trivial predicate selecting every key."""
+    return AllKeys()
+
+
+def key_in(keys: Collection[Hashable]) -> KeyIn:
+    """Predicate selecting an explicit key collection."""
+    return KeyIn(keys)
+
+
+def attribute_equals(attribute: str, value: object) -> AttributeEquals:
+    """Predicate selecting keys with ``attributes[attribute] == value``."""
+    return AttributeEquals(attribute, value)
+
+
+def attribute_predicate(
+    fn: Callable[[Hashable, Mapping[str, object]], bool], label: str = ""
+) -> AttributePredicate:
+    """Predicate from an arbitrary (key, attributes) -> bool function."""
+    return AttributePredicate(fn, label)

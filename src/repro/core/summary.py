@@ -1,0 +1,403 @@
+"""Multi-assignment summaries: what the estimators are allowed to see.
+
+A summary bundles the per-assignment sketches of one rank-assignment draw
+into a single object with an explicit *information model*:
+
+* **colocated** summaries carry the full weight vector of every key in the
+  union of the embedded samples (the vector is attached to the key when it
+  is sampled, Section 6);
+* **dispersed** summaries carry ``w^(b)(i)`` only when ``i`` is in the
+  bottom-k sketch of ``b`` (Section 7) — entries the dispersed processes
+  never saw together are ``NaN`` and estimators must not read them.
+
+Either way the summary records, per assignment ``b``, the rank values
+``r_k(I)`` and ``r_{k+1}(I)`` and per (union key, assignment) membership,
+which is exactly the information Section 6 lists as sufficient to recover
+``r_k(I \\ {i})`` for every union key — the conditioning quantity of all
+rank-conditioning estimators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.ranks.assignments import RankDraw
+from repro.ranks.families import RankFamily
+from repro.sampling.bottomk import BottomKSketch
+from repro.sampling.poisson import PoissonSketch
+
+__all__ = [
+    "MultiAssignmentSummary",
+    "build_bottomk_summary",
+    "build_poisson_summary",
+    "build_summary_from_sketches",
+    "build_fixed_size_summary",
+]
+
+_INF = math.inf
+
+COLOCATED = "colocated"
+DISPERSED = "dispersed"
+
+
+@dataclass
+class MultiAssignmentSummary:
+    """Union of per-assignment sketches plus estimator bookkeeping.
+
+    All per-key arrays are aligned with :attr:`positions`, the sorted
+    distinct dataset positions of the union of the embedded samples.
+
+    Attributes
+    ----------
+    mode:
+        ``"colocated"`` or ``"dispersed"`` (see module docstring).
+    kind:
+        ``"bottomk"`` or ``"poisson"``.
+    assignments:
+        assignment names, defining the column order of all matrices.
+    k:
+        per-assignment sample size (bottom-k) or expected size (Poisson).
+    positions:
+        ``(u,)`` sorted dataset positions of union keys.
+    member:
+        ``(u, m)`` boolean; ``member[i, b]`` iff union key i is in the
+        sketch of assignment b.
+    ranks:
+        ``(u, m)`` rank values where known (members), ``+inf`` elsewhere.
+    weights:
+        ``(u, m)`` weights; in dispersed mode ``NaN`` where not a member.
+    thresholds:
+        ``(u, m)``; for bottom-k this is ``r^(b)_k(I \\ {i})`` (the RC
+        conditioning threshold), for Poisson the fixed ``τ^(b)``.
+    rank_k / rank_kplus1:
+        ``(m,)`` per-assignment ``r_k(I)`` / ``r_{k+1}(I)`` (bottom-k only;
+        ``None`` for Poisson).
+    seeds:
+        ``(u,)`` shared seeds, ``(u, m)`` per-assignment seeds (NaN where
+        unknown), or ``None`` when the rank method exposes no seeds.
+    family / method_name / consistent:
+        the rank family and rank-assignment method that produced the draw.
+    """
+
+    mode: str
+    kind: str
+    assignments: list[str]
+    k: int
+    positions: np.ndarray
+    member: np.ndarray
+    ranks: np.ndarray
+    weights: np.ndarray
+    thresholds: np.ndarray
+    rank_k: np.ndarray | None
+    rank_kplus1: np.ndarray | None
+    seeds: np.ndarray | None
+    family: RankFamily
+    method_name: str
+    consistent: bool
+    #: raw key identifiers aligned with ``positions`` (stream-built
+    #: summaries; ``None`` when positions index a dataset directly)
+    keys: list | None = None
+
+    @property
+    def n_union(self) -> int:
+        """Number of distinct keys stored in the summary."""
+        return len(self.positions)
+
+    @property
+    def n_assignments(self) -> int:
+        return len(self.assignments)
+
+    def columns(self, assignments: Sequence[str] | None) -> list[int]:
+        """Column indices of a subset R of the assignments (all if None)."""
+        if assignments is None:
+            return list(range(self.n_assignments))
+        index = {name: b for b, name in enumerate(self.assignments)}
+        return [index[name] for name in assignments]
+
+    def storage_size(self) -> int:
+        """Number of distinct keys (the summary's storage cost metric)."""
+        return self.n_union
+
+    def sharing_index(self) -> float:
+        """``|S| / (k · |W|)`` — lower means more cross-assignment sharing.
+
+        Lies in ``[1/|W|, 1]`` when every assignment has at least k positive
+        keys (Section 9.3).
+        """
+        return self.n_union / (self.k * self.n_assignments)
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiAssignmentSummary(mode={self.mode!r}, kind={self.kind!r}, "
+            f"k={self.k}, n_union={self.n_union}, "
+            f"method={self.method_name!r}, family={self.family.name!r})"
+        )
+
+
+def _union_and_matrices(
+    sketch_keys: list[np.ndarray],
+    sketch_ranks: list[np.ndarray],
+    n_assignments: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Union positions plus (u, m) member/rank matrices from sketch arrays."""
+    non_empty = [keys for keys in sketch_keys if len(keys)]
+    if non_empty:
+        union = np.unique(np.concatenate(non_empty))
+    else:
+        union = np.empty(0, dtype=np.int64)
+    u = len(union)
+    member = np.zeros((u, n_assignments), dtype=bool)
+    ranks = np.full((u, n_assignments), _INF, dtype=float)
+    for b, (keys, rank_values) in enumerate(zip(sketch_keys, sketch_ranks)):
+        if len(keys) == 0:
+            continue
+        rows = np.searchsorted(union, keys)
+        member[rows, b] = True
+        ranks[rows, b] = rank_values
+    return union, member, ranks
+
+
+def _seed_matrix_for_union(
+    draw: RankDraw, union: np.ndarray, member: np.ndarray, mode: str
+) -> np.ndarray | None:
+    """Seeds the summary may carry, honouring the information model.
+
+    Shared-seed: one seed per union key (recoverable from any membership).
+    Independent (known seeds): per-assignment seeds; in dispersed mode a
+    process only records the seed where the key was sampled, but since the
+    seed is a *hash* of the key identifier it is recoverable for every
+    assignment — so we keep the full matrix in both modes.
+    """
+    if draw.seeds is None:
+        return None
+    if draw.seeds.ndim == 1:
+        return draw.seeds[union].copy()
+    return draw.seeds[union].copy()
+
+
+def build_bottomk_summary(
+    weights: np.ndarray,
+    draw: RankDraw,
+    k: int | Sequence[int],
+    assignments: Sequence[str],
+    family: RankFamily,
+    mode: str = COLOCATED,
+    sketches: Sequence[BottomKSketch] | None = None,
+) -> MultiAssignmentSummary:
+    """Build a bottom-k summary from a rank draw over a dense weight matrix.
+
+    ``k`` may be a single size or one size per assignment — the paper's
+    bottom-k^(b) variant ("derivations extend easily to bottom-k(b)
+    sketches", Section 4); estimators read the conditioning threshold per
+    (key, assignment) cell, so heterogeneous sizes need no special casing.
+    ``sketches`` may be supplied when already built (e.g. by the
+    fixed-distinct-keys variant); otherwise per-assignment bottom-k
+    sketches are built from the draw.
+    """
+    from repro.sampling.bottomk import bottomk_from_ranks
+
+    if mode not in (COLOCATED, DISPERSED):
+        raise ValueError(f"mode must be 'colocated' or 'dispersed', got {mode!r}")
+    weights = np.asarray(weights, dtype=float)
+    n, m = weights.shape
+    if len(assignments) != m:
+        raise ValueError("assignments must name every weight column")
+    if np.ndim(k) == 0:
+        k_per_assignment = [int(k)] * m
+        summary_k = int(k)
+    else:
+        k_per_assignment = [int(v) for v in k]  # type: ignore[union-attr]
+        if len(k_per_assignment) != m:
+            raise ValueError(
+                f"need one k per assignment, got {len(k_per_assignment)} "
+                f"for {m} assignments"
+            )
+        summary_k = max(k_per_assignment)
+    k = summary_k
+    if sketches is None:
+        sketches = [
+            bottomk_from_ranks(draw.ranks[:, b], weights[:, b],
+                               k_per_assignment[b])
+            for b in range(m)
+        ]
+    union, member, ranks = _union_and_matrices(
+        [sk.keys for sk in sketches], [sk.ranks for sk in sketches], m
+    )
+    rank_k = np.array([sk.kth_rank for sk in sketches], dtype=float)
+    rank_kplus1 = np.array([sk.threshold for sk in sketches], dtype=float)
+    # r_k(I \ {i}): r_{k+1}(I) for members, r_k(I) for non-members.
+    thresholds = np.where(member, rank_kplus1[None, :], rank_k[None, :])
+    union_weights = weights[union].copy()
+    if mode == DISPERSED:
+        union_weights = np.where(member, union_weights, np.nan)
+    return MultiAssignmentSummary(
+        mode=mode,
+        kind="bottomk",
+        assignments=list(assignments),
+        k=k,
+        positions=union,
+        member=member,
+        ranks=ranks,
+        weights=union_weights,
+        thresholds=thresholds,
+        rank_k=rank_k,
+        rank_kplus1=rank_kplus1,
+        seeds=_seed_matrix_for_union(draw, union, member, mode),
+        family=family,
+        method_name=draw.method.name,
+        consistent=draw.method.consistent,
+    )
+
+
+def build_fixed_size_summary(
+    weights: np.ndarray,
+    draw: RankDraw,
+    k: int,
+    assignments: Sequence[str],
+    family: RankFamily,
+    mode: str = COLOCATED,
+    budget: int | None = None,
+) -> MultiAssignmentSummary:
+    """Colocated summary with a *fixed number of distinct keys*.
+
+    Implements the storage-constrained variant of Section 4: pick the
+    largest per-assignment size ℓ ≥ k such that the union of the bottom-ℓ
+    samples holds at most ``budget`` distinct keys (default ``k·|W|``),
+    then build the summary at size ℓ.  All estimators apply unchanged with
+    the enlarged embedded samples; the summary's ``k`` reports ℓ.
+
+    Note the mild conditioning caveat: ℓ is chosen from the realized ranks,
+    so the rank-conditioning argument holds given ℓ; empirically the bias
+    is negligible (see tests/test_fixed_size.py).
+    """
+    from repro.sampling.combined import fixed_size_bottomk
+
+    ell, sketches = fixed_size_bottomk(draw.ranks, np.asarray(weights, float),
+                                       k, budget)
+    return build_bottomk_summary(
+        weights, draw, ell, assignments, family, mode=mode, sketches=sketches
+    )
+
+
+def build_summary_from_sketches(
+    sketches: dict[str, BottomKSketch],
+    family: RankFamily,
+    method_name: str = "shared_seed",
+) -> MultiAssignmentSummary:
+    """Assemble a dispersed summary from independently computed sketches.
+
+    This is the collection step of a real dispersed deployment: each weight
+    assignment's bottom-k sketch was produced by its own
+    :class:`~repro.sampling.bottomk.BottomKStreamSampler` (coordinated only
+    through the shared key hash), the sketches are shipped to one place, and
+    the union summary is assembled with no access to the original data.
+
+    Sketch ``keys`` are raw key identifiers here; the resulting summary
+    carries them in ``summary.keys`` and uses row indices internally.
+    """
+    from repro.ranks.assignments import get_rank_method
+
+    method = get_rank_method(method_name)
+    assignments = list(sketches)
+    m = len(assignments)
+    if m == 0:
+        raise ValueError("need at least one sketch")
+    k = sketches[assignments[0]].k
+    for name, sk in sketches.items():
+        if sk.k != k:
+            raise ValueError(
+                f"sketch sizes differ: {name} has k={sk.k}, expected {k}"
+            )
+    key_index: dict = {}
+    for sk in sketches.values():
+        for key in sk.keys.tolist():
+            if key not in key_index:
+                key_index[key] = len(key_index)
+    union_keys = list(key_index)
+    u = len(union_keys)
+    member = np.zeros((u, m), dtype=bool)
+    ranks = np.full((u, m), _INF, dtype=float)
+    weights = np.full((u, m), np.nan, dtype=float)
+    seeds: np.ndarray | None = None
+    if method_name == "shared_seed":
+        seeds = np.full(u, np.nan, dtype=float)
+    rank_k = np.empty(m)
+    rank_kplus1 = np.empty(m)
+    for b, name in enumerate(assignments):
+        sk = sketches[name]
+        rank_k[b] = sk.kth_rank
+        rank_kplus1[b] = sk.threshold
+        for pos_in_sketch, key in enumerate(sk.keys.tolist()):
+            row = key_index[key]
+            member[row, b] = True
+            ranks[row, b] = sk.ranks[pos_in_sketch]
+            weights[row, b] = sk.weights[pos_in_sketch]
+            if seeds is not None and sk.seeds is not None:
+                seeds[row] = sk.seeds[pos_in_sketch]
+    thresholds = np.where(member, rank_kplus1[None, :], rank_k[None, :])
+    return MultiAssignmentSummary(
+        mode=DISPERSED,
+        kind="bottomk",
+        assignments=assignments,
+        k=k,
+        positions=np.arange(u, dtype=np.int64),
+        member=member,
+        ranks=ranks,
+        weights=weights,
+        thresholds=thresholds,
+        rank_k=rank_k,
+        rank_kplus1=rank_kplus1,
+        seeds=seeds,
+        family=family,
+        method_name=method_name,
+        consistent=method.consistent,
+        keys=union_keys,
+    )
+
+
+def build_poisson_summary(
+    weights: np.ndarray,
+    draw: RankDraw,
+    taus: np.ndarray,
+    assignments: Sequence[str],
+    family: RankFamily,
+    mode: str = COLOCATED,
+    expected_size: int | None = None,
+) -> MultiAssignmentSummary:
+    """Build a Poisson summary (fixed per-assignment thresholds τ^(b))."""
+    from repro.sampling.poisson import poisson_sketch_matrix
+
+    if mode not in (COLOCATED, DISPERSED):
+        raise ValueError(f"mode must be 'colocated' or 'dispersed', got {mode!r}")
+    weights = np.asarray(weights, dtype=float)
+    n, m = weights.shape
+    taus = np.asarray(taus, dtype=float)
+    sketches: list[PoissonSketch] = poisson_sketch_matrix(draw.ranks, weights, taus)
+    union, member, ranks = _union_and_matrices(
+        [sk.keys for sk in sketches], [sk.ranks for sk in sketches], m
+    )
+    thresholds = np.broadcast_to(taus[None, :], (len(union), m)).copy()
+    union_weights = weights[union].copy()
+    if mode == DISPERSED:
+        union_weights = np.where(member, union_weights, np.nan)
+    return MultiAssignmentSummary(
+        mode=mode,
+        kind="poisson",
+        assignments=list(assignments),
+        k=expected_size if expected_size is not None else 0,
+        positions=union,
+        member=member,
+        ranks=ranks,
+        weights=union_weights,
+        thresholds=thresholds,
+        rank_k=None,
+        rank_kplus1=None,
+        seeds=_seed_matrix_for_union(draw, union, member, mode),
+        family=family,
+        method_name=draw.method.name,
+        consistent=draw.method.consistent,
+    )

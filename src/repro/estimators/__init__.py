@@ -1,0 +1,71 @@
+"""Unbiased estimators over single- and multi-assignment samples.
+
+All estimators produce :class:`~repro.estimators.base.AdjustedWeights` —
+per-key adjusted ``f``-weights ``a^(f)(i)`` with ``E[a^(f)(i)] = f(i)``
+(implicitly zero off the summary) — so every query reduces to summing
+adjusted weights over the selected keys.
+
+* :mod:`~repro.estimators.horvitz_thompson` — HT over Poisson sketches.
+* :mod:`~repro.estimators.rank_conditioning` — the plain RC estimator over
+  a single bottom-k sketch (the baseline "use only the sketch of b").
+* :mod:`~repro.estimators.colocated` — inclusive estimators that use every
+  key in the combined colocated summary (Section 6).
+* :mod:`~repro.estimators.dispersed` — s-set / l-set estimators for top-ℓ
+  dependent aggregates and the L1 estimator (Section 7).
+* :mod:`~repro.estimators.jaccard` — weighted Jaccard from coordinated
+  k-mins sketches (Theorem 4.1).
+* :mod:`~repro.estimators.variance` — analytic per-key variances & bounds.
+"""
+
+from repro.estimators.base import AdjustedWeights, combine_difference
+from repro.estimators.horvitz_thompson import (
+    ht_adjusted_weights,
+    ht_from_summary,
+)
+from repro.estimators.rank_conditioning import (
+    plain_rc_adjusted_weights,
+    plain_rc_from_summary,
+)
+from repro.estimators.colocated import (
+    colocated_estimator,
+    inclusion_probabilities,
+    generic_consistent_estimator,
+)
+from repro.estimators.dispersed import (
+    dispersed_estimator,
+    independent_min_estimator,
+    l1_estimator,
+    lset_estimator,
+    max_estimator,
+    sset_estimator,
+)
+from repro.estimators.jaccard import (
+    jaccard_from_kmins,
+    kmins_match_fraction,
+)
+from repro.estimators.variance import (
+    conditional_variance,
+    sigma_v_upper_bound,
+)
+
+__all__ = [
+    "AdjustedWeights",
+    "combine_difference",
+    "ht_adjusted_weights",
+    "ht_from_summary",
+    "plain_rc_adjusted_weights",
+    "plain_rc_from_summary",
+    "colocated_estimator",
+    "inclusion_probabilities",
+    "generic_consistent_estimator",
+    "dispersed_estimator",
+    "sset_estimator",
+    "lset_estimator",
+    "max_estimator",
+    "l1_estimator",
+    "independent_min_estimator",
+    "jaccard_from_kmins",
+    "kmins_match_fraction",
+    "conditional_variance",
+    "sigma_v_upper_bound",
+]

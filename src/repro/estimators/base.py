@@ -1,0 +1,106 @@
+"""Adjusted-weight summaries (AW-summaries) and subpopulation queries.
+
+An AW-summary assigns an adjusted weight ``a(i) >= 0`` to each sampled key
+with ``E[a(i)] = f(i)`` (keys outside the sample implicitly get 0), so the
+unbiased estimate of ``Σ_{i ∈ J} f(i)`` is simply the sum of adjusted
+weights over sampled keys in ``J`` (Section 3, "Adjusted weights").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AdjustedWeights", "combine_difference"]
+
+
+@dataclass
+class AdjustedWeights:
+    """Per-key adjusted ``f``-weights over dataset positions.
+
+    Attributes
+    ----------
+    positions:
+        dataset positions that carry (possibly zero) adjusted weight.
+    values:
+        adjusted weights aligned with ``positions``; non-negative.
+    label:
+        human-readable estimator tag (used in reports).
+    """
+
+    positions: np.ndarray
+    values: np.ndarray
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=np.int64)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.positions.shape != self.values.shape:
+            raise ValueError("positions and values must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def total(self) -> float:
+        """Estimate of the full-population aggregate ``Σ_i f(i)``."""
+        return float(self.values.sum())
+
+    def subpopulation(self, mask: np.ndarray) -> float:
+        """Estimate of ``Σ_{i ∈ J} f(i)`` given a dense mask over all keys.
+
+        The mask is the materialization of a selection predicate ``d``; it
+        is only ever *read* at the sampled positions, matching the fact
+        that a real summary evaluates ``d`` on sampled keys only.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        return float(self.values[mask[self.positions]].sum())
+
+    def dense(self, n_keys: int) -> np.ndarray:
+        """Dense adjusted-weight vector over all keys (zeros off-sample)."""
+        out = np.zeros(n_keys, dtype=float)
+        out[self.positions] = self.values
+        return out
+
+    def ratio_estimate(self, mask: np.ndarray, h_over_f: np.ndarray) -> float:
+        """Estimate ``Σ_{i ∈ J} h(i)`` via ``Σ a(i) h(i)/f(i)``.
+
+        ``h_over_f`` is the dense vector of ``h(i)/f(i)`` (the standard
+        secondary-function device; requires ``h(i) > 0 ⇒ f(i) > 0``).
+        """
+        mask = np.asarray(mask, dtype=bool)
+        keep = mask[self.positions]
+        return float(
+            (self.values[keep] * h_over_f[self.positions[keep]]).sum()
+        )
+
+    def squared_error_sum(self, f_values: np.ndarray) -> float:
+        """``Σ_i (a(i) − f(i))²`` against dense ground-truth values.
+
+        Computed without enumerating unsampled keys:
+        ``Σ_{i∈S}((a−f)² − f²) + Σ_i f²``.
+        """
+        f_values = np.asarray(f_values, dtype=float)
+        f_at = f_values[self.positions]
+        on_sample = float(((self.values - f_at) ** 2 - f_at**2).sum())
+        return on_sample + float((f_values**2).sum())
+
+
+def combine_difference(
+    upper: AdjustedWeights, lower: AdjustedWeights, label: str = ""
+) -> AdjustedWeights:
+    """Adjusted weights for ``f = f_upper − f_lower`` (e.g. L1 = max − min).
+
+    Keys present only in ``upper`` keep their value; keys present only in
+    ``lower`` get the negated value (unbiasedness is preserved either way —
+    for the paper's L1 estimator over consistent ranks, lower-selected keys
+    are always upper-selected too, so no negative-only keys occur).
+    """
+    dense: dict[int, float] = {}
+    for pos, val in zip(upper.positions.tolist(), upper.values):
+        dense[pos] = float(val)
+    for pos, val in zip(lower.positions.tolist(), lower.values):
+        dense[pos] = dense.get(pos, 0.0) - float(val)
+    positions = np.array(sorted(dense), dtype=np.int64)
+    values = np.array([dense[pos] for pos in positions], dtype=float)
+    return AdjustedWeights(positions, values, label or f"{upper.label}-{lower.label}")

@@ -1,0 +1,324 @@
+"""s-set and l-set estimators for dispersed summaries (Section 7).
+
+In the dispersed model, ``w^(b)(i)`` is in the summary only when ``i`` made
+the bottom-k sketch of ``b``.  Estimable aggregations are the *top-ℓ
+dependent* ones (Definition 7.1): ``f`` and ``d`` depend only on the ℓ
+largest weights of the key (and which assignments attain them), and vanish
+when the ℓ-th largest weight is zero.  Max is top-1 dependent, min is
+top-|R| dependent, the ℓ-th largest weight is top-ℓ dependent.
+
+Two template selections are implemented:
+
+* **s-set** (:func:`sset_estimator`) — a key qualifies when at least ℓ of
+  its ranks fall below the *global* threshold
+  ``r^(min R)_k(I∖{i}) = min_b r^(b)_k(I∖{i})``.  Simple closed form for
+  every consistent rank distribution.
+* **l-set** (:func:`lset_estimator`) — the most inclusive selection that
+  still determines the top-ℓ weights: the key is in at least ℓ sketches
+  *and* known seeds certify that every other assignment's weight is at most
+  the ℓ-th largest observed.  Dominates s-set (Lemma 5.1); closed forms for
+  shared-seed consistent ranks (Eq. (13)/(15)) and independent ranks with
+  known seeds (Eq. (14)/(16)).
+
+The L1/range aggregate is not top-ℓ dependent for any ℓ; it is estimated as
+``a^(L1) = a^(max) − a^(min)`` (Eq. (17)), which is unbiased and, for
+consistent IPPS/EXP ranks, non-negative (Lemma 7.5).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.aggregates import AggregationSpec
+from repro.core.summary import MultiAssignmentSummary
+from repro.estimators.base import AdjustedWeights, combine_difference
+
+__all__ = [
+    "sset_estimator",
+    "lset_estimator",
+    "max_estimator",
+    "l1_estimator",
+    "independent_min_estimator",
+    "dispersed_estimator",
+]
+
+_NEG_INF = -math.inf
+
+
+def _resolve_ell(spec: AggregationSpec) -> int:
+    if spec.function == "l1":
+        raise ValueError(
+            "the L1 aggregate is not top-ℓ dependent; use l1_estimator "
+            "(a^max − a^min, Section 7.3)"
+        )
+    return spec.dependence_ell
+
+
+def _member_weights(
+    summary: MultiAssignmentSummary, cols: list[int]
+) -> np.ndarray:
+    """Weights over the R columns with unknown entries set to −inf.
+
+    In dispersed mode unknown weights are stored as NaN; colocated
+    summaries can also be fed to these estimators (the estimator then simply
+    ignores the extra knowledge), so non-member entries are masked the same
+    way there.
+    """
+    weights = summary.weights[:, cols]
+    member = summary.member[:, cols]
+    return np.where(member & ~np.isnan(weights), weights, _NEG_INF)
+
+
+def _f_from_topell(
+    sorted_desc: np.ndarray, ell: int, spec: AggregationSpec
+) -> np.ndarray:
+    """Evaluate ``f`` from the ℓ largest recovered weights (sorted desc)."""
+    if spec.function in ("max", "single"):
+        return sorted_desc[:, 0]
+    if spec.function == "min":
+        return sorted_desc[:, ell - 1]
+    if spec.function == "lth_largest":
+        return sorted_desc[:, ell - 1]
+    raise ValueError(f"{spec.function!r} is not a top-ℓ dependent aggregate")
+
+
+def sset_estimator(
+    summary: MultiAssignmentSummary,
+    spec: AggregationSpec,
+    label: str = "",
+) -> AdjustedWeights:
+    """The s-set top-ℓ estimator (Section 7.1).
+
+    Selection: ``R'(i) = {b ∈ R : r^(b)(i) < r^(min R)_k(I∖{i})}`` has at
+    least ℓ members.  Consistency makes ``R'`` weight-downward-closed, so
+    the ℓ largest weights in ``R'`` are the global top-ℓ (Lemma 7.2), and
+
+    ``p(i) = F_{w^(ℓth largest R)(i)}(r^(min R)_k(I∖{i}))``.
+
+    For *independent* ranks only min-dependence (ℓ = |R|) is supported,
+    with ``p(i) = Π_b F_{w^(b)(i)}(r^(min R)_{k+1}(I))`` (Section 7.1.1).
+    """
+    ell = _resolve_ell(spec)
+    cols = summary.columns(list(spec.assignments))
+    if not summary.consistent and ell != len(cols):
+        raise ValueError(
+            "s-set estimation over independent sketches is only defined for "
+            "min-dependence (ℓ = |R|)"
+        )
+    theta = summary.thresholds[:, cols]
+    theta_min = theta.min(axis=1)
+    ranks = summary.ranks[:, cols]
+    in_prime = ranks < theta_min[:, None]
+    counts = in_prime.sum(axis=1)
+    weights = np.where(in_prime, _member_weights(summary, cols), _NEG_INF)
+    sorted_desc = -np.sort(-weights, axis=1)
+    selected = counts >= ell
+    w_ellth = sorted_desc[:, ell - 1]
+    if summary.consistent:
+        probabilities = summary.family.cdf_matrix(
+            np.where(selected, w_ellth, 0.0), theta_min
+        )
+    else:
+        # Independent ranks, min-dependence: every weight is known (the key
+        # is in all |R| sketches) and inclusions are independent.
+        per_b = summary.family.cdf_matrix(
+            np.where(selected[:, None], weights, 0.0), theta_min[:, None]
+        )
+        probabilities = np.prod(per_b, axis=1)
+    f_values = np.where(selected, _f_from_topell(sorted_desc, ell, spec), 0.0)
+    values = np.divide(
+        f_values,
+        probabilities,
+        out=np.zeros_like(f_values),
+        where=(probabilities > 0.0) & selected,
+    )
+    rows = np.flatnonzero(selected)
+    return AdjustedWeights(
+        summary.positions[rows],
+        values[rows],
+        label or f"sset[{spec.function}:{','.join(spec.assignments)}]",
+    )
+
+
+def _lset_seed_conditions(
+    summary: MultiAssignmentSummary,
+    cols: list[int],
+    top_mask: np.ndarray,
+    w_ellth: np.ndarray,
+    candidate: np.ndarray,
+) -> np.ndarray:
+    """Check ``u^(b)(i) < F_{w_ℓth}(θ_ib)`` for every b outside the top-ℓ.
+
+    Returns a boolean per candidate row.  Rows not in ``candidate`` return
+    False.  Requires known seeds (shared-seed or independent-with-seeds).
+    """
+    if summary.seeds is None:
+        raise ValueError(
+            "the l-set estimator needs known seeds; this summary's rank "
+            "method does not expose them"
+        )
+    theta = summary.thresholds[:, cols]
+    caps = summary.family.cdf_matrix(
+        np.where(candidate[:, None], np.maximum(w_ellth[:, None], 0.0), 0.0),
+        theta,
+    )
+    if summary.seeds.ndim == 1:
+        seed_matrix = np.broadcast_to(
+            summary.seeds[:, None], (summary.n_union, len(cols))
+        )
+    else:
+        seed_matrix = summary.seeds[:, cols]
+    below = seed_matrix < caps
+    # Only assignments outside the observed top-ℓ constrain the selection.
+    ok = below | top_mask
+    return candidate & ok.all(axis=1)
+
+
+def lset_estimator(
+    summary: MultiAssignmentSummary,
+    spec: AggregationSpec,
+    label: str = "",
+) -> AdjustedWeights:
+    """The l-set top-ℓ estimator (Section 7.2) — dominates s-set.
+
+    Selection: at least ℓ sketch memberships among R, plus seed conditions
+    certifying that every assignment outside the observed top-ℓ has weight
+    at most the ℓ-th largest observed weight.  Probabilities:
+
+    * shared-seed (Eq. (13)):
+      ``min( min_{b∈top-ℓ} F_{w_b}(θ_b), min_{b∉top-ℓ} F_{w_ℓth}(θ_b) )``
+    * independent with known seeds (Eq. (14)):
+      ``Π_{b∈top-ℓ} F_{w_b}(θ_b) · Π_{b∉top-ℓ} F_{w_ℓth}(θ_b)``
+
+    where ``θ_b = r^(b)_k(I∖{i})`` throughout.
+    """
+    ell = _resolve_ell(spec)
+    cols = summary.columns(list(spec.assignments))
+    m = len(cols)
+    member = summary.member[:, cols]
+    counts = member.sum(axis=1)
+    candidate = counts >= ell
+    weights = _member_weights(summary, cols)
+    order = np.argsort(-weights, axis=1, kind="stable")
+    sorted_desc = np.take_along_axis(weights, order, axis=1)
+    w_ellth = sorted_desc[:, ell - 1]
+    # Boolean mask of the ℓ top-weight member assignments per row.
+    top_mask = np.zeros_like(member)
+    np.put_along_axis(top_mask, order[:, :ell], True, axis=1)
+    top_mask &= member  # only real members can be in the top-ℓ
+    if ell < m:
+        selected = _lset_seed_conditions(
+            summary, cols, top_mask, w_ellth, candidate
+        )
+    else:
+        selected = candidate
+    theta = summary.thresholds[:, cols]
+    safe_w = np.where(top_mask, np.where(weights > _NEG_INF, weights, 0.0), 0.0)
+    member_terms = summary.family.cdf_matrix(safe_w, theta)
+    cap_terms = summary.family.cdf_matrix(
+        np.maximum(np.where(selected[:, None], w_ellth[:, None], 0.0), 0.0), theta
+    )
+    if summary.method_name == "shared_seed":
+        per_b = np.where(top_mask, member_terms, cap_terms)
+        probabilities = per_b.min(axis=1)
+    elif summary.method_name == "independent":
+        per_b = np.where(top_mask, member_terms, cap_terms)
+        probabilities = np.prod(per_b, axis=1)
+    elif summary.consistent:
+        raise ValueError(
+            "closed-form l-set probabilities are implemented for shared-seed "
+            "consistent ranks and independent ranks with known seeds; "
+            f"got {summary.method_name!r} (use sset_estimator instead)"
+        )
+    else:
+        raise ValueError(f"unknown rank method {summary.method_name!r}")
+    f_values = np.where(selected, _f_from_topell(sorted_desc, ell, spec), 0.0)
+    values = np.divide(
+        f_values,
+        probabilities,
+        out=np.zeros_like(f_values),
+        where=(probabilities > 0.0) & selected,
+    )
+    rows = np.flatnonzero(selected)
+    return AdjustedWeights(
+        summary.positions[rows],
+        values[rows],
+        label or f"lset[{spec.function}:{','.join(spec.assignments)}]",
+    )
+
+
+def max_estimator(
+    summary: MultiAssignmentSummary,
+    assignments: tuple[str, ...] | list[str],
+    label: str = "",
+) -> AdjustedWeights:
+    """Adjusted ``w^(max R)``-weights (Eq. (11)); s-set == l-set at ℓ = 1."""
+    spec = AggregationSpec("max", tuple(assignments))
+    return sset_estimator(summary, spec, label or "max")
+
+
+def l1_estimator(
+    summary: MultiAssignmentSummary,
+    assignments: tuple[str, ...] | list[str],
+    min_variant: str = "l",
+    label: str = "",
+) -> AdjustedWeights:
+    """Adjusted ``w^(L1 R)``-weights: ``a^(max) − a^(min)`` (Eq. (17)).
+
+    ``min_variant`` selects the s-set or l-set min estimator.  For
+    consistent IPPS/EXP ranks the result is non-negative per key
+    (Lemma 7.5): min-selection implies max-selection and
+    ``p^max/p^min <= w^max/w^min`` (Lemma 7.4).
+    """
+    assignments = tuple(assignments)
+    if min_variant not in ("s", "l"):
+        raise ValueError(f"min_variant must be 's' or 'l', got {min_variant!r}")
+    a_max = max_estimator(summary, assignments)
+    min_spec = AggregationSpec("min", assignments)
+    if min_variant == "s":
+        a_min = sset_estimator(summary, min_spec)
+    else:
+        a_min = lset_estimator(summary, min_spec)
+    combined = combine_difference(a_max, a_min, label or f"l1-{min_variant}")
+    return combined
+
+
+def independent_min_estimator(
+    summary: MultiAssignmentSummary,
+    assignments: tuple[str, ...] | list[str],
+    label: str = "",
+) -> AdjustedWeights:
+    """``a^(min R)_ind``: the l-set min estimator over *independent* sketches.
+
+    Requires membership in all |R| sketches, with inclusion probability
+    ``Π_b F_{w^(b)(i)}(r^(b)_k(I∖{i}))`` (Eq. (16)) — exponentially smaller
+    in |R| than the coordinated probability (Eq. (15)), which is the whole
+    story of Figure 3.
+    """
+    if summary.consistent:
+        raise ValueError("independent_min_estimator expects independent ranks")
+    spec = AggregationSpec("min", tuple(assignments))
+    return lset_estimator(summary, spec, label or "ind-min")
+
+
+def dispersed_estimator(
+    summary: MultiAssignmentSummary,
+    spec: AggregationSpec,
+    variant: str = "l",
+    label: str = "",
+) -> AdjustedWeights:
+    """Convenience dispatcher: route a spec to the right dispersed estimator.
+
+    ``variant`` ("s" or "l") picks the s-set or l-set template; the L1
+    aggregate is routed to :func:`l1_estimator` with that min variant.
+    """
+    if variant not in ("s", "l"):
+        raise ValueError(f"variant must be 's' or 'l', got {variant!r}")
+    if spec.function == "l1":
+        return l1_estimator(summary, spec.assignments, min_variant=variant,
+                            label=label)
+    if variant == "s":
+        return sset_estimator(summary, spec, label)
+    return lset_estimator(summary, spec, label)

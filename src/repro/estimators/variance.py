@@ -1,0 +1,69 @@
+"""Analytic variance expressions and bounds (Sections 3 and 8).
+
+All template estimators have, conditioned on the ranks of the other keys,
+per-key variance ``VAR[a^(f)(i) | Ω(i, r^{-i})] = f(i)² (1/p − 1)``
+(Eq. (18)) where ``p`` is the conditional inclusion probability.  These
+closed forms let tests verify the variance *relations* of Section 8
+deterministically (no sampling noise): e.g. inclusive dominates plain
+(Lemma 8.2) because inclusive ``p`` is never smaller, and the coordinated
+min estimator dominates the independent one because Eq. (15) ≥ Eq. (16).
+
+The classical bound ``ΣV[a] <= w(I)²/(k−2)`` for single-assignment
+bottom-k/Poisson estimators with EXP or IPPS ranks is exposed as
+:func:`sigma_v_upper_bound` and checked empirically in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "conditional_variance",
+    "sigma_v_upper_bound",
+    "relative_variance_bound",
+]
+
+
+def conditional_variance(
+    f_values: np.ndarray | float, probabilities: np.ndarray | float
+) -> np.ndarray | float:
+    """Per-key conditional variance ``f² (1/p − 1)`` (Eq. (18)).
+
+    Zero probability with zero f-value gives zero variance; zero
+    probability with positive f-value is an estimator-existence violation
+    and raises.
+    """
+    f_values = np.asarray(f_values, dtype=float)
+    probabilities = np.asarray(probabilities, dtype=float)
+    bad = (probabilities <= 0.0) & (f_values != 0.0)
+    if np.any(bad):
+        raise ValueError(
+            "positive f-value with zero inclusion probability: the template "
+            "estimator's existence requirement (Eq. (3)) is violated"
+        )
+    out = np.zeros(np.broadcast(f_values, probabilities).shape, dtype=float)
+    mask = np.broadcast_to(probabilities, out.shape) > 0.0
+    fv = np.broadcast_to(f_values, out.shape)
+    pv = np.broadcast_to(probabilities, out.shape)
+    out[mask] = fv[mask] ** 2 * (1.0 / pv[mask] - 1.0)
+    if out.shape == ():
+        return float(out)
+    return out
+
+
+def sigma_v_upper_bound(total_weight: float, k: int) -> float:
+    """``w(I)² / (k − 2)`` — the ΣV bound for single-assignment estimators.
+
+    Valid for Poisson, k-mins and bottom-k sketches with EXP or IPPS ranks
+    and (expected) size ``k > 2`` (Section 3, last paragraph).
+    """
+    if k <= 2:
+        raise ValueError(f"the bound requires k > 2, got k={k}")
+    return total_weight**2 / (k - 2)
+
+
+def relative_variance_bound(subpop_weight: float, expected_samples: float) -> float:
+    """``w(J)²/(k' − 2)`` — variance bound for a subpopulation with k' samples."""
+    if expected_samples <= 2:
+        raise ValueError("the bound requires more than 2 expected samples")
+    return subpop_weight**2 / (expected_samples - 2)

@@ -1,0 +1,31 @@
+"""Evaluation harness: empirical variance, sharing index, per-figure experiments.
+
+The paper's evaluation metric is the (normalized) *sum of per-key
+variances* ``ΣV[a] = Σ_i VAR[a(i)]``, approximated by averaging squared
+errors over repeated sampling runs (Section 9).  :mod:`.runner` drives
+repeated draws deterministically; :mod:`.experiments` packages one entry
+point per paper table/figure; :mod:`.reporting` renders aligned text
+tables mirroring the paper's plots.
+"""
+
+from repro.evaluation.metrics import (
+    empirical_sigma_v,
+    normalized,
+    sharing_index_of_summaries,
+)
+from repro.evaluation.runner import (
+    EstimatorTask,
+    VarianceResult,
+    run_sharing_index,
+    run_sigma_v,
+)
+
+__all__ = [
+    "empirical_sigma_v",
+    "normalized",
+    "sharing_index_of_summaries",
+    "EstimatorTask",
+    "VarianceResult",
+    "run_sigma_v",
+    "run_sharing_index",
+]

@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.evaluation <experiment-id> [options]``."""
+
+import sys
+
+from repro.evaluation.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Estimation-quality metrics (Section 3, "Sum of per-key variances" & 9.3).
+
+``ΣV[a] = Σ_i VAR[a(i)]`` is approximated by the average over independent
+sampling runs of ``Σ_i (a(i) − f(i))²`` — unbiasedness of the estimators
+makes the squared error an unbiased estimate of the variance.  The
+normalized variant ``nΣV = ΣV / (Σ_i f(i))²`` makes different aggregates
+comparable.  The *sharing index* ``|S| / (k·|W|)`` measures how much
+storage coordination saves in colocated summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.summary import MultiAssignmentSummary
+from repro.estimators.base import AdjustedWeights
+
+__all__ = ["empirical_sigma_v", "normalized", "sharing_index_of_summaries"]
+
+
+def empirical_sigma_v(
+    runs: Iterable[AdjustedWeights], f_values: np.ndarray
+) -> float:
+    """Average squared-error sum over runs — the empirical ``ΣV``.
+
+    >>> import numpy as np
+    >>> aw = AdjustedWeights(np.array([0]), np.array([2.0]))
+    >>> empirical_sigma_v([aw], np.array([1.0, 1.0]))
+    2.0
+    """
+    f_values = np.asarray(f_values, dtype=float)
+    total = 0.0
+    count = 0
+    for adjusted in runs:
+        total += adjusted.squared_error_sum(f_values)
+        count += 1
+    if count == 0:
+        raise ValueError("empirical_sigma_v needs at least one run")
+    return total / count
+
+
+def normalized(sigma_v: float, f_values: np.ndarray) -> float:
+    """``nΣV = ΣV / (Σ_i f(i))²``; +inf when the aggregate is zero."""
+    denom = float(np.asarray(f_values, dtype=float).sum()) ** 2
+    if denom == 0.0:
+        return float("inf")
+    return sigma_v / denom
+
+
+def sharing_index_of_summaries(
+    summaries: Sequence[MultiAssignmentSummary],
+) -> float:
+    """Mean sharing index ``|S|/(k·|W|)`` over repeated summaries."""
+    if not summaries:
+        raise ValueError("need at least one summary")
+    return float(np.mean([s.sharing_index() for s in summaries]))

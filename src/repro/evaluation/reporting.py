@@ -1,0 +1,65 @@
+"""Plain-text rendering of experiment results.
+
+The paper presents its evaluation as log-log plots; we render the same
+series as aligned text tables (one row per k, one column per estimator)
+plus ratio columns, which preserves the information the plots convey:
+orderings, factors, and trends in k.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_value", "format_table", "render_series_table"]
+
+
+def format_value(value: object) -> str:
+    """Compact human-readable formatting (scientific for extreme floats)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        if magnitude >= 100:
+            return f"{value:.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rendered = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series_table(
+    k_values: Sequence[int],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    k_header: str = "k",
+) -> str:
+    """Render {label: per-k values} as a table with one row per k."""
+    headers = [k_header] + list(series)
+    rows = []
+    for idx, k in enumerate(k_values):
+        rows.append([k] + [series[label][idx] for label in series])
+    return format_table(headers, rows, title)

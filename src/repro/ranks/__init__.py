@@ -1,0 +1,38 @@
+"""Random rank machinery: rank-function families, rank assignments, hashing.
+
+Rank values drive every sampling scheme in this library (Section 3 of the
+paper).  A *rank family* is a monotone family of distributions ``f_w``
+(one per weight ``w >= 0``); a *rank assignment* draws one rank per
+(key, assignment) pair, either independently per assignment or
+*consistently* so that sketches of different assignments are coordinated.
+"""
+
+from repro.ranks.families import (
+    ExponentialRanks,
+    IppsRanks,
+    RankFamily,
+    get_rank_family,
+)
+from repro.ranks.assignments import (
+    IndependentDifferencesRanks,
+    IndependentRanks,
+    RankMethod,
+    SharedSeedRanks,
+    get_rank_method,
+)
+from repro.ranks.hashing import KeyHasher, hash_to_unit, splitmix64
+
+__all__ = [
+    "RankFamily",
+    "ExponentialRanks",
+    "IppsRanks",
+    "get_rank_family",
+    "RankMethod",
+    "IndependentRanks",
+    "SharedSeedRanks",
+    "IndependentDifferencesRanks",
+    "get_rank_method",
+    "KeyHasher",
+    "hash_to_unit",
+    "splitmix64",
+]

@@ -1,0 +1,129 @@
+"""Deterministic keyed hashing of keys to uniform seeds in (0, 1).
+
+Dispersed-weights coordination (Section 4 of the paper) requires that the
+sampling processes of different weight assignments — which may run at
+different times or locations and cannot communicate — nevertheless use the
+*same* seed ``u(i)`` for the same key ``i``.  The standard device is a
+shared hash function: every process hashes the key identifier to a value
+``u(i) ∈ (0, 1)`` and feeds it through the inverse CDF of its own weight.
+
+We implement a splitmix64-style finalizer, which is fast, has full 64-bit
+avalanche behaviour, and is more than "random-looking" enough for the
+perfect-randomness analysis the paper (Section 4, "Computing coordinated
+sketches") relies on.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Hashable, Iterable
+
+__all__ = ["splitmix64", "hash_to_unit", "KeyHasher"]
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+# 2**-64 scaled so results land strictly inside (0, 1): we map the 64-bit
+# state x to (x + 0.5) * 2**-64, which can never be exactly 0.0 or 1.0.
+_INV_2_64 = 1.0 / 18446744073709551616.0
+
+
+def splitmix64(x: int) -> int:
+    """One round of the splitmix64 mixing function (public-domain constants).
+
+    Maps a 64-bit integer to a 64-bit integer with full avalanche: flipping
+    any input bit flips each output bit with probability ~1/2.
+    """
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (x ^ (x >> 31)) & _MASK64
+
+
+def _key_to_int(key: Hashable) -> int:
+    """Serialize a key to a 64-bit integer deterministically across runs.
+
+    Python's builtin ``hash`` is salted per process for str/bytes, so it
+    cannot be used for cross-process coordination.  We fold the key's byte
+    representation through splitmix64 instead.
+    """
+    if isinstance(key, bool):
+        # bool is an int subclass; keep it distinct from 0/1 anyway.
+        return 0xB001 + int(key)
+    if isinstance(key, int):
+        return key & _MASK64
+    if isinstance(key, float):
+        (as_int,) = struct.unpack("<Q", struct.pack("<d", key))
+        return as_int
+    if isinstance(key, str):
+        data = key.encode("utf-8")
+    elif isinstance(key, bytes):
+        data = key
+    elif isinstance(key, tuple):
+        acc = 0x7E3779B9
+        for part in key:
+            acc = splitmix64(acc ^ _key_to_int(part))
+        return acc
+    else:
+        data = repr(key).encode("utf-8")
+    acc = 0xCBF29CE484222325
+    for offset in range(0, len(data), 8):
+        chunk = data[offset : offset + 8]
+        (word,) = struct.unpack("<Q", chunk.ljust(8, b"\0"))
+        acc = splitmix64(acc ^ word ^ len(chunk))
+    return acc
+
+
+def hash_to_unit(key: Hashable, salt: int = 0) -> float:
+    """Hash ``key`` to a uniform-looking value strictly inside (0, 1).
+
+    ``salt`` selects a member of the hash family; distinct salts give
+    (practically) independent hash functions, which is how we build the k
+    independent rank assignments needed for k-mins sketches.
+    """
+    mixed = splitmix64(_key_to_int(key) ^ splitmix64(salt & _MASK64))
+    return (mixed + 0.5) * _INV_2_64
+
+
+class KeyHasher:
+    """A member of a keyed hash family mapping keys to seeds in (0, 1).
+
+    Instances are cheap, stateless, and picklable; two ``KeyHasher`` objects
+    with the same salt agree on every key, which is exactly the property
+    dispersed-weights coordination requires.
+
+    >>> h = KeyHasher(salt=7)
+    >>> h("flow-1") == KeyHasher(salt=7)("flow-1")
+    True
+    >>> 0.0 < h("flow-1") < 1.0
+    True
+    """
+
+    __slots__ = ("salt",)
+
+    def __init__(self, salt: int = 0) -> None:
+        self.salt = int(salt)
+
+    def __call__(self, key: Hashable) -> float:
+        return hash_to_unit(key, self.salt)
+
+    def many(self, keys: Iterable[Hashable]) -> list[float]:
+        """Hash an iterable of keys, preserving order."""
+        salt = self.salt
+        return [hash_to_unit(key, salt) for key in keys]
+
+    def derive(self, index: int) -> "KeyHasher":
+        """Return a hasher for a derived (practically independent) family.
+
+        Used by k-mins sampling, which needs ``k`` independent rank
+        assignments: ``hasher.derive(0) ... hasher.derive(k-1)``.
+        """
+        return KeyHasher(splitmix64(self.salt ^ (0xA5A5A5A5 + index)))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, KeyHasher) and other.salt == self.salt
+
+    def __hash__(self) -> int:
+        return hash(("KeyHasher", self.salt))
+
+    def __repr__(self) -> str:
+        return f"KeyHasher(salt={self.salt})"

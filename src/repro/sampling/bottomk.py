@@ -1,0 +1,268 @@
+"""Bottom-k (order) sampling.
+
+A bottom-k sample of a weighted set keeps the k keys of smallest rank
+(Section 3).  The sketch additionally stores the (k+1)-st smallest rank
+``r_{k+1}(I)`` — the quantity every rank-conditioning estimator conditions
+on — and, for multi-assignment summaries, enough per-assignment bookkeeping
+to recover ``r_k(I \\ {i})`` for any key ``i`` (Section 6):
+
+* ``r_k(I \\ {i}) = r_{k+1}(I)`` when ``i`` is in the sketch,
+* ``r_k(I \\ {i}) = r_k(I)``     when it is not.
+
+Two construction paths are provided:
+
+* :func:`bottomk_from_ranks` / :func:`bottomk_sketch_matrix` — matrix mode,
+  for the evaluation harness (ranks already drawn for all keys);
+* :class:`BottomKStreamSampler` — a one-pass, O(log k)-per-item stream
+  sampler with hash-coordinated seeds, the algorithm a dispersed-weights
+  deployment would actually run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator
+
+import numpy as np
+
+from repro.ranks.families import RankFamily
+from repro.ranks.hashing import KeyHasher
+
+__all__ = [
+    "BottomKSketch",
+    "bottomk_from_ranks",
+    "bottomk_sketch_matrix",
+    "BottomKStreamSampler",
+    "aggregate_stream",
+]
+
+_INF = math.inf
+
+
+@dataclass
+class BottomKSketch:
+    """A bottom-k sketch of one weight assignment.
+
+    Attributes
+    ----------
+    k:
+        the requested sample size.
+    keys:
+        sampled key identifiers (dataset positions in matrix mode, raw key
+        identifiers in stream mode), ordered by increasing rank.  Length is
+        ``min(k, #positive-weight keys)``.
+    ranks:
+        rank values of the sampled keys (same order).
+    weights:
+        weights of the sampled keys (same order).
+    kth_rank:
+        ``r_k(I)`` — the k-th smallest rank over the full set; ``+inf``
+        when fewer than k keys have finite rank.
+    threshold:
+        ``r_{k+1}(I)`` — the (k+1)-st smallest rank; ``+inf`` when at most
+        k keys have finite rank.
+    seeds:
+        optional per-sampled-key seeds ``u(i)`` (known-seeds sketches);
+        ``None`` when the sampling method does not expose seeds.
+    """
+
+    k: int
+    keys: np.ndarray
+    ranks: np.ndarray
+    weights: np.ndarray
+    kth_rank: float
+    threshold: float
+    seeds: np.ndarray | None = None
+    _members: set = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self._members is None:
+            self._members = set(self.keys.tolist())
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._members
+
+    def rank_k_excluding(self, key: Hashable) -> float:
+        """``r_k(I \\ {key})``, recoverable from the sketch alone."""
+        return self.threshold if key in self._members else self.kth_rank
+
+    def items(self) -> Iterator[tuple[Hashable, float, float]]:
+        """Iterate ``(key, rank, weight)`` triples in rank order."""
+        return zip(self.keys.tolist(), self.ranks, self.weights)
+
+
+def bottomk_from_ranks(
+    ranks: np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    seeds: np.ndarray | None = None,
+) -> BottomKSketch:
+    """Build a bottom-k sketch from a full rank column (matrix mode).
+
+    ``ranks`` must already be ``+inf`` wherever the weight is zero.
+
+    >>> sk = bottomk_from_ranks(np.array([0.3, 0.1, 0.7]),
+    ...                         np.array([1.0, 2.0, 3.0]), k=2)
+    >>> sk.keys.tolist(), float(sk.threshold)
+    ([1, 0], 0.7)
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    n = len(ranks)
+    finite = int(np.count_nonzero(np.isfinite(ranks)))
+    take = min(k + 1, finite)
+    if take == 0:
+        empty = np.empty(0)
+        return BottomKSketch(
+            k, np.empty(0, dtype=np.int64), empty, empty.copy(), _INF, _INF
+        )
+    if take < n:
+        candidate = np.argpartition(ranks, take - 1)[:take]
+    else:
+        candidate = np.arange(n)[np.isfinite(ranks)]
+    order = candidate[np.argsort(ranks[candidate], kind="stable")]
+    if finite > k:
+        sample = order[:k]
+        threshold = float(ranks[order[k]])
+        kth_rank = float(ranks[order[k - 1]])
+    else:
+        sample = order
+        threshold = _INF
+        kth_rank = float(ranks[order[k - 1]]) if finite == k else _INF
+    sample_seeds = seeds[sample].copy() if seeds is not None else None
+    return BottomKSketch(
+        k=k,
+        keys=sample.astype(np.int64),
+        ranks=ranks[sample].copy(),
+        weights=weights[sample].copy(),
+        kth_rank=kth_rank,
+        threshold=threshold,
+        seeds=sample_seeds,
+    )
+
+
+def bottomk_sketch_matrix(
+    ranks: np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    seeds: np.ndarray | None = None,
+) -> list[BottomKSketch]:
+    """Bottom-k sketches for every column of an ``(n, m)`` rank matrix.
+
+    ``seeds`` may be ``(n,)`` (shared seed) or ``(n, m)`` (per-assignment).
+    """
+    n, m = ranks.shape
+    out = []
+    for b in range(m):
+        if seeds is None:
+            col_seeds = None
+        elif seeds.ndim == 1:
+            col_seeds = seeds
+        else:
+            col_seeds = seeds[:, b]
+        out.append(bottomk_from_ranks(ranks[:, b], weights[:, b], k, col_seeds))
+    return out
+
+
+class BottomKStreamSampler:
+    """One-pass bottom-k sampler over an aggregated (key, weight) stream.
+
+    Maintains the ``k+1`` smallest-rank keys in a max-heap, so processing a
+    stream of n aggregated items costs O(n log k).  Ranks come from
+    ``family.rank(weight, hasher(key))`` — with a shared hasher, samplers
+    run over different weight assignments produce *coordinated* sketches
+    without any communication (the dispersed model, Section 4).
+
+    >>> from repro.ranks import IppsRanks, KeyHasher
+    >>> sampler = BottomKStreamSampler(k=2, family=IppsRanks(),
+    ...                                hasher=KeyHasher(7))
+    >>> for key, weight in [("a", 5.0), ("b", 1.0), ("c", 9.0)]:
+    ...     sampler.process(key, weight)
+    >>> sorted(sampler.sketch().keys.tolist()) == sorted(
+    ...     sampler.sketch().keys.tolist())
+    True
+    """
+
+    def __init__(self, k: int, family: RankFamily, hasher: KeyHasher) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.family = family
+        self.hasher = hasher
+        # heap entries: (-rank, key, rank, weight, seed); heap[0] is the
+        # largest rank among the kept k+1 candidates.
+        self._heap: list[tuple[float, Hashable, float, float, float]] = []
+        self._seen: set[Hashable] = set()
+
+    def process(self, key: Hashable, weight: float) -> None:
+        """Feed one aggregated (key, weight) item.
+
+        Keys must be aggregated upstream (each key seen once); feed
+        unaggregated streams through :func:`aggregate_stream` first.
+        """
+        if key in self._seen:
+            raise ValueError(
+                f"key {key!r} seen twice; bottom-k sampling requires "
+                "aggregated keys (see aggregate_stream)"
+            )
+        self._seen.add(key)
+        if weight <= 0.0:
+            return
+        seed = self.hasher(key)
+        rank = self.family.rank(weight, seed)
+        entry = (-rank, key, rank, weight, seed)
+        if len(self._heap) <= self.k:
+            heapq.heappush(self._heap, entry)
+        elif rank < -self._heap[0][0]:
+            heapq.heapreplace(self._heap, entry)
+
+    def process_stream(self, items: Iterable[tuple[Hashable, float]]) -> None:
+        """Feed an iterable of aggregated (key, weight) items."""
+        for key, weight in items:
+            self.process(key, weight)
+
+    def sketch(self) -> BottomKSketch:
+        """Materialize the sketch from the current sampler state."""
+        entries = sorted(self._heap, key=lambda e: e[2])
+        if len(entries) > self.k:
+            sample = entries[: self.k]
+            threshold = entries[self.k][2]
+            kth_rank = sample[-1][2]
+        else:
+            sample = entries
+            threshold = _INF
+            kth_rank = sample[-1][2] if len(sample) == self.k else _INF
+        keys = np.array([e[1] for e in sample], dtype=object)
+        return BottomKSketch(
+            k=self.k,
+            keys=keys,
+            ranks=np.array([e[2] for e in sample], dtype=float),
+            weights=np.array([e[3] for e in sample], dtype=float),
+            kth_rank=kth_rank,
+            threshold=threshold,
+            seeds=np.array([e[4] for e in sample], dtype=float),
+        )
+
+
+def aggregate_stream(
+    items: Iterable[tuple[Hashable, float]],
+) -> dict[Hashable, float]:
+    """Aggregate an unaggregated stream into per-key total weights.
+
+    This is the pre-aggregation step the paper assumes (e.g. packets of the
+    same flow summed into one flow record before sampling).
+
+    >>> aggregate_stream([("a", 1.0), ("b", 2.0), ("a", 3.0)])
+    {'a': 4.0, 'b': 2.0}
+    """
+    totals: dict[Hashable, float] = {}
+    for key, weight in items:
+        if weight < 0.0:
+            raise ValueError(f"negative weight {weight!r} for key {key!r}")
+        totals[key] = totals.get(key, 0.0) + weight
+    return totals

@@ -1,0 +1,88 @@
+"""Shared fixtures: the paper's worked examples and small random datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import MultiAssignmentDataset
+
+# ---------------------------------------------------------------------------
+# Figure 1 of the paper: a single weighted set with an explicit IPPS rank
+# assignment, used to check sketches and adjusted weights value-for-value.
+# ---------------------------------------------------------------------------
+
+FIG1_KEYS = ["i1", "i2", "i3", "i4", "i5", "i6"]
+FIG1_WEIGHTS = np.array([20.0, 10.0, 12.0, 20.0, 10.0, 10.0])
+# NOTE: the paper prints u(i3) = 0.07, but every derived quantity in
+# Figures 1 and 2 (r(i3) = 0.0583 = 0.7/12, the bottom-k samples, the AW
+# summaries) is computed from u(i3) = 0.7 — a typo in the u row.  We use
+# the value that makes the figure internally consistent.
+FIG1_SEEDS = np.array([0.22, 0.75, 0.7, 0.92, 0.55, 0.37])
+FIG1_RANKS = FIG1_SEEDS / FIG1_WEIGHTS
+
+# ---------------------------------------------------------------------------
+# Figure 2 of the paper: three weight assignments over six keys, with
+# shared-seed consistent IPPS ranks from the same seeds as Figure 1.
+# ---------------------------------------------------------------------------
+
+FIG2_ASSIGNMENTS = ["w1", "w2", "w3"]
+FIG2_WEIGHTS = np.array(
+    [
+        # w1,  w2,  w3
+        [15.0, 20.0, 10.0],  # i1
+        [0.0, 10.0, 15.0],  # i2
+        [10.0, 12.0, 15.0],  # i3
+        [5.0, 20.0, 0.0],  # i4
+        [10.0, 0.0, 15.0],  # i5
+        [10.0, 10.0, 10.0],  # i6
+    ]
+)
+
+
+@pytest.fixture
+def fig2_dataset() -> MultiAssignmentDataset:
+    """The Figure 2 example dataset (6 keys, 3 assignments)."""
+    return MultiAssignmentDataset(FIG1_KEYS, FIG2_ASSIGNMENTS, FIG2_WEIGHTS)
+
+
+def make_random_dataset(
+    n_keys: int = 25,
+    n_assignments: int = 3,
+    seed: int = 0,
+    churn: float = 0.2,
+    skew: float = 1.3,
+) -> MultiAssignmentDataset:
+    """Small skewed random dataset with some zero entries (churn)."""
+    rng = np.random.default_rng(seed)
+    weights = rng.pareto(skew, (n_keys, n_assignments)) * 10.0 + 0.1
+    weights[rng.random((n_keys, n_assignments)) < churn] = 0.0
+    # keep every key alive somewhere
+    dead = ~(weights > 0).any(axis=1)
+    weights[dead, 0] = 1.0
+    keys = [f"key{i}" for i in range(n_keys)]
+    names = [f"w{b + 1}" for b in range(n_assignments)]
+    return MultiAssignmentDataset(keys, names, weights)
+
+
+@pytest.fixture
+def random_dataset() -> MultiAssignmentDataset:
+    return make_random_dataset()
+
+
+def mean_estimate(
+    dataset: MultiAssignmentDataset,
+    build_and_estimate,
+    runs: int,
+    seed: int = 0,
+) -> float:
+    """Average total estimate over repeated deterministic draws.
+
+    ``build_and_estimate(rng)`` must perform one full draw → summary →
+    estimate cycle and return the scalar estimate.
+    """
+    total = 0.0
+    for run in range(runs):
+        rng = np.random.default_rng([seed, run])
+        total += build_and_estimate(rng)
+    return total / runs

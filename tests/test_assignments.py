@@ -1,0 +1,220 @@
+"""Tests for rank-assignment methods (independent / shared-seed / indep-diff)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ranks.assignments import (
+    IndependentDifferencesRanks,
+    IndependentRanks,
+    SharedSeedRanks,
+    get_rank_method,
+)
+from repro.ranks.families import ExponentialRanks, IppsRanks
+from repro.ranks.hashing import KeyHasher
+
+# Weights are either exactly zero (key absent) or bounded away from the
+# subnormal range, where u/w overflows to inf.
+weight_matrices = arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(1, 8), st.integers(1, 5)),
+    elements=st.one_of(
+        st.just(0.0), st.floats(min_value=1e-6, max_value=100.0)
+    ),
+)
+
+ALL_METHODS = ["independent", "shared_seed", "independent_differences"]
+
+
+def _family_for(method_name: str):
+    if method_name == "independent_differences":
+        return ExponentialRanks()
+    return IppsRanks()
+
+
+@pytest.mark.parametrize("method_name", ALL_METHODS)
+class TestCommonContract:
+    @given(weights=weight_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_zero_weight_gives_infinite_rank(self, method_name, weights):
+        method = get_rank_method(method_name)
+        draw = method.draw(_family_for(method_name), weights,
+                           np.random.default_rng(0))
+        assert np.all(np.isinf(draw.ranks[weights == 0.0]))
+        assert np.all(np.isfinite(draw.ranks[weights > 0.0]))
+
+    def test_shape_and_reproducibility(self, method_name):
+        method = get_rank_method(method_name)
+        weights = np.abs(np.random.default_rng(1).normal(5, 2, (10, 3)))
+        family = _family_for(method_name)
+        d1 = method.draw(family, weights, np.random.default_rng(42))
+        d2 = method.draw(family, weights, np.random.default_rng(42))
+        assert d1.ranks.shape == (10, 3)
+        np.testing.assert_array_equal(d1.ranks, d2.ranks)
+
+    def test_rejects_negative_weights(self, method_name):
+        method = get_rank_method(method_name)
+        with pytest.raises(ValueError, match="non-negative"):
+            method.draw(
+                _family_for(method_name),
+                np.array([[-1.0, 2.0]]),
+                np.random.default_rng(0),
+            )
+
+    def test_rejects_one_dimensional_weights(self, method_name):
+        method = get_rank_method(method_name)
+        with pytest.raises(ValueError, match="2-D"):
+            method.draw(
+                _family_for(method_name), np.array([1.0, 2.0]),
+                np.random.default_rng(0),
+            )
+
+    def test_marginal_distribution_is_correct(self, method_name):
+        """Each r^(b)(i) must be distributed f_{w^(b)(i)} (property (i))."""
+        method = get_rank_method(method_name)
+        family = _family_for(method_name)
+        weights = np.array([[2.0, 5.0]])
+        rng = np.random.default_rng(7)
+        samples = np.array(
+            [method.draw(family, weights, rng).ranks[0] for _ in range(6000)]
+        )
+        # Transform through the CDF: must be uniform on (0,1) per column.
+        for b, w in enumerate([2.0, 5.0]):
+            transformed = family.cdf_matrix(
+                np.full(len(samples), w), samples[:, b]
+            )
+            assert abs(transformed.mean() - 0.5) < 0.02
+            assert abs(transformed.std() - math.sqrt(1 / 12)) < 0.02
+
+
+@pytest.mark.parametrize("method_name", ["shared_seed", "independent_differences"])
+class TestConsistency:
+    @given(weights=weight_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_bigger_weight_smaller_rank(self, method_name, weights):
+        method = get_rank_method(method_name)
+        draw = method.draw(_family_for(method_name), weights,
+                           np.random.default_rng(3))
+        n, m = weights.shape
+        for i in range(n):
+            for b1 in range(m):
+                for b2 in range(m):
+                    if weights[i, b1] >= weights[i, b2] > 0.0:
+                        assert draw.ranks[i, b1] <= draw.ranks[i, b2]
+
+    @given(weights=weight_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_equal_weights_equal_ranks(self, method_name, weights):
+        weights = np.repeat(weights[:, :1], weights.shape[1], axis=1)
+        method = get_rank_method(method_name)
+        draw = method.draw(_family_for(method_name), weights,
+                           np.random.default_rng(3))
+        for row in draw.ranks:
+            finite = row[np.isfinite(row)]
+            if len(finite):
+                assert np.all(finite == finite[0])
+
+
+class TestSharedSeed:
+    def test_rank_equals_inv_cdf_of_common_seed(self):
+        family = IppsRanks()
+        weights = np.array([[4.0, 8.0, 2.0]])
+        draw = SharedSeedRanks().draw(family, weights, np.random.default_rng(5))
+        u = draw.seeds[0]
+        np.testing.assert_allclose(draw.ranks[0], u / weights[0])
+
+    def test_hashed_draw_matches_manual_hash(self):
+        family = IppsRanks()
+        weights = np.array([[4.0], [8.0]])
+        hasher = KeyHasher(11)
+        draw = SharedSeedRanks().draw_hashed(family, weights, ["a", "b"], hasher)
+        np.testing.assert_allclose(
+            draw.ranks[:, 0], [hasher("a") / 4.0, hasher("b") / 8.0]
+        )
+
+    def test_hashed_draw_coordinates_across_processes(self):
+        """Two 'processes' with one assignment each agree on shared keys."""
+        family = IppsRanks()
+        hasher = KeyHasher(13)
+        keys = ["x", "y", "z"]
+        w1 = np.array([[3.0], [5.0], [7.0]])
+        w2 = np.array([[3.0], [5.0], [7.0]])
+        d1 = SharedSeedRanks().draw_hashed(family, w1, keys, hasher)
+        d2 = SharedSeedRanks().draw_hashed(family, w2, keys, hasher)
+        np.testing.assert_array_equal(d1.ranks, d2.ranks)
+
+    def test_hashed_keys_length_mismatch(self):
+        with pytest.raises(ValueError, match="keys must match"):
+            SharedSeedRanks().draw_hashed(
+                IppsRanks(), np.ones((3, 1)), ["a", "b"], KeyHasher(0)
+            )
+
+
+class TestIndependent:
+    def test_columns_are_decorrelated(self):
+        family = ExponentialRanks()
+        weights = np.ones((4000, 2)) * 3.0
+        draw = IndependentRanks().draw(family, weights, np.random.default_rng(8))
+        corr = np.corrcoef(draw.ranks[:, 0], draw.ranks[:, 1])[0, 1]
+        assert abs(corr) < 0.05
+
+    def test_shared_seed_columns_are_perfectly_correlated(self):
+        family = ExponentialRanks()
+        weights = np.ones((4000, 2)) * 3.0
+        draw = SharedSeedRanks().draw(family, weights, np.random.default_rng(8))
+        corr = np.corrcoef(draw.ranks[:, 0], draw.ranks[:, 1])[0, 1]
+        assert corr > 0.999
+
+    def test_hashed_draw_uses_derived_families(self):
+        family = IppsRanks()
+        weights = np.full((100, 2), 2.0)
+        keys = [f"k{i}" for i in range(100)]
+        draw = IndependentRanks().draw_hashed(family, weights, keys, KeyHasher(1))
+        corr = np.corrcoef(draw.ranks[:, 0], draw.ranks[:, 1])[0, 1]
+        assert abs(corr) < 0.25
+
+
+class TestIndependentDifferences:
+    def test_requires_exp_family(self):
+        with pytest.raises(ValueError, match="EXP"):
+            IndependentDifferencesRanks().draw(
+                IppsRanks(), np.ones((2, 2)), np.random.default_rng(0)
+            )
+
+    def test_not_available_for_dispersed_hashing(self):
+        with pytest.raises(NotImplementedError):
+            IndependentDifferencesRanks().draw_hashed(
+                ExponentialRanks(), np.ones((2, 2)), ["a", "b"], KeyHasher(0)
+            )
+
+    def test_rank_entries_not_fully_coupled(self):
+        """Unlike shared-seed, ranks of unequal weights are not a
+        deterministic function of each other."""
+        family = ExponentialRanks()
+        weights = np.tile(np.array([[1.0, 10.0]]), (4000, 1))
+        draw = IndependentDifferencesRanks().draw(
+            family, weights, np.random.default_rng(9)
+        )
+        # r^(2) <= r^(1) always (consistency), but correlation of the
+        # transformed uniforms must be strictly below 1.
+        u1 = family.cdf_matrix(weights[:, 0], draw.ranks[:, 0])
+        u2 = family.cdf_matrix(weights[:, 1], draw.ranks[:, 1])
+        corr = np.corrcoef(u1, u2)[0, 1]
+        assert 0.05 < corr < 0.98
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_rank_method("shared_seed").consistent
+        assert not get_rank_method("independent").consistent
+        assert get_rank_method("independent_differences").consistent
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown rank method"):
+            get_rank_method("quantum")

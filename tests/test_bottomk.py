@@ -1,0 +1,221 @@
+"""Tests for bottom-k sketches: matrix builders and the stream sampler."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ranks.families import IppsRanks
+from repro.ranks.hashing import KeyHasher
+from repro.sampling.bottomk import (
+    BottomKStreamSampler,
+    aggregate_stream,
+    bottomk_from_ranks,
+    bottomk_sketch_matrix,
+)
+
+INF = math.inf
+
+
+def brute_force_bottomk(ranks: np.ndarray, k: int) -> list[int]:
+    """Reference implementation: indices of the k smallest finite ranks."""
+    order = sorted(
+        (i for i in range(len(ranks)) if math.isfinite(ranks[i])),
+        key=lambda i: ranks[i],
+    )
+    return order[:k]
+
+
+class TestBottomKFromRanks:
+    def test_simple_example(self):
+        sketch = bottomk_from_ranks(
+            np.array([0.5, 0.1, 0.9, 0.3]), np.array([1.0, 2.0, 3.0, 4.0]), k=2
+        )
+        assert sketch.keys.tolist() == [1, 3]
+        assert sketch.ranks.tolist() == [0.1, 0.3]
+        assert sketch.weights.tolist() == [2.0, 4.0]
+        assert sketch.kth_rank == 0.3
+        assert sketch.threshold == 0.5
+
+    @given(
+        n=st.integers(1, 40),
+        k=st.integers(1, 12),
+        seed=st.integers(0, 1000),
+        zero_fraction=st.floats(0.0, 0.6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_brute_force(self, n, k, seed, zero_fraction):
+        rng = np.random.default_rng(seed)
+        weights = rng.pareto(1.5, n) + 0.01
+        weights[rng.random(n) < zero_fraction] = 0.0
+        seeds = rng.random(n).clip(1e-9, 1 - 1e-9)
+        ranks = IppsRanks().ranks_array(weights, seeds)
+        sketch = bottomk_from_ranks(ranks, weights, k)
+        assert sketch.keys.tolist() == brute_force_bottomk(ranks, k)
+        finite = int(np.isfinite(ranks).sum())
+        if finite > k:
+            sorted_finite = np.sort(ranks[np.isfinite(ranks)])
+            assert sketch.threshold == sorted_finite[k]
+            assert sketch.kth_rank == sorted_finite[k - 1]
+        else:
+            assert sketch.threshold == INF
+
+    def test_fewer_keys_than_k(self):
+        sketch = bottomk_from_ranks(
+            np.array([0.2, INF]), np.array([5.0, 0.0]), k=3
+        )
+        assert sketch.keys.tolist() == [0]
+        assert sketch.threshold == INF
+        assert sketch.kth_rank == INF
+
+    def test_exactly_k_keys(self):
+        sketch = bottomk_from_ranks(
+            np.array([0.2, 0.4]), np.array([5.0, 5.0]), k=2
+        )
+        assert len(sketch) == 2
+        assert sketch.threshold == INF
+        assert sketch.kth_rank == 0.4
+
+    def test_empty_input(self):
+        sketch = bottomk_from_ranks(np.array([INF]), np.array([0.0]), k=2)
+        assert len(sketch) == 0
+        assert sketch.threshold == INF
+
+    def test_rejects_k_below_one(self):
+        with pytest.raises(ValueError, match="k must be"):
+            bottomk_from_ranks(np.array([0.1]), np.array([1.0]), k=0)
+
+    def test_membership_and_rank_k_excluding(self):
+        ranks = np.array([0.1, 0.2, 0.3, 0.4])
+        sketch = bottomk_from_ranks(ranks, np.ones(4), k=2)
+        assert 0 in sketch and 1 in sketch
+        assert 2 not in sketch
+        # member: r_k(I \ {i}) = r_{k+1}(I) = 0.3
+        assert sketch.rank_k_excluding(0) == 0.3
+        # non-member: r_k(I \ {i}) = r_k(I) = 0.2
+        assert sketch.rank_k_excluding(3) == 0.2
+
+    def test_seeds_carried_through(self):
+        seeds = np.array([0.5, 0.1, 0.9])
+        ranks = np.array([0.5, 0.1, 0.9])
+        sketch = bottomk_from_ranks(ranks, np.ones(3), k=2, seeds=seeds)
+        assert sketch.seeds.tolist() == [0.1, 0.5]
+
+    def test_items_iterates_in_rank_order(self):
+        sketch = bottomk_from_ranks(
+            np.array([0.5, 0.1]), np.array([1.0, 2.0]), k=2
+        )
+        assert list(sketch.items()) == [(1, 0.1, 2.0), (0, 0.5, 1.0)]
+
+
+class TestSketchMatrix:
+    def test_one_sketch_per_column(self):
+        rng = np.random.default_rng(0)
+        ranks = rng.random((20, 3))
+        weights = rng.random((20, 3)) + 0.1
+        sketches = bottomk_sketch_matrix(ranks, weights, k=4)
+        assert len(sketches) == 3
+        for b, sketch in enumerate(sketches):
+            assert sketch.keys.tolist() == brute_force_bottomk(ranks[:, b], 4)
+
+    def test_shared_seed_vector_broadcast(self):
+        rng = np.random.default_rng(1)
+        ranks = rng.random((10, 2))
+        weights = np.ones((10, 2))
+        seeds = rng.random(10)
+        sketches = bottomk_sketch_matrix(ranks, weights, k=3, seeds=seeds)
+        for sketch in sketches:
+            np.testing.assert_array_equal(sketch.seeds, seeds[sketch.keys])
+
+
+class TestStreamSampler:
+    def test_matches_matrix_mode_with_same_hasher(self):
+        """The one-pass sampler must produce exactly the hash-defined sketch."""
+        family = IppsRanks()
+        hasher = KeyHasher(21)
+        keys = [f"flow{i}" for i in range(200)]
+        rng = np.random.default_rng(2)
+        weights = rng.pareto(1.3, 200) + 0.05
+        sampler = BottomKStreamSampler(k=10, family=family, hasher=hasher)
+        sampler.process_stream(zip(keys, weights))
+        stream_sketch = sampler.sketch()
+
+        seeds = np.array(hasher.many(keys))
+        ranks = family.ranks_array(weights, seeds)
+        matrix_sketch = bottomk_from_ranks(ranks, weights, k=10)
+        assert stream_sketch.keys.tolist() == [
+            keys[i] for i in matrix_sketch.keys
+        ]
+        np.testing.assert_allclose(stream_sketch.ranks, matrix_sketch.ranks)
+        assert stream_sketch.threshold == pytest.approx(matrix_sketch.threshold)
+        assert stream_sketch.kth_rank == pytest.approx(matrix_sketch.kth_rank)
+
+    def test_order_invariance(self):
+        """Bottom-k content must not depend on stream order."""
+        family = IppsRanks()
+        items = [(f"k{i}", float(i % 7 + 1)) for i in range(50)]
+        def sketch_of(order):
+            sampler = BottomKStreamSampler(5, family, KeyHasher(3))
+            sampler.process_stream(order)
+            return sampler.sketch()
+        forward = sketch_of(items)
+        backward = sketch_of(list(reversed(items)))
+        assert forward.keys.tolist() == backward.keys.tolist()
+        assert forward.threshold == backward.threshold
+
+    def test_zero_weight_keys_skipped(self):
+        sampler = BottomKStreamSampler(2, IppsRanks(), KeyHasher(0))
+        sampler.process("dead", 0.0)
+        sampler.process("alive", 1.0)
+        assert sampler.sketch().keys.tolist() == ["alive"]
+
+    def test_duplicate_key_rejected(self):
+        sampler = BottomKStreamSampler(2, IppsRanks(), KeyHasher(0))
+        sampler.process("a", 1.0)
+        with pytest.raises(ValueError, match="seen twice"):
+            sampler.process("a", 2.0)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError, match="k must be"):
+            BottomKStreamSampler(0, IppsRanks(), KeyHasher(0))
+
+    def test_threshold_tracked_with_small_streams(self):
+        sampler = BottomKStreamSampler(3, IppsRanks(), KeyHasher(5))
+        sampler.process_stream([("a", 1.0), ("b", 2.0)])
+        sketch = sampler.sketch()
+        assert len(sketch) == 2
+        assert sketch.threshold == INF
+
+    def test_coordination_across_two_samplers(self):
+        """Samplers over different assignments share sampled heavy keys."""
+        family = IppsRanks()
+        hasher = KeyHasher(9)
+        keys = [f"k{i}" for i in range(500)]
+        rng = np.random.default_rng(3)
+        base = rng.pareto(1.2, 500) + 0.01
+        w1 = base
+        w2 = base * rng.lognormal(0, 0.05, 500)  # nearly identical weights
+        s1 = BottomKStreamSampler(20, family, hasher)
+        s2 = BottomKStreamSampler(20, family, hasher)
+        s1.process_stream(zip(keys, w1))
+        s2.process_stream(zip(keys, w2))
+        shared = set(s1.sketch().keys.tolist()) & set(s2.sketch().keys.tolist())
+        # With coordination and near-identical weights, overlap is large.
+        assert len(shared) >= 15
+
+
+class TestAggregateStream:
+    def test_sums_per_key(self):
+        totals = aggregate_stream([("a", 1.0), ("b", 2.0), ("a", 3.0)])
+        assert totals == {"a": 4.0, "b": 2.0}
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative weight"):
+            aggregate_stream([("a", -1.0)])
+
+    def test_empty_stream(self):
+        assert aggregate_stream([]) == {}

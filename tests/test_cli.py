@@ -1,0 +1,63 @@
+"""Tests for the experiment CLI (python -m repro.evaluation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["F3"])
+        assert args.experiment == "F3"
+        assert args.workload == "ip"
+        assert args.k == [10, 40, 160]
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["F3", "--workload", "webscale"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "F3" in out and "THM41" in out
+
+    def test_no_experiment_lists(self, capsys):
+        assert main([]) == 0
+        assert "F3" in capsys.readouterr().out
+
+    def test_runs_f3_on_small_workload(self, capsys):
+        code = main(
+            ["F3", "--workload", "netflix", "--k", "5", "10", "--runs", "2",
+             "--scale", "0.1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ratio ind/coord" in out
+
+    def test_runs_table_experiment(self, capsys):
+        assert main(["T2", "--workload", "stocks", "--scale", "0.2"]) == 0
+        assert "Σ max" in capsys.readouterr().out
+
+    def test_runs_colocated_experiment(self, capsys):
+        code = main(
+            ["F9", "--workload", "stocks", "--k", "5", "--runs", "2",
+             "--scale", "0.1"]
+        )
+        assert code == 0
+        assert "coord/" in capsys.readouterr().out
+
+    def test_unknown_experiment_exits(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["F99", "--workload", "netflix", "--scale", "0.1"])
+
+    def test_jaccard_experiment(self, capsys):
+        code = main(
+            ["THM41", "--workload", "stocks", "--k", "50", "--runs", "2",
+             "--scale", "0.1"]
+        )
+        assert code == 0
+        assert "Jaccard" in capsys.readouterr().out

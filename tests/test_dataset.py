@@ -1,0 +1,142 @@
+"""Tests for WeightedSet and MultiAssignmentDataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import MultiAssignmentDataset, WeightedSet
+
+
+class TestWeightedSet:
+    def test_basic_accessors(self):
+        ws = WeightedSet(["a", "b", "c"], [1.0, 2.0, 3.0])
+        assert len(ws) == 3
+        assert ws.total == 6.0
+        assert ws["b"] == 2.0
+        assert "a" in ws and "z" not in ws
+
+    def test_iteration_pairs(self):
+        ws = WeightedSet(["a", "b"], [1.0, 2.0])
+        assert list(ws) == [("a", 1.0), ("b", 2.0)]
+
+    def test_subset_weight_ignores_missing(self):
+        ws = WeightedSet(["a", "b"], [1.0, 2.0])
+        assert ws.subset_weight(["a", "nope"]) == 1.0
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            WeightedSet(["a"], [1.0, 2.0])
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            WeightedSet(["a"], [-1.0])
+
+    def test_rejects_duplicate_keys(self):
+        with pytest.raises(ValueError, match="distinct"):
+            WeightedSet(["a", "a"], [1.0, 2.0])
+
+    def test_repr(self):
+        assert "n=2" in repr(WeightedSet(["a", "b"], [1.0, 2.0]))
+
+
+class TestMultiAssignmentDataset:
+    def make(self):
+        return MultiAssignmentDataset(
+            keys=["a", "b", "c"],
+            assignments=["x", "y"],
+            weights=[[1.0, 0.0], [2.0, 3.0], [0.0, 4.0]],
+            attributes={"color": ["red", "blue", "red"]},
+        )
+
+    def test_shapes_and_totals(self):
+        ds = self.make()
+        assert ds.n_keys == 3
+        assert ds.n_assignments == 2
+        assert ds.total("x") == 3.0
+        assert ds.total("y") == 7.0
+
+    def test_support_size_counts_positive(self):
+        ds = self.make()
+        assert ds.support_size("x") == 2
+        assert ds.support_size("y") == 2
+
+    def test_weight_and_vector(self):
+        ds = self.make()
+        assert ds.weight("b", "y") == 3.0
+        np.testing.assert_array_equal(ds.weight_vector("c"), [0.0, 4.0])
+
+    def test_positions(self):
+        ds = self.make()
+        assert ds.key_position("b") == 1
+        assert ds.assignment_position("y") == 1
+        assert ds.assignment_positions(["y", "x"]) == [1, 0]
+        assert ds.assignment_positions(None) == [0, 1]
+
+    def test_weighted_set_drops_zero_weights(self):
+        ds = self.make()
+        ws = ds.weighted_set("x")
+        assert set(ws.keys) == {"a", "b"}
+        assert ws.total == 3.0
+
+    def test_restrict_keeps_attributes(self):
+        ds = self.make()
+        sub = ds.restrict(["y"])
+        assert sub.assignments == ["y"]
+        assert sub.attribute("color") == ["red", "blue", "red"]
+        assert sub.total("y") == 7.0
+
+    def test_attribute_lookup(self):
+        assert self.make().attribute("color")[0] == "red"
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="does not match"):
+            MultiAssignmentDataset(["a"], ["x", "y"], [[1.0]])
+
+    def test_rejects_negative_and_nonfinite(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MultiAssignmentDataset(["a"], ["x"], [[-1.0]])
+        with pytest.raises(ValueError, match="finite"):
+            MultiAssignmentDataset(["a"], ["x"], [[np.inf]])
+
+    def test_rejects_duplicate_keys_and_assignments(self):
+        with pytest.raises(ValueError, match="keys must be distinct"):
+            MultiAssignmentDataset(["a", "a"], ["x"], [[1.0], [2.0]])
+        with pytest.raises(ValueError, match="assignment names"):
+            MultiAssignmentDataset(["a"], ["x", "x"], [[1.0, 2.0]])
+
+    def test_rejects_attribute_length_mismatch(self):
+        with pytest.raises(ValueError, match="attribute"):
+            MultiAssignmentDataset(
+                ["a", "b"], ["x"], [[1.0], [2.0]], attributes={"c": ["only-one"]}
+            )
+
+    def test_from_records_fills_missing_with_zero(self):
+        ds = MultiAssignmentDataset.from_records(
+            {"a": {"x": 1.0}, "b": {"x": 2.0, "y": 3.0}}
+        )
+        assert ds.weight("a", "y") == 0.0
+        assert ds.weight("b", "y") == 3.0
+
+    def test_from_records_explicit_assignment_order(self):
+        ds = MultiAssignmentDataset.from_records(
+            {"a": {"x": 1.0, "y": 2.0}}, assignments=["y", "x"]
+        )
+        assert ds.assignments == ["y", "x"]
+        np.testing.assert_array_equal(ds.weights, [[2.0, 1.0]])
+
+    def test_from_weighted_sets_collates_union(self):
+        ds = MultiAssignmentDataset.from_weighted_sets(
+            {
+                "p1": WeightedSet(["a", "b"], [1.0, 2.0]),
+                "p2": WeightedSet(["b", "c"], [5.0, 7.0]),
+            }
+        )
+        assert set(ds.keys) == {"a", "b", "c"}
+        assert ds.weight("a", "p2") == 0.0
+        assert ds.weight("b", "p1") == 2.0
+        assert ds.weight("c", "p2") == 7.0
+
+    def test_column_is_aligned(self):
+        ds = self.make()
+        np.testing.assert_array_equal(ds.column("y"), [0.0, 3.0, 4.0])

@@ -1,0 +1,233 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.ip_traffic import (
+    IPTraceConfig,
+    generate_ip_trace,
+    ip_colocated_dataset,
+    ip_dispersed_dataset,
+)
+from repro.datasets.netflix import NetflixConfig, netflix_monthly_dataset
+from repro.datasets.stocks import StocksConfig, stocks_daily_dataset
+from repro.datasets.synthetic import correlated_zipf_dataset, zipf_weights
+
+SMALL_TRACE = IPTraceConfig(
+    n_periods=3, flows_per_period=1500, n_dest_ips=300, n_src_ips=600
+)
+
+
+class TestZipfWeights:
+    def test_shape_and_positivity(self):
+        w = zipf_weights(100, rng=np.random.default_rng(0))
+        assert w.shape == (100,)
+        assert np.all(w > 0)
+
+    def test_unshuffled_is_decreasing(self):
+        w = zipf_weights(50, shuffle=False)
+        assert np.all(np.diff(w) <= 0)
+
+    def test_skew_parameter(self):
+        flat = zipf_weights(100, alpha=0.1, shuffle=False)
+        steep = zipf_weights(100, alpha=2.0, shuffle=False)
+        assert steep[0] / steep[-1] > flat[0] / flat[-1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+class TestCorrelatedZipf:
+    def test_deterministic(self):
+        a = correlated_zipf_dataset(50, 3, seed=1)
+        b = correlated_zipf_dataset(50, 3, seed=1)
+        np.testing.assert_array_equal(a.weights, b.weights)
+
+    def test_every_key_alive(self):
+        ds = correlated_zipf_dataset(200, 4, churn=0.4, seed=2)
+        assert np.all((ds.weights > 0).any(axis=1))
+
+    def test_churn_zero_gives_full_support(self):
+        ds = correlated_zipf_dataset(50, 3, churn=0.0, seed=3)
+        assert np.all(ds.weights > 0)
+
+    def test_correlation_knob(self):
+        tight = correlated_zipf_dataset(800, 2, correlation=1.0, churn=0.0,
+                                        seed=4)
+        loose = correlated_zipf_dataset(800, 2, correlation=0.2, churn=0.0,
+                                        seed=4)
+        def logcorr(ds):
+            logs = np.log(ds.weights)
+            return np.corrcoef(logs[:, 0], logs[:, 1])[0, 1]
+        assert logcorr(tight) > logcorr(loose)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="correlation"):
+            correlated_zipf_dataset(10, 2, correlation=1.5)
+        with pytest.raises(ValueError, match="churn"):
+            correlated_zipf_dataset(10, 2, churn=1.0)
+
+
+class TestIPTrace:
+    def test_deterministic_and_sized(self):
+        t1 = generate_ip_trace(SMALL_TRACE, seed=1)
+        t2 = generate_ip_trace(SMALL_TRACE, seed=1)
+        assert 0 < len(t1) <= 3 * 1500
+        assert [r.four_tuple for r in t1[:20]] == [r.four_tuple for r in t2[:20]]
+
+    def test_4tuples_persist_across_periods(self):
+        """The flow pool makes the same 4-tuple recur across periods —
+        required for dispersed min/L1 aggregates over 4-tuple keys."""
+        trace = generate_ip_trace(SMALL_TRACE, seed=9)
+        ds = ip_dispersed_dataset(trace, "4tuple", "bytes")
+        persists = ((ds.weights > 0).sum(axis=1) >= 2).sum()
+        assert persists > 0.1 * ds.n_keys
+
+    def test_flow_fields_sane(self):
+        for record in generate_ip_trace(SMALL_TRACE, seed=2)[:200]:
+            assert record.packets >= 1
+            assert record.bytes >= 40
+            assert 0 <= record.period < 3
+            assert 0 <= record.dst_ip < 300
+
+    def test_colocated_destip_assignments(self):
+        trace = generate_ip_trace(SMALL_TRACE, seed=3)
+        ds = ip_colocated_dataset(trace, "destip")
+        assert ds.assignments == ["bytes", "packets", "flows", "uniform"]
+        assert np.all(ds.column("uniform") == 1.0)
+        # bytes >= packets * 40 per key (min packet size)
+        assert np.all(ds.column("bytes") >= 40 * ds.column("packets"))
+
+    def test_colocated_4tuple_assignments(self):
+        trace = generate_ip_trace(SMALL_TRACE, seed=3)
+        ds = ip_colocated_dataset(trace, "4tuple")
+        assert ds.assignments == ["bytes", "packets", "uniform"]
+
+    def test_colocated_period_restriction(self):
+        trace = generate_ip_trace(SMALL_TRACE, seed=4)
+        full = ip_colocated_dataset(trace, "destip")
+        hour0 = ip_colocated_dataset(trace, "destip", period=0)
+        assert hour0.total("packets") < full.total("packets")
+
+    def test_dispersed_periods_and_churn(self):
+        trace = generate_ip_trace(SMALL_TRACE, seed=5)
+        ds = ip_dispersed_dataset(trace, "destip", "bytes")
+        assert ds.assignments == ["period1", "period2", "period3"]
+        # churn: some keys must be absent from some period
+        assert np.any(ds.weights == 0.0)
+        assert np.all((ds.weights > 0).any(axis=1))
+
+    def test_dispersed_totals_match_trace(self):
+        trace = generate_ip_trace(SMALL_TRACE, seed=6)
+        ds = ip_dispersed_dataset(trace, "destip", "bytes", periods=[0])
+        expected = sum(r.bytes for r in trace if r.period == 0)
+        assert ds.total("period1") == pytest.approx(expected)
+
+    def test_byte_skew_is_heavy(self):
+        trace = generate_ip_trace(SMALL_TRACE, seed=7)
+        ds = ip_colocated_dataset(trace, "destip")
+        col = np.sort(ds.column("bytes"))[::-1]
+        top_decile = col[: max(1, len(col) // 10)].sum()
+        assert top_decile / col.sum() > 0.5  # top 10% of keys >50% of bytes
+
+    def test_attributes_enable_predicates(self):
+        trace = generate_ip_trace(SMALL_TRACE, seed=8)
+        ds = ip_colocated_dataset(trace, "4tuple")
+        assert set(ds.attributes) == {"dest_ip", "dst_port", "src_ip"}
+        ports = set(ds.attribute("dst_port"))
+        assert 80 in ports or 443 in ports
+
+    def test_key_kind_validation(self):
+        trace = generate_ip_trace(SMALL_TRACE, seed=8)
+        with pytest.raises(ValueError, match="key_kind"):
+            ip_colocated_dataset(trace, "five_tuple")
+        with pytest.raises(ValueError, match="weight"):
+            ip_dispersed_dataset(trace, "destip", "latency")
+
+
+class TestNetflix:
+    def test_shape_and_month_names(self):
+        ds = netflix_monthly_dataset(NetflixConfig(n_movies=150), seed=1)
+        assert ds.n_keys == 150
+        assert ds.assignments[:3] == ["jan", "feb", "mar"]
+        assert ds.n_assignments == 12
+
+    def test_deterministic(self):
+        cfg = NetflixConfig(n_movies=60)
+        np.testing.assert_array_equal(
+            netflix_monthly_dataset(cfg, seed=2).weights,
+            netflix_monthly_dataset(cfg, seed=2).weights,
+        )
+
+    def test_catalogue_growth(self):
+        """Later months must have at least as many active movies (newcomers
+        appear, nothing is removed structurally)."""
+        ds = netflix_monthly_dataset(NetflixConfig(n_movies=400), seed=3)
+        zero_before = (ds.weights[:, 0] == 0).sum()
+        assert zero_before > 0  # some movies not yet released in january
+
+    def test_month_correlation(self):
+        ds = netflix_monthly_dataset(NetflixConfig(n_movies=800), seed=4)
+        active = (ds.weights[:, 0] > 0) & (ds.weights[:, 1] > 0)
+        logs = np.log1p(ds.weights[active][:, :2])
+        assert np.corrcoef(logs[:, 0], logs[:, 1])[0, 1] > 0.7
+
+    def test_genre_attribute(self):
+        ds = netflix_monthly_dataset(NetflixConfig(n_movies=50), seed=5)
+        assert len(ds.attribute("genre")) == 50
+
+
+class TestStocks:
+    CFG = StocksConfig(n_tickers=200, n_days=6)
+
+    def test_colocated_layout(self):
+        ds = stocks_daily_dataset(self.CFG, seed=1, mode="colocated", day=2)
+        assert ds.assignments == [
+            "open", "high", "low", "close", "adj_close", "volume"
+        ]
+        assert ds.n_keys == 200
+
+    def test_price_ordering(self):
+        ds = stocks_daily_dataset(self.CFG, seed=2, mode="colocated", day=0)
+        assert np.all(ds.column("high") >= ds.column("low"))
+        assert np.all(ds.column("high") >= ds.column("close") - 1e-9)
+        assert np.all(ds.column("low") <= ds.column("open") + 1e-9)
+
+    def test_prices_strongly_correlated_across_days(self):
+        """The paper stresses price attributes are near-identical day to
+        day; volumes are much noisier."""
+        prices = stocks_daily_dataset(self.CFG, seed=3, mode="dispersed",
+                                      attribute="high")
+        volumes = stocks_daily_dataset(self.CFG, seed=3, mode="dispersed",
+                                       attribute="volume")
+        def day_corr(ds):
+            w = ds.weights
+            alive = (w[:, 0] > 0) & (w[:, 1] > 0)
+            logs = np.log(w[alive][:, :2])
+            return np.corrcoef(logs[:, 0], logs[:, 1])[0, 1]
+        assert day_corr(prices) > 0.99
+        assert day_corr(volumes) < day_corr(prices)
+
+    def test_volume_zeros_exist_prices_do_not(self):
+        ds_vol = stocks_daily_dataset(self.CFG, seed=4, mode="dispersed",
+                                      attribute="volume")
+        ds_price = stocks_daily_dataset(self.CFG, seed=4, mode="dispersed",
+                                        attribute="high")
+        assert np.any(ds_vol.weights == 0.0)
+        assert np.all(ds_price.weights > 0.0)
+
+    def test_dispersed_day_selection(self):
+        ds = stocks_daily_dataset(self.CFG, seed=5, mode="dispersed",
+                                  attribute="high", days=[0, 3])
+        assert ds.assignments == ["day1", "day4"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="day"):
+            stocks_daily_dataset(self.CFG, mode="colocated", day=99)
+        with pytest.raises(ValueError, match="mode"):
+            stocks_daily_dataset(self.CFG, mode="streaming")
+        with pytest.raises(ValueError, match="day"):
+            stocks_daily_dataset(self.CFG, mode="dispersed", days=[99])

@@ -1,0 +1,246 @@
+"""Tests for the dispersed s-set / l-set / L1 estimators (Section 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.aggregates import AggregationSpec, key_values
+from repro.core.summary import build_bottomk_summary
+from repro.estimators.dispersed import (
+    dispersed_estimator,
+    independent_min_estimator,
+    l1_estimator,
+    lset_estimator,
+    max_estimator,
+    sset_estimator,
+)
+from repro.ranks.assignments import get_rank_method
+from repro.ranks.families import ExponentialRanks, IppsRanks
+
+from tests.conftest import make_random_dataset
+
+FAMILY = IppsRanks()
+
+
+def summary_for(dataset, method="shared_seed", k=5, seed=0, family=FAMILY):
+    rng = np.random.default_rng(seed)
+    draw = get_rank_method(method).draw(family, dataset.weights, rng)
+    return build_bottomk_summary(
+        dataset.weights, draw, k, dataset.assignments, family, mode="dispersed"
+    )
+
+
+def mean_total(dataset, estimate, method="shared_seed", runs=3000, k=5,
+               family=FAMILY):
+    total = 0.0
+    for run in range(runs):
+        total += estimate(summary_for(dataset, method, k, run, family)).total()
+    return total / runs
+
+
+class TestUnbiasedness:
+    @pytest.mark.parametrize("family", [IppsRanks(), ExponentialRanks()],
+                             ids=["ipps", "exp"])
+    def test_max(self, family):
+        dataset = make_random_dataset(n_keys=20, seed=21)
+        names = tuple(dataset.assignments)
+        exact = float(key_values(dataset, AggregationSpec("max", names)).sum())
+        mean = mean_total(
+            dataset, lambda s: max_estimator(s, names), family=family
+        )
+        assert mean == pytest.approx(exact, rel=0.12)
+
+    @pytest.mark.parametrize("variant", ["s", "l"])
+    def test_min(self, variant):
+        dataset = make_random_dataset(n_keys=20, seed=22)
+        names = tuple(dataset.assignments)
+        spec = AggregationSpec("min", names)
+        exact = float(key_values(dataset, spec).sum())
+        builder = sset_estimator if variant == "s" else lset_estimator
+        mean = mean_total(dataset, lambda s: builder(s, spec))
+        assert mean == pytest.approx(exact, rel=0.15)
+
+    @pytest.mark.parametrize("variant", ["s", "l"])
+    def test_l1(self, variant):
+        dataset = make_random_dataset(n_keys=20, seed=23)
+        names = tuple(dataset.assignments)
+        exact = float(key_values(dataset, AggregationSpec("l1", names)).sum())
+        mean = mean_total(dataset, lambda s: l1_estimator(s, names, variant))
+        assert mean == pytest.approx(exact, rel=0.15)
+
+    def test_lth_largest(self):
+        dataset = make_random_dataset(n_keys=20, seed=24)
+        names = tuple(dataset.assignments)
+        spec = AggregationSpec("lth_largest", names, ell=2)
+        exact = float(key_values(dataset, spec).sum())
+        for builder in (sset_estimator, lset_estimator):
+            mean = mean_total(dataset, lambda s: builder(s, spec))
+            assert mean == pytest.approx(exact, rel=0.15)
+
+    def test_independent_min(self):
+        dataset = make_random_dataset(n_keys=15, n_assignments=2, seed=25,
+                                      churn=0.0)
+        names = tuple(dataset.assignments)
+        exact = float(key_values(dataset, AggregationSpec("min", names)).sum())
+        mean = mean_total(
+            dataset,
+            lambda s: independent_min_estimator(s, names),
+            method="independent",
+            runs=8000,
+            k=8,
+        )
+        assert mean == pytest.approx(exact, rel=0.2)
+
+    def test_independent_min_sset_variant(self):
+        dataset = make_random_dataset(n_keys=15, n_assignments=2, seed=26,
+                                      churn=0.0)
+        names = tuple(dataset.assignments)
+        spec = AggregationSpec("min", names)
+        exact = float(key_values(dataset, spec).sum())
+        mean = mean_total(
+            dataset,
+            lambda s: sset_estimator(s, spec),
+            method="independent",
+            runs=8000,
+            k=8,
+        )
+        assert mean == pytest.approx(exact, rel=0.2)
+
+
+class TestL1Properties:
+    def test_per_key_nonnegative(self):
+        """Lemma 7.5: a^L1(i) >= 0 for consistent IPPS/EXP ranks."""
+        dataset = make_random_dataset(n_keys=40, seed=27)
+        names = tuple(dataset.assignments)
+        for family in (IppsRanks(), ExponentialRanks()):
+            for run in range(200):
+                summary = summary_for(dataset, "shared_seed", 6, run, family)
+                for variant in ("s", "l"):
+                    adjusted = l1_estimator(summary, names, variant)
+                    assert np.all(adjusted.values >= -1e-9)
+
+    def test_min_selection_implies_max_selection(self):
+        dataset = make_random_dataset(n_keys=40, seed=28)
+        names = tuple(dataset.assignments)
+        for run in range(100):
+            summary = summary_for(dataset, seed=run)
+            a_max = max_estimator(summary, names)
+            a_min = lset_estimator(summary, AggregationSpec("min", names))
+            assert set(a_min.positions) <= set(a_max.positions)
+
+    def test_l1_via_dispatcher(self):
+        dataset = make_random_dataset(seed=29)
+        names = tuple(dataset.assignments)
+        summary = summary_for(dataset)
+        spec = AggregationSpec("l1", names)
+        direct = l1_estimator(summary, names, "l")
+        routed = dispersed_estimator(summary, spec, variant="l")
+        np.testing.assert_allclose(direct.values, routed.values)
+
+    def test_l1_rejected_by_raw_templates(self):
+        dataset = make_random_dataset(seed=29)
+        summary = summary_for(dataset)
+        spec = AggregationSpec("l1", tuple(dataset.assignments))
+        with pytest.raises(ValueError, match="not top-ℓ dependent"):
+            sset_estimator(summary, spec)
+        with pytest.raises(ValueError, match="not top-ℓ dependent"):
+            lset_estimator(summary, spec)
+
+
+class TestSelectionStructure:
+    def test_sset_selection_subset_of_lset(self):
+        """S*_s ⊆ S*_l (Lemma 5.1 setup): l-set keys include s-set keys."""
+        dataset = make_random_dataset(n_keys=40, seed=30)
+        names = tuple(dataset.assignments)
+        spec = AggregationSpec("min", names)
+        for run in range(100):
+            summary = summary_for(dataset, seed=run)
+            s_keys = set(sset_estimator(summary, spec).positions)
+            l_keys = set(lset_estimator(summary, spec).positions)
+            assert s_keys <= l_keys
+
+    def test_max_sset_equals_lset(self):
+        """At ℓ=1 the two templates coincide (Section 7.2)."""
+        dataset = make_random_dataset(n_keys=40, seed=31)
+        names = tuple(dataset.assignments)
+        spec = AggregationSpec("max", names)
+        for run in range(50):
+            summary = summary_for(dataset, seed=run)
+            a_s = sset_estimator(summary, spec)
+            a_l = lset_estimator(summary, spec)
+            assert a_s.positions.tolist() == a_l.positions.tolist()
+            np.testing.assert_allclose(a_s.values, a_l.values)
+
+    def test_recovered_weights_match_truth(self):
+        """f values used by the estimator equal the true top-ℓ weights."""
+        dataset = make_random_dataset(n_keys=40, seed=32)
+        names = tuple(dataset.assignments)
+        true_max = key_values(dataset, AggregationSpec("max", names))
+        for run in range(50):
+            summary = summary_for(dataset, seed=run)
+            adjusted = max_estimator(summary, names)
+            # a(i) = w_max(i)/p with p <= 1  =>  a(i) >= w_max(i)
+            assert np.all(adjusted.values >= true_max[adjusted.positions] - 1e-9)
+
+    def test_adjusted_weights_nonnegative(self):
+        dataset = make_random_dataset(seed=33)
+        names = tuple(dataset.assignments)
+        for run in range(50):
+            summary = summary_for(dataset, seed=run)
+            for spec in (
+                AggregationSpec("max", names),
+                AggregationSpec("min", names),
+                AggregationSpec("lth_largest", names, ell=2),
+            ):
+                for builder in (sset_estimator, lset_estimator):
+                    assert np.all(builder(summary, spec).values >= 0.0)
+
+
+class TestValidation:
+    def test_sset_independent_only_min(self):
+        dataset = make_random_dataset(seed=34)
+        summary = summary_for(dataset, method="independent")
+        with pytest.raises(ValueError, match="min-dependence"):
+            sset_estimator(
+                summary, AggregationSpec("max", tuple(dataset.assignments))
+            )
+
+    def test_independent_min_rejects_consistent_summary(self):
+        dataset = make_random_dataset(seed=34)
+        summary = summary_for(dataset, method="shared_seed")
+        with pytest.raises(ValueError, match="independent"):
+            independent_min_estimator(summary, tuple(dataset.assignments))
+
+    def test_lset_needs_seeds_for_middle_ell(self):
+        from repro.ranks.families import ExponentialRanks
+
+        dataset = make_random_dataset(seed=34)
+        family = ExponentialRanks()
+        rng = np.random.default_rng(0)
+        draw = get_rank_method("independent_differences").draw(
+            family, dataset.weights, rng
+        )
+        summary = build_bottomk_summary(
+            dataset.weights, draw, 5, dataset.assignments, family,
+            mode="dispersed",
+        )
+        spec = AggregationSpec("lth_largest", tuple(dataset.assignments), ell=2)
+        with pytest.raises(ValueError, match="seeds"):
+            lset_estimator(summary, spec)
+
+    def test_dispatcher_validates_variant(self):
+        dataset = make_random_dataset(seed=34)
+        summary = summary_for(dataset)
+        with pytest.raises(ValueError, match="variant"):
+            dispersed_estimator(
+                summary,
+                AggregationSpec("max", tuple(dataset.assignments)),
+                variant="x",
+            )
+
+    def test_l1_validates_min_variant(self):
+        dataset = make_random_dataset(seed=34)
+        summary = summary_for(dataset)
+        with pytest.raises(ValueError, match="min_variant"):
+            l1_estimator(summary, tuple(dataset.assignments), min_variant="q")

@@ -1,0 +1,27 @@
+"""Run every docstring example in the library as part of the suite."""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_module_names() -> list[str]:
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if "__main__" in info.name:
+            continue
+        names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_module_names())
+def test_docstring_examples(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"

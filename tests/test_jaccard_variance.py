@@ -1,0 +1,137 @@
+"""Tests for the k-mins Jaccard estimator (Thm 4.1) and variance helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.aggregates import jaccard_similarity
+from repro.core.dataset import MultiAssignmentDataset
+from repro.estimators.jaccard import (
+    jaccard_from_kmins,
+    jaccard_matrix,
+    kmins_match_fraction,
+)
+from repro.estimators.variance import (
+    conditional_variance,
+    relative_variance_bound,
+    sigma_v_upper_bound,
+)
+from repro.ranks.assignments import get_rank_method
+from repro.ranks.families import ExponentialRanks
+from repro.sampling.kmins import KMinsSketch, kmins_sketches
+
+from tests.conftest import make_random_dataset
+
+
+def draw_pair(dataset, k, seed):
+    family = ExponentialRanks()
+    method = get_rank_method("independent_differences")
+    rng = np.random.default_rng(seed)
+    return kmins_sketches(dataset.weights, family, method, k, rng)
+
+
+class TestTheorem41:
+    def test_match_fraction_estimates_weighted_jaccard(self):
+        dataset = make_random_dataset(n_keys=30, n_assignments=2, seed=41)
+        exact = jaccard_similarity(dataset, "w1", "w2")
+        estimates = [
+            jaccard_from_kmins(*draw_pair(dataset, 400, seed))
+            for seed in range(30)
+        ]
+        sem = np.sqrt(exact * (1 - exact) / 400 / 30)
+        assert np.mean(estimates) == pytest.approx(exact, abs=5 * sem + 0.01)
+
+    def test_identical_assignments_always_match(self):
+        weights = np.tile(np.random.default_rng(0).random(20)[:, None] + 0.1,
+                          (1, 2))
+        ds = MultiAssignmentDataset(
+            [f"k{i}" for i in range(20)], ["a", "b"], weights
+        )
+        sketches = draw_pair(ds, 100, 3)
+        assert kmins_match_fraction(*sketches) == 1.0
+
+    def test_disjoint_assignments_never_match(self):
+        weights = np.zeros((20, 2))
+        weights[:10, 0] = 1.0
+        weights[10:, 1] = 1.0
+        ds = MultiAssignmentDataset(
+            [f"k{i}" for i in range(20)], ["a", "b"], weights
+        )
+        sketches = draw_pair(ds, 200, 4)
+        assert kmins_match_fraction(*sketches) == 0.0
+
+    def test_shared_seed_overestimates_weighted_jaccard(self):
+        """Shared-seed coordination maximizes key sharing, so its match
+        fraction is at least the independent-differences one on average —
+        Theorem 4.1's unbiasedness is specific to independent-differences."""
+        dataset = make_random_dataset(n_keys=30, n_assignments=2, seed=42,
+                                      churn=0.0)
+        exact = jaccard_similarity(dataset, "w1", "w2")
+        family = ExponentialRanks()
+        shared = get_rank_method("shared_seed")
+        rng = np.random.default_rng(0)
+        sketches = kmins_sketches(dataset.weights, family, shared, 2000, rng)
+        assert kmins_match_fraction(*sketches) > exact
+
+    def test_size_mismatch_rejected(self):
+        a = KMinsSketch(2, np.array([0, 1]), np.ones(2), np.ones(2))
+        b = KMinsSketch(3, np.array([0, 1, 2]), np.ones(3), np.ones(3))
+        with pytest.raises(ValueError, match="sizes differ"):
+            kmins_match_fraction(a, b)
+
+    def test_jaccard_matrix_symmetric_unit_diagonal(self):
+        dataset = make_random_dataset(n_keys=20, n_assignments=3, seed=43)
+        sketches = draw_pair(dataset, 50, 5)
+        matrix = jaccard_matrix(sketches)
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+        assert np.all(matrix >= 0.0) and np.all(matrix <= 1.0)
+
+
+class TestVarianceHelpers:
+    def test_conditional_variance_formula(self):
+        assert conditional_variance(2.0, 0.5) == pytest.approx(4.0)
+        assert conditional_variance(3.0, 1.0) == 0.0
+
+    def test_zero_f_zero_variance_even_at_p_zero(self):
+        assert conditional_variance(0.0, 0.0) == 0.0
+
+    def test_positive_f_zero_p_raises(self):
+        with pytest.raises(ValueError, match="existence"):
+            conditional_variance(1.0, 0.0)
+
+    def test_vectorized(self):
+        out = conditional_variance(
+            np.array([2.0, 0.0]), np.array([0.5, 0.0])
+        )
+        np.testing.assert_allclose(out, [4.0, 0.0])
+
+    def test_sigma_v_upper_bound(self):
+        assert sigma_v_upper_bound(10.0, 4) == pytest.approx(50.0)
+        with pytest.raises(ValueError, match="k > 2"):
+            sigma_v_upper_bound(10.0, 2)
+
+    def test_relative_bound(self):
+        assert relative_variance_bound(4.0, 4.0) == pytest.approx(8.0)
+        with pytest.raises(ValueError):
+            relative_variance_bound(4.0, 2.0)
+
+    def test_bound_holds_empirically_for_rc(self):
+        """ΣV of the single-assignment RC estimator <= w(I)²/(k−2)."""
+        from repro.evaluation.analytic import make_context, sv_plain_rc
+        from repro.ranks.families import IppsRanks
+
+        dataset = make_random_dataset(n_keys=50, seed=44)
+        family = IppsRanks()
+        method = get_rank_method("shared_seed")
+        k = 10
+        sigma = 0.0
+        runs = 200
+        for run in range(runs):
+            rng = np.random.default_rng([7, run])
+            draw = method.draw(family, dataset.weights, rng)
+            ctx = make_context(dataset.weights, draw, k, family)
+            sigma += sv_plain_rc(ctx, 0)
+        sigma /= runs
+        assert sigma <= sigma_v_upper_bound(dataset.total("w1"), k)

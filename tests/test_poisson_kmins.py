@@ -1,0 +1,146 @@
+"""Tests for Poisson-τ sketches, τ calibration, and k-mins sketches."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ranks.assignments import get_rank_method
+from repro.ranks.families import ExponentialRanks, IppsRanks
+from repro.sampling.kmins import KMinsSketch, kmins_sketches
+from repro.sampling.poisson import (
+    calibrate_tau,
+    poisson_from_ranks,
+    poisson_sketch_matrix,
+)
+
+from tests.conftest import FIG1_RANKS, FIG1_WEIGHTS
+
+
+class TestPoissonFromRanks:
+    def test_membership_is_rank_below_tau(self):
+        ranks = np.array([0.05, 0.2, 0.15, math.inf])
+        sketch = poisson_from_ranks(ranks, np.ones(4), tau=0.16)
+        assert sketch.keys.tolist() == [0, 2]
+        assert 0 in sketch and 1 not in sketch
+
+    def test_rejects_nonpositive_tau(self):
+        with pytest.raises(ValueError, match="tau must be positive"):
+            poisson_from_ranks(np.array([0.1]), np.array([1.0]), tau=0.0)
+
+    def test_figure1_poisson_sample(self):
+        """Paper Figure 1: with τ = k/82 the sample is {i1} for k = 1, 2, 3."""
+        for k in (1, 2, 3):
+            sketch = poisson_from_ranks(FIG1_RANKS, FIG1_WEIGHTS, tau=k / 82.0)
+            assert sketch.keys.tolist() == [0]
+
+    def test_matrix_builder(self):
+        rng = np.random.default_rng(0)
+        ranks = rng.random((30, 2))
+        weights = np.ones((30, 2))
+        sketches = poisson_sketch_matrix(ranks, weights, np.array([0.1, 0.5]))
+        assert len(sketches[0]) == int((ranks[:, 0] < 0.1).sum())
+        assert len(sketches[1]) == int((ranks[:, 1] < 0.5).sum())
+
+    def test_matrix_builder_validates_taus(self):
+        with pytest.raises(ValueError, match="one tau per assignment"):
+            poisson_sketch_matrix(
+                np.ones((3, 2)), np.ones((3, 2)), np.array([0.1])
+            )
+
+
+class TestCalibrateTau:
+    def test_figure1_value(self):
+        """Paper Figure 1: expected size 1 on the example gives τ = 1/82."""
+        tau = calibrate_tau(FIG1_WEIGHTS, IppsRanks(), 1.0)
+        assert tau == pytest.approx(1.0 / 82.0, rel=1e-6)
+
+    def test_figure1_sizes_two_and_three(self):
+        for k in (2, 3):
+            tau = calibrate_tau(FIG1_WEIGHTS, IppsRanks(), float(k))
+            assert tau == pytest.approx(k / 82.0, rel=1e-6)
+
+    @pytest.mark.parametrize("family", [IppsRanks(), ExponentialRanks()])
+    @given(k=st.floats(0.5, 9.5), seed=st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_expected_size_achieved(self, family, k, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.pareto(1.5, 10) + 0.1
+        tau = calibrate_tau(weights, family, k)
+        achieved = float(family.cdf_array(weights, tau).sum())
+        assert achieved == pytest.approx(k, rel=1e-5, abs=1e-5)
+
+    def test_saturation_returns_inf(self):
+        assert calibrate_tau(np.array([1.0, 2.0]), IppsRanks(), 2.0) == math.inf
+        assert calibrate_tau(np.array([1.0, 2.0]), IppsRanks(), 5.0) == math.inf
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            calibrate_tau(np.array([1.0]), IppsRanks(), 0.0)
+
+    def test_empirical_sample_size_matches(self):
+        rng = np.random.default_rng(5)
+        weights = rng.pareto(1.2, 200) + 0.05
+        family = IppsRanks()
+        tau = calibrate_tau(weights, family, 20.0)
+        sizes = []
+        for _ in range(500):
+            seeds = rng.random(200).clip(1e-12, 1 - 1e-12)
+            ranks = family.ranks_array(weights, seeds)
+            sizes.append(int((ranks < tau).sum()))
+        assert np.mean(sizes) == pytest.approx(20.0, rel=0.05)
+
+
+class TestKMins:
+    def test_shapes(self):
+        rng = np.random.default_rng(0)
+        weights = rng.random((15, 2)) + 0.1
+        sketches = kmins_sketches(
+            weights, ExponentialRanks(), get_rank_method("shared_seed"), 6, rng
+        )
+        assert len(sketches) == 2
+        for sketch in sketches:
+            assert len(sketch) == 6
+            assert sketch.min_keys.shape == (6,)
+            assert np.all(sketch.min_keys >= 0)
+
+    def test_empty_assignment_gets_sentinel(self):
+        rng = np.random.default_rng(1)
+        weights = np.array([[1.0, 0.0], [2.0, 0.0]])
+        sketches = kmins_sketches(
+            weights, ExponentialRanks(), get_rank_method("independent"), 4, rng
+        )
+        assert np.all(sketches[1].min_keys == -1)
+        assert np.all(np.isinf(sketches[1].min_ranks))
+        assert sketches[1].distinct_keys() == set()
+
+    def test_min_key_distribution_proportional_to_weight(self):
+        """EXP k-mins: P[argmin = i] = w_i / w(I) (sampling w/ replacement)."""
+        rng = np.random.default_rng(2)
+        weights = np.array([[1.0], [2.0], [7.0]])
+        sketches = kmins_sketches(
+            weights, ExponentialRanks(), get_rank_method("shared_seed"),
+            8000, rng,
+        )
+        counts = np.bincount(sketches[0].min_keys, minlength=3) / 8000
+        np.testing.assert_allclose(counts, [0.1, 0.2, 0.7], atol=0.02)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError, match="k must be"):
+            kmins_sketches(
+                np.ones((2, 1)), ExponentialRanks(),
+                get_rank_method("shared_seed"), 0, np.random.default_rng(0),
+            )
+
+    def test_distinct_keys(self):
+        sketch = KMinsSketch(
+            3,
+            np.array([0, 1, 0]),
+            np.array([0.1, 0.2, 0.3]),
+            np.array([1.0, 1.0, 1.0]),
+        )
+        assert sketch.distinct_keys() == {0, 1}

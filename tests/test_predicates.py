@@ -1,0 +1,80 @@
+"""Tests for selection predicates."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import MultiAssignmentDataset
+from repro.core.predicates import (
+    all_keys,
+    attribute_equals,
+    attribute_predicate,
+    key_in,
+)
+
+
+def make_dataset() -> MultiAssignmentDataset:
+    return MultiAssignmentDataset(
+        keys=["a", "b", "c"],
+        assignments=["x"],
+        weights=[[1.0], [2.0], [3.0]],
+        attributes={"port": [80, 443, 80]},
+    )
+
+
+class TestAllKeys:
+    def test_select_everything(self):
+        pred = all_keys()
+        assert pred.select("anything", {})
+        np.testing.assert_array_equal(
+            pred.mask(make_dataset()), [True, True, True]
+        )
+
+    def test_repr(self):
+        assert repr(all_keys()) == "AllKeys()"
+
+
+class TestKeyIn:
+    def test_membership(self):
+        pred = key_in({"a", "c"})
+        assert pred.select("a", {})
+        assert not pred.select("b", {})
+
+    def test_mask(self):
+        np.testing.assert_array_equal(
+            key_in({"a", "c"}).mask(make_dataset()), [True, False, True]
+        )
+
+    def test_repr_shows_size(self):
+        assert "n=2" in repr(key_in({"a", "b"}))
+
+
+class TestAttributeEquals:
+    def test_select_uses_attribute(self):
+        pred = attribute_equals("port", 80)
+        assert pred.select("a", {"port": 80})
+        assert not pred.select("a", {"port": 443})
+        assert not pred.select("a", {})  # missing attribute -> False
+
+    def test_mask(self):
+        np.testing.assert_array_equal(
+            attribute_equals("port", 80).mask(make_dataset()),
+            [True, False, True],
+        )
+
+
+class TestAttributePredicate:
+    def test_arbitrary_function(self):
+        pred = attribute_predicate(
+            lambda key, attrs: attrs.get("port", 0) > 100, label="high-port"
+        )
+        np.testing.assert_array_equal(
+            pred.mask(make_dataset()), [False, True, False]
+        )
+        assert "high-port" in repr(pred)
+
+    def test_can_use_key_identity(self):
+        pred = attribute_predicate(lambda key, attrs: key != "b")
+        np.testing.assert_array_equal(
+            pred.mask(make_dataset()), [True, False, True]
+        )

@@ -1,0 +1,55 @@
+"""Tests for text-table rendering."""
+
+from __future__ import annotations
+
+from repro.evaluation.reporting import (
+    format_table,
+    format_value,
+    render_series_table,
+)
+
+
+class TestFormatValue:
+    def test_ints_plain(self):
+        assert format_value(42) == "42"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_scientific_for_extremes(self):
+        assert "e+" in format_value(1.5e7)
+        assert "e-" in format_value(1.5e-7)
+
+    def test_moderate_floats_compact(self):
+        assert format_value(3.14159) == "3.142"
+        assert format_value(123.456) == "123.5"
+
+    def test_bool_and_str(self):
+        assert format_value(True) == "True"
+        assert format_value("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+
+class TestRenderSeries:
+    def test_rows_per_k(self):
+        text = render_series_table(
+            [5, 10], {"est1": [1.0, 2.0], "est2": [3.0, 4.0]}
+        )
+        lines = text.splitlines()
+        assert "est1" in lines[0] and "est2" in lines[0]
+        assert len(lines) == 4
+
+    def test_custom_k_header(self):
+        text = render_series_table([1], {"a": [1.0]}, k_header="size")
+        assert "size" in text.splitlines()[0]

@@ -1,0 +1,214 @@
+"""Tests for the evaluation runner and the per-figure experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.aggregates import AggregationSpec
+from repro.datasets.synthetic import correlated_zipf_dataset
+from repro.evaluation.experiments import (
+    colocated_tasks,
+    dispersed_tasks,
+    experiment_colocated_inclusive,
+    experiment_coord_vs_indep,
+    experiment_dispersed_estimators,
+    experiment_jaccard,
+    experiment_sharing_index,
+    experiment_sset_vs_lset,
+    experiment_unweighted_baseline,
+    experiment_variance_vs_size,
+    table_totals,
+)
+from repro.evaluation.metrics import (
+    empirical_sigma_v,
+    normalized,
+    sharing_index_of_summaries,
+)
+from repro.evaluation.runner import run_sharing_index, run_sigma_v
+
+DATASET = correlated_zipf_dataset(300, 3, seed=99, churn=0.15)
+K_VALUES = [5, 20]
+
+
+class TestRunner:
+    def test_deterministic(self):
+        tasks = dispersed_tasks(DATASET, include_singles=False)
+        r1 = run_sigma_v(DATASET, tasks, K_VALUES, runs=3, seed=5)
+        r2 = run_sigma_v(DATASET, tasks, K_VALUES, runs=3, seed=5)
+        for name in r1.sigma_v:
+            assert r1.sigma_v[name] == r2.sigma_v[name]
+
+    def test_analytic_and_empirical_agree_statistically(self):
+        tasks = [
+            t for t in dispersed_tasks(DATASET, include_independent=False)
+            if t.name == "coord max"
+        ]
+        analytic = run_sigma_v(DATASET, tasks, [20], runs=30, seed=1)
+        empirical = run_sigma_v(
+            DATASET, tasks, [20], runs=400, seed=1, metric="empirical"
+        )
+        a = analytic.sigma_v["coord max"][20]
+        e = empirical.sigma_v["coord max"][20]
+        assert e == pytest.approx(a, rel=0.35)
+
+    def test_union_sizes_recorded(self):
+        tasks = dispersed_tasks(DATASET, include_singles=False)
+        result = run_sigma_v(DATASET, tasks, K_VALUES, runs=3, seed=2)
+        assert set(result.union_sizes) == {"shared_seed", "independent"}
+        for sizes in result.union_sizes.values():
+            assert sizes[5] < sizes[20]
+
+    def test_normalized_series(self):
+        tasks = dispersed_tasks(DATASET, include_singles=False,
+                                include_independent=False)
+        result = run_sigma_v(DATASET, tasks, K_VALUES, runs=3, seed=3)
+        for task in tasks:
+            denominator = task.aggregate_value**2
+            for i, k in enumerate(result.k_values):
+                expected = result.sigma_v[task.name][k] / denominator
+                assert result.normalized_series(task.name)[i] == pytest.approx(
+                    expected
+                )
+
+    def test_ratio(self):
+        tasks = dispersed_tasks(DATASET, include_singles=False)
+        result = run_sigma_v(DATASET, tasks, [5], runs=3, seed=4)
+        ratio = result.ratio("ind min", "coord min-l")[0]
+        assert ratio == pytest.approx(
+            result.sigma_v["ind min"][5] / result.sigma_v["coord min-l"][5]
+        )
+
+    def test_metric_validation(self):
+        tasks = dispersed_tasks(DATASET, include_singles=False)
+        with pytest.raises(ValueError, match="metric"):
+            run_sigma_v(DATASET, tasks, [5], runs=1, metric="exact")
+
+    def test_missing_sigma_v_detected(self):
+        task = dispersed_tasks(DATASET, include_singles=False)[0]
+        task.sigma_v = None
+        with pytest.raises(ValueError, match="no analytic sigma_v"):
+            run_sigma_v(DATASET, [task], [5], runs=1)
+
+    def test_sharing_index_bounds_and_order(self):
+        out = run_sharing_index(DATASET, [5, 20], runs=4, seed=6)
+        m = DATASET.n_assignments
+        for method, per_k in out.items():
+            for value in per_k.values():
+                assert 1.0 / m - 1e-9 <= value <= 1.0 + 1e-9
+        for k in (5, 20):
+            assert out["shared_seed"][k] <= out["independent"][k]
+
+
+class TestMetricsHelpers:
+    def test_normalized(self):
+        f = np.array([1.0, 3.0])
+        assert normalized(8.0, f) == pytest.approx(0.5)
+        assert normalized(8.0, np.zeros(2)) == float("inf")
+
+    def test_empirical_sigma_v_requires_runs(self):
+        with pytest.raises(ValueError, match="at least one"):
+            empirical_sigma_v([], np.ones(2))
+
+    def test_sharing_index_of_summaries(self):
+        from repro import summarize_dataset
+
+        summaries = [
+            summarize_dataset(DATASET, k=5, seed=s) for s in range(3)
+        ]
+        value = sharing_index_of_summaries(summaries)
+        assert 1.0 / 3 <= value <= 1.0
+
+
+class TestExperimentShapes:
+    """Each figure function must run and satisfy its qualitative claim."""
+
+    def test_f3_coordination_wins(self):
+        res = experiment_coord_vs_indep(DATASET, K_VALUES, runs=5, seed=1)
+        ratios = res.series["ratio ind/coord"]
+        assert all(r > 10 for r in ratios)
+        assert ratios[0] > ratios[-1]  # gap shrinks with k
+        assert "F3" in res.render()
+
+    def test_f3_gap_grows_with_assignments(self):
+        small = correlated_zipf_dataset(300, 2, seed=50, churn=0.1)
+        large = correlated_zipf_dataset(300, 5, seed=50, churn=0.1)
+        r2 = experiment_coord_vs_indep(small, [10], runs=5, seed=2)
+        r5 = experiment_coord_vs_indep(large, [10], runs=5, seed=2)
+        assert (
+            r5.series["ratio ind/coord"][0] > r2.series["ratio ind/coord"][0]
+        )
+
+    def test_f4_multi_assignment_estimators_close_to_singles(self):
+        res = experiment_dispersed_estimators(
+            DATASET, K_VALUES, runs=5, seed=3, include_independent=False
+        )
+        singles = [
+            res.series[name][-1]
+            for name in res.series
+            if name.startswith("single[")
+        ]
+        assert res.series["coord min-l"][-1] <= min(singles) * 1.05
+        assert res.series["coord L1-l"][-1] <= res.series["coord max"][-1] * 1.05
+
+    def test_f8_lset_dominates(self):
+        res = experiment_sset_vs_lset(DATASET, K_VALUES, runs=5, seed=4)
+        for label in ("min-s/min-l", "L1-s/L1-l"):
+            assert all(r >= 1.0 - 1e-9 for r in res.series[label])
+
+    def test_f9_inclusive_beats_plain(self):
+        res = experiment_colocated_inclusive(DATASET, K_VALUES, runs=5, seed=5)
+        for label, values in res.series.items():
+            assert all(v <= 1.0 + 1e-9 for v in values), label
+        # independent-union ratios are smaller than coordinated ones
+        for b in DATASET.assignments:
+            assert (
+                res.series[f"ind/{b}"][0] <= res.series[f"coord/{b}"][0] + 1e-9
+            )
+
+    def test_f12_variance_vs_size_table(self):
+        res = experiment_variance_vs_size(
+            DATASET, "w1", K_VALUES, runs=5, seed=6
+        )
+        title, headers, rows = res.tables[0]
+        assert len(rows) == len(K_VALUES)
+        # independent unions hold more distinct keys than coordinated
+        for row in rows:
+            assert row[2] > row[1]
+        assert "F12" in res.render()
+
+    def test_f17_sharing_index(self):
+        res = experiment_sharing_index(DATASET, K_VALUES, runs=4, seed=7)
+        coord = res.series["coordinated"]
+        indep = res.series["independent"]
+        assert all(c <= i + 1e-9 for c, i in zip(coord, indep))
+
+    def test_table_totals(self):
+        res = table_totals(
+            DATASET, [("w1", "w2"), tuple(DATASET.assignments)], "T2"
+        )
+        per_assignment = res.tables[0][2]
+        assert len(per_assignment) == DATASET.n_assignments
+        norms = res.tables[1][2]
+        for row in norms:
+            label, mn, mx, l1 = row
+            assert mn <= mx
+            assert l1 == pytest.approx(mx - mn)
+
+    def test_jaccard_experiment(self):
+        res = experiment_jaccard(DATASET, "w1", "w2", k=150, runs=4, seed=8)
+        rows = dict((r[0], r[1]) for r in res.tables[0][2])
+        exact = rows["exact weighted Jaccard"]
+        mean = rows["mean of 4 k-mins estimates (k=150)"]
+        assert mean == pytest.approx(exact, abs=0.15)
+
+    def test_unweighted_baseline_loses(self):
+        res = experiment_unweighted_baseline(DATASET, [10], runs=4, seed=9)
+        for values in res.series.values():
+            assert values[0] > 5.0
+
+    def test_render_outputs_series_table(self):
+        res = experiment_coord_vs_indep(DATASET, [5], runs=2, seed=10)
+        text = res.render()
+        assert "ratio ind/coord" in text
+        assert "shape check" in text
