@@ -43,6 +43,14 @@ from repro.core.summary import (
     MultiAssignmentSummary,
     build_bottomk_summary,
     build_poisson_summary,
+    build_summary_from_sketches,
+)
+from repro.engine import (
+    ShardedSummarizer,
+    jaccard_from_summary,
+    merge_bottomk,
+    merge_poisson,
+    shard_indices,
 )
 from repro.estimators import (
     AdjustedWeights,
@@ -88,7 +96,13 @@ __all__ = [
     "MultiAssignmentSummary",
     "build_bottomk_summary",
     "build_poisson_summary",
+    "build_summary_from_sketches",
     "summarize_dataset",
+    "ShardedSummarizer",
+    "merge_bottomk",
+    "merge_poisson",
+    "shard_indices",
+    "jaccard_from_summary",
     "AdjustedWeights",
     "colocated_estimator",
     "dispersed_estimator",

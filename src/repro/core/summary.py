@@ -126,9 +126,18 @@ class MultiAssignmentSummary:
         """``|S| / (k · |W|)`` — lower means more cross-assignment sharing.
 
         Lies in ``[1/|W|, 1]`` when every assignment has at least k positive
-        keys (Section 9.3).
+        keys (Section 9.3).  Poisson summaries built without an
+        ``expected_size`` record ``k = 0``; for those the denominator falls
+        back to the total realized membership count ``Σ_b |sketch b|`` (the
+        realized analogue of ``k · |W|``).  ``nan`` when the summary is
+        empty.
         """
-        return self.n_union / (self.k * self.n_assignments)
+        denominator = float(self.k * self.n_assignments)
+        if denominator <= 0.0:
+            denominator = float(self.member.sum())
+        if denominator <= 0.0:
+            return math.nan
+        return self.n_union / denominator
 
     def __repr__(self) -> str:
         return (

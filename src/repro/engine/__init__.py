@@ -1,0 +1,21 @@
+"""Shard-parallel stream-summarization engine.
+
+Scale-out machinery for the paper's dispersed model: exact sketch merging
+over key-disjoint partitions (:mod:`repro.engine.merge`), hash-sharded
+batch ingestion of unaggregated streams (:mod:`repro.engine.sharded`), and
+convenience queries over the resulting summaries
+(:mod:`repro.engine.queries`).  The vectorized per-sampler hot path lives
+on :meth:`repro.sampling.bottomk.BottomKStreamSampler.process_batch`.
+"""
+
+from repro.engine.merge import merge_bottomk, merge_poisson
+from repro.engine.queries import jaccard_from_summary
+from repro.engine.sharded import ShardedSummarizer, shard_indices
+
+__all__ = [
+    "merge_bottomk",
+    "merge_poisson",
+    "ShardedSummarizer",
+    "shard_indices",
+    "jaccard_from_summary",
+]

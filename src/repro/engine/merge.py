@@ -1,0 +1,151 @@
+"""Exact sketch merging over key-disjoint partitions.
+
+Independent processes summarizing disjoint parts of one weight assignment
+(shards of a partitioned stream, machines in a cluster, time slices of a
+log) produce sketches that can be combined *exactly*: the merged sketch is
+bit-for-bit what a single sampler scanning the concatenated stream would
+have produced.  This is what makes bottom-k summarization shard-parallel —
+the dispersed model of the paper (Sections 4, 7) already coordinates
+samplers only through a shared key hash, so merging is pure sketch algebra
+with no access to the original data.
+
+Why the merge is exact (bottom-k): a sketch stores its k smallest ranks
+with full (key, rank, weight, seed) detail plus the (k+1)-st smallest rank
+*value* (``threshold``).  Every one of the union's k+1 smallest ranks is
+among some part's k+1 smallest; and since a part's threshold is preceded by
+that part's own k entries, a threshold value can never be among the union's
+k smallest.  So the union's k smallest ranks all carry full detail, and its
+(k+1)-st smallest value is the (k+1)-st order statistic of the combined
+``ranks + thresholds`` multiset.
+
+Poisson-τ sketches merge even more simply: the sample is *every* key with
+rank below the fixed τ, so the union sample is the concatenation (parts
+must share τ).
+
+Both merges refuse duplicate keys — a duplicate means the inputs were not
+a key-disjoint partition (e.g. an unaggregated stream was split by
+position rather than by key) and no exact merge exists.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.sampling.bottomk import BottomKSketch
+from repro.sampling.poisson import PoissonSketch
+
+__all__ = ["merge_bottomk", "merge_poisson"]
+
+_INF = math.inf
+
+
+def _check_disjoint(sketches) -> None:
+    seen: set = set()
+    for sk in sketches:
+        members = set(sk.keys.tolist())
+        overlap = seen.intersection(members)
+        if overlap:
+            raise ValueError(
+                f"key {next(iter(overlap))!r} is present in more than one "
+                "sketch; merging requires key-disjoint partitions (aggregate "
+                "per key before sampling, or partition the stream by key)"
+            )
+        seen |= members
+
+
+def _concat_entries(sketches):
+    """Concatenate (keys, ranks, weights, seeds) over non-empty sketches."""
+    non_empty = [sk for sk in sketches if len(sk)]
+    if not non_empty:
+        first = sketches[0]
+        seeds = None if first.seeds is None else np.empty(0, dtype=float)
+        return first.keys[:0].copy(), np.empty(0), np.empty(0), seeds
+    keys = np.concatenate([sk.keys for sk in non_empty])
+    ranks = np.concatenate([sk.ranks for sk in non_empty]).astype(float)
+    weights = np.concatenate([sk.weights for sk in non_empty]).astype(float)
+    if all(sk.seeds is not None for sk in non_empty):
+        seeds = np.concatenate([sk.seeds for sk in non_empty]).astype(float)
+    else:
+        seeds = None
+    return keys, ranks, weights, seeds
+
+
+def merge_bottomk(*sketches: BottomKSketch) -> BottomKSketch:
+    """Exactly merge bottom-k sketches of key-disjoint partitions.
+
+    All sketches must share ``k``.  The result equals the sketch a single
+    :class:`~repro.sampling.bottomk.BottomKStreamSampler` (same family,
+    same hasher) would produce over the concatenated partitions — including
+    ``kth_rank`` and ``threshold``, so rank-conditioning estimators apply
+    to merged sketches unchanged.
+
+    >>> from repro.sampling.bottomk import bottomk_from_ranks
+    >>> r = np.array([0.3, 0.1, 0.7, 0.2])
+    >>> w = np.ones(4)
+    >>> full = bottomk_from_ranks(r, w, k=2)
+    >>> left = bottomk_from_ranks(np.where([1, 1, 0, 0], r, np.inf),
+    ...                           np.where([1, 1, 0, 0], w, 0.0), k=2)
+    >>> right = bottomk_from_ranks(np.where([0, 0, 1, 1], r, np.inf),
+    ...                            np.where([0, 0, 1, 1], w, 0.0), k=2)
+    >>> merged = merge_bottomk(left, right)
+    >>> merged.keys.tolist() == full.keys.tolist()
+    True
+    >>> float(merged.threshold) == float(full.threshold)
+    True
+    """
+    if not sketches:
+        raise ValueError("need at least one sketch to merge")
+    k = sketches[0].k
+    for sk in sketches:
+        if sk.k != k:
+            raise ValueError(f"sketch sizes differ: got k={sk.k}, expected {k}")
+    _check_disjoint(sketches)
+    keys, ranks, weights, seeds = _concat_entries(sketches)
+    order = np.argsort(ranks, kind="stable")
+    sample = order[: min(k, len(order))]
+    # The union's k-th / (k+1)-st smallest rank values: order statistics of
+    # the combined entry ranks plus each part's threshold sentinel (a
+    # sentinel is preceded by its own part's k entries, so it can never
+    # land among the union's k smallest).
+    sentinels = np.array([sk.threshold for sk in sketches], dtype=float)
+    vals = np.sort(np.concatenate([ranks, sentinels]))
+    kth_rank = float(vals[k - 1]) if vals.size >= k else _INF
+    threshold = float(vals[k]) if vals.size >= k + 1 else _INF
+    return BottomKSketch(
+        k=k,
+        keys=keys[sample],
+        ranks=ranks[sample],
+        weights=weights[sample],
+        kth_rank=kth_rank,
+        threshold=threshold,
+        seeds=None if seeds is None else seeds[sample],
+    )
+
+
+def merge_poisson(*sketches: PoissonSketch) -> PoissonSketch:
+    """Exactly merge Poisson-τ sketches of key-disjoint partitions.
+
+    All sketches must share τ (inclusion below a *fixed* threshold is what
+    makes the Poisson union a plain concatenation); entries are re-sorted
+    by rank.
+    """
+    if not sketches:
+        raise ValueError("need at least one sketch to merge")
+    tau = sketches[0].tau
+    for sk in sketches:
+        if sk.tau != tau:
+            raise ValueError(
+                f"Poisson thresholds differ: got tau={sk.tau}, expected {tau}"
+            )
+    _check_disjoint(sketches)
+    keys, ranks, weights, seeds = _concat_entries(sketches)
+    order = np.argsort(ranks, kind="stable")
+    return PoissonSketch(
+        tau=tau,
+        keys=keys[order],
+        ranks=ranks[order],
+        weights=weights[order],
+        seeds=None if seeds is None else seeds[order],
+    )

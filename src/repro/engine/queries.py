@@ -1,0 +1,50 @@
+"""Ready-made queries over engine-built summaries.
+
+Thin conveniences on top of :mod:`repro.estimators` for the summaries a
+:class:`~repro.engine.sharded.ShardedSummarizer` produces; they work on
+any bottom-k :class:`~repro.core.summary.MultiAssignmentSummary`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.aggregates import AggregationSpec
+from repro.core.summary import MultiAssignmentSummary
+from repro.estimators.dispersed import (
+    lset_estimator,
+    max_estimator,
+    sset_estimator,
+)
+
+__all__ = ["jaccard_from_summary"]
+
+
+def jaccard_from_summary(
+    summary: MultiAssignmentSummary,
+    assignments: Sequence[str],
+    variant: str = "l",
+) -> float:
+    """Weighted Jaccard ratio estimate ``Σ w^min / Σ w^max`` from a summary.
+
+    Estimates numerator and denominator with the dispersed min/max
+    estimators (s-set or l-set per ``variant``) and clips the ratio into
+    ``[0, 1]``.  As a ratio of unbiased estimators it is consistent rather
+    than unbiased — the unbiased alternative needs k-mins sketches with
+    independent-differences ranks (:func:`repro.estimators.jaccard_from_kmins`),
+    which are not computable in the dispersed model.
+    """
+    if variant not in ("s", "l"):
+        raise ValueError(f"variant must be 's' or 'l', got {variant!r}")
+    names = tuple(assignments)
+    if len(names) < 2:
+        raise ValueError("weighted Jaccard needs at least two assignments")
+    total_max = max_estimator(summary, names).total()
+    if total_max <= 0.0:
+        return 0.0
+    min_spec = AggregationSpec("min", names)
+    if variant == "s":
+        total_min = sset_estimator(summary, min_spec).total()
+    else:
+        total_min = lset_estimator(summary, min_spec).total()
+    return min(1.0, max(0.0, total_min / total_max))

@@ -1,0 +1,290 @@
+"""Shard-parallel, batch-fed summarization of unaggregated streams.
+
+:class:`ShardedSummarizer` is the engine front door: feed it raw
+(key, weight) events — unaggregated, batched, in any order — for any
+number of weight assignments, and it produces the paper's dispersed
+:class:`~repro.core.summary.MultiAssignmentSummary` with no access to a
+dense weight matrix.
+
+The pipeline per assignment:
+
+1. **partition** — every batch is hash-partitioned by key across
+   ``n_shards`` buffers (:func:`shard_indices`), so all occurrences of a
+   key land in the same shard and shards are key-disjoint by construction;
+2. **aggregate** — at finalization each shard sums per-key weights
+   (vectorized ``np.unique`` + ``np.add.at`` for numeric keys), the
+   pre-aggregation step bottom-k sampling requires;
+3. **sample** — each shard runs a
+   :class:`~repro.sampling.bottomk.BottomKStreamSampler` over its
+   aggregated keys via the vectorized batch path, with *one shared hasher*
+   across all shards and assignments (the dispersed-coordination device of
+   Section 4);
+4. **merge** — shard sketches are combined exactly with
+   :func:`~repro.engine.merge.merge_bottomk`, and per-assignment merged
+   sketches are assembled into the union summary with
+   :func:`~repro.core.summary.build_summary_from_sketches`.
+
+Every step is deterministic given the hasher salt, so two deployments that
+never communicate — different shard counts, different batch boundaries,
+different event order — produce the *same* summary for the same totals.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.summary import (
+    MultiAssignmentSummary,
+    build_summary_from_sketches,
+)
+from repro.engine.merge import merge_bottomk
+from repro.ranks.families import IppsRanks, RankFamily
+from repro.ranks.hashing import (
+    _MASK64,
+    KeyHasher,
+    _key_to_int,
+    as_key_array,
+    key_array_to_uint64,
+    splitmix64,
+    splitmix64_array,
+)
+from repro.sampling.bottomk import (
+    BottomKSketch,
+    BottomKStreamSampler,
+    aggregate_stream,
+)
+
+__all__ = ["shard_indices", "ShardedSummarizer"]
+
+# Salt folded into the partition hash so shard placement is (practically)
+# independent of the rank seeds even when the same KeyHasher salt is used.
+_PARTITION_SALT = 0x5EED_BA5E_D15C0
+
+
+def shard_indices(keys, n_shards: int, salt: int = 0) -> np.ndarray:
+    """Hash-partition keys into ``n_shards`` buckets, vectorized.
+
+    Deterministic and independent of the rank hasher: the same key always
+    lands in the same shard, which is what makes the shard sketches
+    key-disjoint (and therefore exactly mergeable).
+
+    >>> idx = shard_indices(np.arange(8), n_shards=3)
+    >>> bool((idx >= 0).all() and (idx < 3).all())
+    True
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    keys = as_key_array(keys)
+    mix = splitmix64((_PARTITION_SALT ^ salt) & _MASK64)
+    ints = key_array_to_uint64(keys)
+    if ints is None:
+        hashed = np.fromiter(
+            (splitmix64(_key_to_int(key) ^ mix) for key in keys.tolist()),
+            dtype=np.uint64,
+            count=len(keys),
+        )
+    else:
+        hashed = splitmix64_array(ints ^ np.uint64(mix))
+    return (hashed % np.uint64(n_shards)).astype(np.int64)
+
+
+class _ShardBuffer:
+    """Raw (keys, weights) chunks destined for one shard sampler."""
+
+    __slots__ = ("chunks",)
+
+    def __init__(self) -> None:
+        self.chunks: list[tuple[np.ndarray, np.ndarray]] = []
+
+    def append(self, keys: np.ndarray, weights: np.ndarray) -> None:
+        if len(keys):
+            self.chunks.append((keys, weights))
+
+    def aggregated(self) -> tuple[np.ndarray | list, np.ndarray]:
+        """Per-key total weights over all buffered chunks.
+
+        Chunks sharing one numeric key dtype take a vectorized
+        ``np.unique`` + ``np.add.at`` path (a single dtype guarantees the
+        concatenation never lossily promotes keys, e.g. large int64 ids to
+        float64); anything else falls back to
+        :func:`~repro.sampling.bottomk.aggregate_stream`.  Both sum a
+        key's occurrences in arrival order, so totals are bit-identical.
+        """
+        if not self.chunks:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        dtypes = {chunk_keys.dtype for chunk_keys, _ in self.chunks}
+        if len(dtypes) == 1 and next(iter(dtypes)).kind in "biuf":
+            keys = np.concatenate([ck for ck, _ in self.chunks])
+            weights = np.concatenate([cw for _, cw in self.chunks])
+            uniq, first, inverse = np.unique(
+                keys, return_index=True, return_inverse=True
+            )
+            totals = np.zeros(len(uniq))
+            np.add.at(totals, inverse, weights)
+            # Present keys in first-arrival order, matching the dict path.
+            arrival = np.argsort(first, kind="stable")
+            return uniq[arrival], totals[arrival]
+        totals_by_key = aggregate_stream(
+            (key, float(weight))
+            for chunk_keys, chunk_weights in self.chunks
+            for key, weight in zip(chunk_keys.tolist(), chunk_weights.tolist())
+        )
+        return list(totals_by_key), np.fromiter(
+            totals_by_key.values(), dtype=float, count=len(totals_by_key)
+        )
+
+
+class ShardedSummarizer:
+    """Hash-sharded bottom-k summarization of unaggregated event streams.
+
+    Parameters
+    ----------
+    k:
+        per-assignment bottom-k sample size.
+    assignments:
+        names of the weight assignments events may arrive for.
+    n_shards:
+        number of key-disjoint shard samplers per assignment.
+    family:
+        rank family (default IPPS — priority sampling).
+    hasher:
+        the shared key hasher coordinating all shards and assignments;
+        two summarizers with equal hashers produce coordinated summaries.
+    partition_salt:
+        extra salt for shard placement (does not affect the summary).
+
+    >>> eng = ShardedSummarizer(k=2, assignments=["h1", "h2"], n_shards=2)
+    >>> eng.ingest("h1", np.array([1, 2, 3]), np.array([5.0, 1.0, 9.0]))
+    >>> eng.ingest("h1", np.array([2]), np.array([3.0]))  # unaggregated ok
+    >>> eng.summary().kind
+    'bottomk'
+    """
+
+    def __init__(
+        self,
+        k: int,
+        assignments: Sequence[str],
+        n_shards: int = 8,
+        family: RankFamily | None = None,
+        hasher: KeyHasher | None = None,
+        partition_salt: int = 0,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.k = k
+        self.assignments = list(assignments)
+        if len(set(self.assignments)) != len(self.assignments):
+            raise ValueError("assignment names must be distinct")
+        if not self.assignments:
+            raise ValueError("need at least one assignment")
+        self.n_shards = n_shards
+        self.family = family if family is not None else IppsRanks()
+        self.hasher = hasher if hasher is not None else KeyHasher(0)
+        self.partition_salt = partition_salt
+        self._buffers: dict[str, list[_ShardBuffer]] = {
+            name: [_ShardBuffer() for _ in range(n_shards)]
+            for name in self.assignments
+        }
+
+    def _shards_for(self, assignment: str) -> list[_ShardBuffer]:
+        try:
+            return self._buffers[assignment]
+        except KeyError:
+            known = ", ".join(self.assignments)
+            raise ValueError(
+                f"unknown assignment {assignment!r}; known: {known}"
+            ) from None
+
+    def ingest(self, assignment: str, keys, weights) -> None:
+        """Feed one batch of raw (key, weight) events for an assignment.
+
+        Events are unaggregated: the same key may appear in any number of
+        batches (and multiple times per batch); weights are summed per key.
+        Key identity follows Python equality for numeric keys — ``1``,
+        ``1.0``, and ``np.int64(1)`` all name the same key regardless of
+        which batch or dtype they arrive in.  The one exception is bool,
+        which the hash layer deliberately keeps distinct from 0/1: never
+        mix bool and int representations of one logical key.  Weights must
+        be finite and non-negative; zero weights are dropped at sampling
+        time.
+        """
+        buffers = self._shards_for(assignment)
+        keys = as_key_array(keys)
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 1 or len(weights) != len(keys):
+            raise ValueError(
+                f"keys and weights must be 1-D of equal length, got "
+                f"{len(keys)} keys and shape {weights.shape} weights"
+            )
+        valid = np.isfinite(weights) & (weights >= 0.0)
+        if not valid.all():
+            bad = int(np.flatnonzero(~valid)[0])
+            raise ValueError(
+                f"weights must be finite and non-negative, got "
+                f"{weights[bad]!r} for key {keys[bad]!r}"
+            )
+        if len(keys) == 0:
+            return
+        if self.n_shards == 1:
+            # Copy: the multi-shard path copies via mask indexing; without
+            # one here a caller refilling a preallocated batch buffer would
+            # retroactively corrupt every buffered chunk.
+            buffers[0].append(keys.copy(), weights.copy())
+            return
+        ids = shard_indices(keys, self.n_shards, self.partition_salt)
+        for shard in np.unique(ids):
+            mask = ids == shard
+            buffers[shard].append(keys[mask], weights[mask])
+
+    def ingest_stream(
+        self, assignment: str, items: Iterable[tuple[Hashable, float]]
+    ) -> None:
+        """Feed an iterable of raw (key, weight) events for an assignment."""
+        keys: list = []
+        weights: list[float] = []
+        for key, weight in items:
+            keys.append(key)
+            weights.append(float(weight))
+        if keys:
+            self.ingest(assignment, keys, np.asarray(weights, dtype=float))
+
+    def sketches(self) -> dict[str, BottomKSketch]:
+        """Aggregate, sample, and merge: one bottom-k sketch per assignment.
+
+        Equals what one sampler per assignment would produce over the
+        pre-aggregated stream — sharding is invisible in the output.
+        """
+        out: dict[str, BottomKSketch] = {}
+        for name in self.assignments:
+            shard_sketches = []
+            for buffer in self._buffers[name]:
+                keys, totals = buffer.aggregated()
+                sampler = BottomKStreamSampler(self.k, self.family, self.hasher)
+                if len(totals):
+                    sampler.process_batch(keys, totals)
+                shard_sketches.append(sampler.sketch())
+            out[name] = merge_bottomk(*shard_sketches)
+        return out
+
+    def summary(self) -> MultiAssignmentSummary:
+        """Assemble the dispersed multi-assignment summary."""
+        return build_summary_from_sketches(
+            self.sketches(), self.family, method_name="shared_seed"
+        )
+
+    def __repr__(self) -> str:
+        buffered = sum(
+            len(chunk_keys)
+            for buffers in self._buffers.values()
+            for buffer in buffers
+            for chunk_keys, _ in buffer.chunks
+        )
+        return (
+            f"ShardedSummarizer(k={self.k}, "
+            f"assignments={self.assignments!r}, n_shards={self.n_shards}, "
+            f"family={self.family.name!r}, buffered_events={buffered})"
+        )

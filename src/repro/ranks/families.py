@@ -126,8 +126,11 @@ class ExponentialRanks(RankFamily):
             return _INF
         if not 0.0 < u < 1.0:
             raise ValueError(f"seed u must lie in (0, 1), got {u!r}")
-        # -log1p(-u)/w = -ln(1-u)/w computed stably for small u.
-        return -math.log1p(-u) / weight
+        # -log1p(-u)/w = -ln(1-u)/w computed stably for small u.  Uses
+        # np.log1p rather than math.log1p so the per-item path is
+        # bit-identical to the vectorized ranks_array path (libm and
+        # numpy's SIMD log1p can differ in the last ulp on AVX-512 builds).
+        return float(-np.log1p(-u) / weight)
 
     def cdf_array(self, weights: np.ndarray, x: float) -> np.ndarray:
         weights = np.asarray(weights, dtype=float)

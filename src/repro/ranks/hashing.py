@@ -16,9 +16,18 @@ sketches") relies on.
 from __future__ import annotations
 
 import struct
-from typing import Hashable, Iterable
+from typing import Hashable, Iterable, Sequence
 
-__all__ = ["splitmix64", "hash_to_unit", "KeyHasher"]
+import numpy as np
+
+__all__ = [
+    "splitmix64",
+    "splitmix64_array",
+    "hash_to_unit",
+    "as_key_array",
+    "key_array_to_uint64",
+    "KeyHasher",
+]
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 
@@ -39,6 +48,113 @@ def splitmix64(x: int) -> int:
     return (x ^ (x >> 31)) & _MASK64
 
 
+def splitmix64_array(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`splitmix64` over a ``uint64`` array.
+
+    Bit-identical to the scalar function: ``uint64`` arithmetic wraps
+    modulo 2**64 exactly like the masked Python-int arithmetic.
+
+    >>> int(splitmix64_array(np.array([42], dtype=np.uint64))[0]) \\
+    ...     == splitmix64(42)
+    True
+    """
+    x = x.astype(np.uint64, copy=True)
+    x += np.uint64(0x9E3779B97F4A7C15)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
+def _object_array(keys: list) -> np.ndarray:
+    arr = np.empty(len(keys), dtype=object)
+    for pos, key in enumerate(keys):
+        if isinstance(key, float) and key != key:
+            raise ValueError(
+                f"NaN key at position {pos}; NaN is never equal to itself, "
+                "so it cannot serve as a key identity"
+            )
+        arr[pos] = key
+    return arr
+
+
+def _canonical_float_keys(arr: np.ndarray) -> np.ndarray:
+    """Fold integral float keys to ints, mirroring ``_key_to_int``.
+
+    ``1.0`` is the same Python dict/set key as ``1``, so it must also be
+    the same sampler/shard key; arrays whose values are all integral (the
+    common "ids arrived as a float column" case) become int64 wholesale,
+    mixed arrays fall back to per-element canonicalization.
+    """
+    arr = arr.astype(np.float64)
+    nan = np.isnan(arr)
+    if nan.any():
+        raise ValueError(
+            f"NaN key at position {int(np.flatnonzero(nan)[0])}; NaN is "
+            "never equal to itself, so it cannot serve as a key identity"
+        )
+    finite = np.isfinite(arr)
+    integral = finite & (np.floor(arr) == arr)
+    if not integral.any():
+        return arr
+    if integral.all() and bool((np.abs(arr) < 2.0**63).all()):
+        return arr.astype(np.int64)
+    return _object_array(
+        [int(value) if value.is_integer() else value for value in arr.tolist()]
+    )
+
+
+def as_key_array(keys) -> np.ndarray:
+    """Coerce a key container to a 1-D numpy array without mangling keys.
+
+    Key identity follows Python equality, so coercion must never change a
+    key's hash: mixed-type lists (where ``np.asarray`` would silently
+    promote ``[1, "a"]`` to strings and ``[1, 2.5]`` to floats) and tuple
+    keys (which ``np.asarray`` would explode into a 2-D array) are kept as
+    object arrays of the original values, and integral float keys are
+    folded to ints (``1.0`` and ``1`` are the same key).
+    """
+    if isinstance(keys, np.ndarray):
+        arr = keys
+    else:
+        keys = list(keys)
+        if len({type(key) for key in keys}) > 1:
+            arr = _object_array(keys)
+        else:
+            try:
+                arr = np.asarray(keys)
+            except (ValueError, TypeError):
+                arr = None
+            if arr is None or arr.ndim != 1:
+                arr = _object_array(keys)
+    if arr.ndim != 1:
+        raise ValueError(f"keys must be one-dimensional, got shape {arr.shape}")
+    if np.issubdtype(arr.dtype, np.floating):
+        arr = _canonical_float_keys(arr)
+    return arr
+
+
+def key_array_to_uint64(keys: np.ndarray) -> np.ndarray | None:
+    """Vectorized key→uint64 serialization for numeric key arrays.
+
+    Matches ``_key_to_int`` applied to ``keys.tolist()`` (numpy scalars
+    widen to Python ``int``/``float``/``bool`` there): signed ints are
+    two's-complement folded, unsigned ints pass through, floats use their
+    IEEE-754 double bit pattern.  Callers must route float arrays through
+    :func:`as_key_array` first, which folds integral floats to ints (only
+    non-integral values may take the bit-pattern branch).  Returns ``None``
+    for dtypes that need the per-key fallback (strings, objects).
+    """
+    if keys.dtype == np.bool_:
+        return keys.astype(np.uint64) + np.uint64(0xB001)
+    if np.issubdtype(keys.dtype, np.signedinteger):
+        return keys.astype(np.int64).view(np.uint64)
+    if np.issubdtype(keys.dtype, np.unsignedinteger):
+        return keys.astype(np.uint64)
+    if np.issubdtype(keys.dtype, np.floating):
+        return np.ascontiguousarray(keys.astype(np.float64)).view(np.uint64)
+    return None
+
+
 def _key_to_int(key: Hashable) -> int:
     """Serialize a key to a 64-bit integer deterministically across runs.
 
@@ -46,12 +162,22 @@ def _key_to_int(key: Hashable) -> int:
     cannot be used for cross-process coordination.  We fold the key's byte
     representation through splitmix64 instead.
     """
-    if isinstance(key, bool):
-        # bool is an int subclass; keep it distinct from 0/1 anyway.
+    if isinstance(key, (bool, np.bool_)):
+        # bool is an int subclass; deliberately kept distinct from 0/1
+        # (although True == 1 under Python equality — never mix bool and
+        # int representations of one logical key).
         return 0xB001 + int(key)
-    if isinstance(key, int):
-        return key & _MASK64
-    if isinstance(key, float):
+    if isinstance(key, (int, np.integer)):
+        # np.integer included: object arrays hand numpy scalars through
+        # unwidened, and np.int64(1) must name the same key as 1.
+        return int(key) & _MASK64
+    if isinstance(key, (float, np.floating)):
+        key = float(key)
+        if key.is_integer():
+            # Python equality makes 1.0 the same dict/set key as 1 (and the
+            # samplers' duplicate guards already treat them as one key), so
+            # integral floats must hash like their int counterpart.
+            return int(key) & _MASK64
         (as_int,) = struct.unpack("<Q", struct.pack("<d", key))
         return as_int
     if isinstance(key, str):
@@ -110,6 +236,29 @@ class KeyHasher:
         """Hash an iterable of keys, preserving order."""
         salt = self.salt
         return [hash_to_unit(key, salt) for key in keys]
+
+    def hash_array(self, keys: Sequence[Hashable] | np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`__call__` over a whole batch of keys.
+
+        Bit-identical to ``[hash_to_unit(key, salt) for key in arr.tolist()]``
+        (numpy scalars widen to Python natives there): integer, float, and
+        bool dtypes take a fully vectorized splitmix64 path; strings,
+        tuples, and other objects fall back to the per-key hash.
+
+        >>> h = KeyHasher(salt=7)
+        >>> bool((h.hash_array(np.arange(3)) ==
+        ...       np.array([h(0), h(1), h(2)])).all())
+        True
+        """
+        keys = as_key_array(keys)
+        ints = key_array_to_uint64(keys)
+        if ints is None:
+            return np.array(
+                [hash_to_unit(key, self.salt) for key in keys.tolist()],
+                dtype=float,
+            )
+        mixed = splitmix64_array(ints ^ np.uint64(splitmix64(self.salt & _MASK64)))
+        return (mixed.astype(np.float64) + 0.5) * _INV_2_64
 
     def derive(self, index: int) -> "KeyHasher":
         """Return a hasher for a derived (practically independent) family.

@@ -15,7 +15,25 @@ Two construction paths are provided:
   for the evaluation harness (ranks already drawn for all keys);
 * :class:`BottomKStreamSampler` — a one-pass, O(log k)-per-item stream
   sampler with hash-coordinated seeds, the algorithm a dispersed-weights
-  deployment would actually run.
+  deployment would actually run.  :meth:`BottomKStreamSampler.process_batch`
+  is the vectorized hot path: it ranks a whole numpy batch at once and
+  folds only the batch's k+1 smallest candidates into the heap.
+
+Merge semantics
+---------------
+Bottom-k sketches are *mergeable* over key-disjoint partitions of a weight
+assignment (:func:`repro.engine.merge_bottomk`, or
+:meth:`BottomKSketch.merge`).  Because a sketch stores its k smallest ranks
+plus the (k+1)-st smallest rank *value* (``threshold``), the k+1 smallest
+ranks of a union of disjoint parts are recoverable exactly: every one of
+them is among some part's k+1 smallest, and a part's threshold value can
+never sit among the union's k smallest (its own k entries are below it).
+The merged sketch therefore has exactly the keys, ranks, ``kth_rank``, and
+``threshold`` that a single sampler scanning the concatenated stream would
+produce — the identity behind shard-parallel summarization
+(:class:`repro.engine.ShardedSummarizer`).  Merging requires equal ``k``
+and raises on duplicate keys, which would indicate an unaggregated or
+overlapping partition.
 """
 
 from __future__ import annotations
@@ -28,7 +46,7 @@ from typing import Hashable, Iterable, Iterator
 import numpy as np
 
 from repro.ranks.families import RankFamily
-from repro.ranks.hashing import KeyHasher
+from repro.ranks.hashing import KeyHasher, as_key_array
 
 __all__ = [
     "BottomKSketch",
@@ -94,6 +112,16 @@ class BottomKSketch:
     def items(self) -> Iterator[tuple[Hashable, float, float]]:
         """Iterate ``(key, rank, weight)`` triples in rank order."""
         return zip(self.keys.tolist(), self.ranks, self.weights)
+
+    def merge(self, *others: "BottomKSketch") -> "BottomKSketch":
+        """Exact merge with sketches over key-disjoint partitions.
+
+        Convenience wrapper around :func:`repro.engine.merge_bottomk`; see
+        the module docstring for the merge semantics.
+        """
+        from repro.engine.merge import merge_bottomk
+
+        return merge_bottomk(self, *others)
 
 
 def bottomk_from_ranks(
@@ -205,6 +233,13 @@ class BottomKStreamSampler:
         Keys must be aggregated upstream (each key seen once); feed
         unaggregated streams through :func:`aggregate_stream` first.
         """
+        if isinstance(key, float) and key != key:
+            raise ValueError(
+                "NaN key; NaN is never equal to itself, so it cannot serve "
+                "as a key identity"
+            )
+        if not math.isfinite(weight):
+            raise ValueError(f"non-finite weight {weight!r} for key {key!r}")
         if key in self._seen:
             raise ValueError(
                 f"key {key!r} seen twice; bottom-k sampling requires "
@@ -226,6 +261,94 @@ class BottomKStreamSampler:
         for key, weight in items:
             self.process(key, weight)
 
+    def process_batch(self, keys, weights) -> None:
+        """Feed a whole batch of aggregated (key, weight) items at once.
+
+        Vectorized equivalent of calling :meth:`process` per item: seeds
+        come from :meth:`KeyHasher.hash_array`, ranks from
+        :meth:`RankFamily.ranks_array`, and only the batch's ``k + 1``
+        smallest-rank candidates (selected with ``argpartition`` after
+        pruning ranks at or above the current heap bound) are folded into
+        the heap — O(batch) numpy work plus O(k log k) Python work per
+        batch instead of O(batch) Python work.  The resulting sketch is
+        identical to the per-item path's.
+
+        Keys must be aggregated across the sampler's whole lifetime: a key
+        may appear at most once over all ``process``/``process_batch``
+        calls, otherwise ``ValueError`` is raised.
+        """
+        keys_arr = as_key_array(keys)
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 1:
+            raise ValueError(f"weights must be 1-D, got shape {weights.shape}")
+        if len(keys_arr) != len(weights):
+            raise ValueError(
+                f"keys and weights must have equal length, got "
+                f"{len(keys_arr)} and {len(weights)}"
+            )
+        if len(keys_arr) == 0:
+            return
+        if not np.isfinite(weights).all():
+            bad = int(np.flatnonzero(~np.isfinite(weights))[0])
+            raise ValueError(
+                f"non-finite weight {weights[bad]!r} for key "
+                f"{keys_arr[bad]!r}"
+            )
+        key_list = keys_arr.tolist()
+        batch_keys = set(key_list)
+        if len(batch_keys) != len(key_list):
+            once: set = set()
+            for key in key_list:
+                if key in once:
+                    raise ValueError(
+                        f"key {key!r} appears twice in the batch; bottom-k "
+                        "sampling requires aggregated keys (see "
+                        "aggregate_stream)"
+                    )
+                once.add(key)
+        repeated = self._seen.intersection(batch_keys)
+        if repeated:
+            raise ValueError(
+                f"key {next(iter(repeated))!r} seen twice; bottom-k sampling "
+                "requires aggregated keys (see aggregate_stream)"
+            )
+        self._seen |= batch_keys
+        candidates = np.flatnonzero(weights > 0.0)
+        if candidates.size == 0:
+            return
+        seeds = self.hasher.hash_array(keys_arr[candidates])
+        ranks = self.family.ranks_array(weights[candidates], seeds)
+        heap = self._heap
+        if len(heap) > self.k:
+            below = np.flatnonzero(ranks < -heap[0][0])
+            candidates, ranks, seeds = candidates[below], ranks[below], seeds[below]
+        limit = self.k + 1
+        if ranks.size > limit:
+            part = np.argpartition(ranks, limit - 1)[:limit]
+        else:
+            part = np.arange(ranks.size)
+        # Ascending fold: once a candidate fails to beat the heap bound,
+        # no later (larger-rank) candidate can succeed either.
+        part = part[np.argsort(ranks[part], kind="stable")]
+        for j in part:
+            rank = float(ranks[j])
+            if len(heap) <= self.k:
+                pos = candidates[j]
+                heapq.heappush(
+                    heap,
+                    (-rank, key_list[pos], rank, float(weights[pos]),
+                     float(seeds[j])),
+                )
+            elif rank < -heap[0][0]:
+                pos = candidates[j]
+                heapq.heapreplace(
+                    heap,
+                    (-rank, key_list[pos], rank, float(weights[pos]),
+                     float(seeds[j])),
+                )
+            else:
+                break
+
     def sketch(self) -> BottomKSketch:
         """Materialize the sketch from the current sampler state."""
         entries = sorted(self._heap, key=lambda e: e[2])
@@ -237,7 +360,10 @@ class BottomKStreamSampler:
             sample = entries
             threshold = _INF
             kth_rank = sample[-1][2] if len(sample) == self.k else _INF
-        keys = np.array([e[1] for e in sample], dtype=object)
+        # Elementwise fill: np.array would explode tuple keys into 2-D.
+        keys = np.empty(len(sample), dtype=object)
+        for pos, entry in enumerate(sample):
+            keys[pos] = entry[1]
         return BottomKSketch(
             k=self.k,
             keys=keys,

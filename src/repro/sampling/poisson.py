@@ -60,6 +60,15 @@ class PoissonSketch:
         """Iterate ``(key, rank, weight)`` triples in rank order."""
         return zip(self.keys.tolist(), self.ranks, self.weights)
 
+    def merge(self, *others: "PoissonSketch") -> "PoissonSketch":
+        """Exact merge with same-τ sketches over key-disjoint partitions.
+
+        Convenience wrapper around :func:`repro.engine.merge_poisson`.
+        """
+        from repro.engine.merge import merge_poisson
+
+        return merge_poisson(self, *others)
+
 
 def poisson_from_ranks(
     ranks: np.ndarray,

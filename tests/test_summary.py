@@ -166,6 +166,39 @@ class TestPoissonSummary:
             summary.thresholds, np.broadcast_to(taus, summary.thresholds.shape)
         )
 
+    def test_sharing_index_without_expected_size(self):
+        """Regression: Poisson summaries default to k=0; sharing_index used
+        to raise ZeroDivisionError for them."""
+        dataset = make_random_dataset(seed=4)
+        rng = np.random.default_rng(1)
+        draw = get_rank_method("shared_seed").draw(FAMILY, dataset.weights, rng)
+        taus = np.array(
+            [
+                calibrate_tau(dataset.weights[:, b], FAMILY, 5.0)
+                for b in range(dataset.n_assignments)
+            ]
+        )
+        summary = build_poisson_summary(
+            dataset.weights, draw, taus, dataset.assignments, FAMILY
+        )
+        assert summary.k == 0
+        index = summary.sharing_index()  # must not raise
+        assert math.isfinite(index)
+        # falls back to |S| / total realized memberships
+        assert index == pytest.approx(
+            summary.n_union / summary.member.sum()
+        )
+        assert 1.0 / dataset.n_assignments - 1e-12 <= index <= 1.0
+
+    def test_sharing_index_empty_summary_is_nan(self):
+        weights = np.zeros((4, 2))
+        rng = np.random.default_rng(0)
+        draw = get_rank_method("shared_seed").draw(FAMILY, weights, rng)
+        summary = build_poisson_summary(
+            weights, draw, np.array([0.5, 0.5]), ["a", "b"], FAMILY
+        )
+        assert math.isnan(summary.sharing_index())
+
 
 class TestSummaryFromSketches:
     def build(self, k=6, seed=0):
