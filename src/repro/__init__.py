@@ -46,6 +46,9 @@ from repro.core.summary import (
     build_summary_from_sketches,
 )
 from repro.engine import (
+    Query,
+    QueryEngine,
+    QueryResult,
     ShardedSummarizer,
     jaccard_from_summary,
     merge_bottomk,
@@ -102,6 +105,9 @@ __all__ = [
     "merge_bottomk",
     "merge_poisson",
     "shard_indices",
+    "Query",
+    "QueryEngine",
+    "QueryResult",
     "jaccard_from_summary",
     "AdjustedWeights",
     "colocated_estimator",

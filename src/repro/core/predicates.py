@@ -44,12 +44,27 @@ class Predicate(ABC):
 
     def mask(self, dataset: MultiAssignmentDataset) -> np.ndarray:
         """Boolean mask over ``dataset.keys`` (default: per-key loop)."""
+        return self.mask_at(dataset, np.arange(dataset.n_keys))
+
+    def mask_at(
+        self, dataset: MultiAssignmentDataset, positions: np.ndarray
+    ) -> np.ndarray:
+        """Evaluate the predicate at explicit dataset ``positions`` only.
+
+        This is the *pushdown* entry point used by the batch
+        :class:`~repro.engine.queries.QueryEngine`: a summary holds far
+        fewer keys than the dataset, so predicates are evaluated on the
+        summary's union positions instead of all ``n`` keys.  Subclasses
+        with vectorizable semantics override this; the default loops over
+        the given positions only.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
         names = list(dataset.attributes)
         columns = [dataset.attributes[name] for name in names]
-        out = np.empty(dataset.n_keys, dtype=bool)
-        for pos, key in enumerate(dataset.keys):
+        out = np.empty(len(positions), dtype=bool)
+        for row, pos in enumerate(positions.tolist()):
             attrs = {name: column[pos] for name, column in zip(names, columns)}
-            out[pos] = self.select(key, attrs)
+            out[row] = self.select(dataset.keys[pos], attrs)
         return out
 
 
@@ -61,6 +76,11 @@ class AllKeys(Predicate):
 
     def mask(self, dataset: MultiAssignmentDataset) -> np.ndarray:
         return np.ones(dataset.n_keys, dtype=bool)
+
+    def mask_at(
+        self, dataset: MultiAssignmentDataset, positions: np.ndarray
+    ) -> np.ndarray:
+        return np.ones(len(positions), dtype=bool)
 
     def __repr__(self) -> str:
         return "AllKeys()"
@@ -79,6 +99,18 @@ class KeyIn(Predicate):
     def select(self, key: Hashable, attributes: Mapping[str, object]) -> bool:
         return key in self.keys
 
+    def mask_at(
+        self, dataset: MultiAssignmentDataset, positions: np.ndarray
+    ) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.int64)
+        keys = dataset.keys
+        wanted = self.keys
+        return np.fromiter(
+            (keys[pos] in wanted for pos in positions.tolist()),
+            dtype=bool,
+            count=len(positions),
+        )
+
     def __repr__(self) -> str:
         return f"KeyIn(n={len(self.keys)})"
 
@@ -95,6 +127,22 @@ class AttributeEquals(Predicate):
 
     def select(self, key: Hashable, attributes: Mapping[str, object]) -> bool:
         return attributes.get(self.attribute) == self.value
+
+    def mask_at(
+        self, dataset: MultiAssignmentDataset, positions: np.ndarray
+    ) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.int64)
+        column = dataset.attributes.get(self.attribute)
+        if column is None:
+            # match select(): a missing attribute reads as None per key
+            return np.full(len(positions), bool(None == self.value),  # noqa: E711
+                           dtype=bool)
+        value = self.value
+        return np.fromiter(
+            (column[pos] == value for pos in positions.tolist()),
+            dtype=bool,
+            count=len(positions),
+        )
 
     def __repr__(self) -> str:
         return f"AttributeEquals({self.attribute!r}, {self.value!r})"

@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from functools import cached_property
+from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 
@@ -32,11 +33,15 @@ from repro.sampling.poisson import PoissonSketch
 
 __all__ = [
     "MultiAssignmentSummary",
+    "SummaryViews",
+    "SubsetViews",
     "build_bottomk_summary",
     "build_poisson_summary",
     "build_summary_from_sketches",
     "build_fixed_size_summary",
 ]
+
+_T = TypeVar("_T")
 
 _INF = math.inf
 
@@ -139,12 +144,198 @@ class MultiAssignmentSummary:
             return math.nan
         return self.n_union / denominator
 
+    def views(self) -> "SummaryViews":
+        """Cached dense array views for the vectorized estimation kernels.
+
+        The views (CDF matrices, per-subset sorts, broadcast seed matrices)
+        are computed lazily, once per summary, and shared by every query
+        answered from it — the per-summary cache of the batch
+        :class:`~repro.engine.queries.QueryEngine`.  They assume the summary
+        is immutable once built; do not mutate the summary's arrays after
+        the first call.
+        """
+        cache = self.__dict__.get("_views")
+        if cache is None:
+            cache = SummaryViews(self)
+            self.__dict__["_views"] = cache
+        return cache
+
     def __repr__(self) -> str:
         return (
             f"MultiAssignmentSummary(mode={self.mode!r}, kind={self.kind!r}, "
             f"k={self.k}, n_union={self.n_union}, "
             f"method={self.method_name!r}, family={self.family.name!r})"
         )
+
+
+class SummaryViews:
+    """Lazily-computed dense views over one :class:`MultiAssignmentSummary`.
+
+    Everything the paper's estimators read repeatedly is materialized here
+    exactly once:
+
+    * :attr:`cdf_weight_threshold` — the ``(u, m)`` matrix
+      ``F_{w^(b)(i)}(θ_ib)`` where ``θ_ib = r^(b)_k(I∖{i})`` (bottom-k) or
+      ``τ^(b)`` (Poisson).  This single matrix drives the colocated
+      inclusion probabilities (Eq. (5)/(6)), the plain RC / HT estimators
+      (Section 3), and the l-set membership terms (Eq. (13)/(14)).
+    * :attr:`seed_matrix` — per-(key, assignment) seeds ``u^(b)(i)``
+      broadcast to ``(u, m)``, used by the l-set seed conditions.
+    * :meth:`subset` — per assignment-subset ``R`` sort/threshold caches
+      (:class:`SubsetViews`) shared by every query over the same ``R``.
+
+    Arbitrary derived arrays can be memoized with :meth:`cached`, which the
+    estimation kernels use for method-specific quantities (e.g. the
+    independent-differences inclusion probabilities).
+    """
+
+    def __init__(self, summary: MultiAssignmentSummary) -> None:
+        self.summary = summary
+        self._subsets: dict[tuple[int, ...], SubsetViews] = {}
+        self._cache: dict[object, object] = {}
+
+    def cached(self, key: object, compute: Callable[[], _T]) -> _T:
+        """Memoize an arbitrary derived array under ``key``."""
+        try:
+            return self._cache[key]  # type: ignore[return-value]
+        except KeyError:
+            value = compute()
+            self._cache[key] = value
+            return value
+
+    @cached_property
+    def cdf_weight_threshold(self) -> np.ndarray:
+        """``(u, m)`` matrix ``F_{w^(b)(i)}(θ_ib)``; 0 at unknown (NaN) cells."""
+        summary = self.summary
+        return summary.family.cdf_matrix(summary.weights, summary.thresholds)
+
+    @cached_property
+    def seed_matrix(self) -> np.ndarray | None:
+        """Seeds broadcast to ``(u, m)``; ``None`` when the method has none."""
+        seeds = self.summary.seeds
+        if seeds is None:
+            return None
+        if seeds.ndim == 1:
+            return np.broadcast_to(
+                seeds[:, None],
+                (self.summary.n_union, self.summary.n_assignments),
+            )
+        return seeds
+
+    def subset(self, cols: Sequence[int]) -> "SubsetViews":
+        """Shared per-``R`` views for the assignment columns ``cols``."""
+        key = tuple(int(c) for c in cols)
+        view = self._subsets.get(key)
+        if view is None:
+            view = SubsetViews(self, key)
+            self._subsets[key] = view
+        return view
+
+
+class SubsetViews:
+    """Per assignment-subset ``R`` caches used by the dispersed kernels.
+
+    All attributes are lazy and aligned with the summary's union rows; a
+    query batch touching the same ``R`` with several aggregate functions
+    (min, max, L1, ℓ-th largest) shares one sort and one threshold matrix.
+    """
+
+    def __init__(self, views: SummaryViews, cols: tuple[int, ...]) -> None:
+        self._views = views
+        self.cols = cols
+        self._col_list = list(cols)
+
+    @cached_property
+    def theta(self) -> np.ndarray:
+        """``(u, |R|)`` conditioning thresholds ``r^(b)_k(I∖{i})`` over R."""
+        return self._views.summary.thresholds[:, self._col_list]
+
+    @cached_property
+    def theta_min(self) -> np.ndarray:
+        """``r^(min R)_k(I∖{i})`` — the s-set global threshold per key."""
+        return self.theta.min(axis=1)
+
+    @cached_property
+    def ranks(self) -> np.ndarray:
+        return self._views.summary.ranks[:, self._col_list]
+
+    @cached_property
+    def member(self) -> np.ndarray:
+        return self._views.summary.member[:, self._col_list]
+
+    @cached_property
+    def member_counts(self) -> np.ndarray:
+        """Number of sketches of R containing each key (l-set candidacy)."""
+        return self.member.sum(axis=1)
+
+    @cached_property
+    def masked_weights(self) -> np.ndarray:
+        """Weights over R with unknown entries set to ``−inf`` (l-set sort)."""
+        summary = self._views.summary
+        weights = summary.weights[:, self._col_list]
+        member = summary.member[:, self._col_list]
+        return np.where(member & ~np.isnan(weights), weights, -math.inf)
+
+    @cached_property
+    def order(self) -> np.ndarray:
+        """Stable descending-weight column order of :attr:`masked_weights`."""
+        return np.argsort(-self.masked_weights, axis=1, kind="stable")
+
+    @cached_property
+    def sorted_desc(self) -> np.ndarray:
+        """:attr:`masked_weights` sorted descending along R."""
+        return np.take_along_axis(self.masked_weights, self.order, axis=1)
+
+    @cached_property
+    def col_rank(self) -> np.ndarray:
+        """Rank of each column in the descending-weight order (0 = largest)."""
+        ranks = np.empty_like(self.order)
+        np.put_along_axis(
+            ranks, self.order,
+            np.broadcast_to(np.arange(len(self.cols)), self.order.shape),
+            axis=1,
+        )
+        return ranks
+
+    @cached_property
+    def in_prime(self) -> np.ndarray:
+        """s-set membership test ``r^(b)(i) < r^(min R)_k(I∖{i})`` per cell."""
+        return self.ranks < self.theta_min[:, None]
+
+    @cached_property
+    def in_prime_counts(self) -> np.ndarray:
+        return self.in_prime.sum(axis=1)
+
+    @cached_property
+    def sset_weights(self) -> np.ndarray:
+        """Weights restricted to the s-set selection ``R'`` (−inf outside)."""
+        return np.where(self.in_prime, self.masked_weights, -math.inf)
+
+    @cached_property
+    def sset_sorted_desc(self) -> np.ndarray:
+        """:attr:`sset_weights` sorted descending along R."""
+        return -np.sort(-self.sset_weights, axis=1)
+
+    @cached_property
+    def member_cdf(self) -> np.ndarray:
+        """``F_{w^(b)(i)}(θ_ib)`` over R with unknown weights treated as 0.
+
+        The l-set membership terms of Eq. (13)/(14); identical to the
+        corresponding slice of
+        :attr:`SummaryViews.cdf_weight_threshold` except that −inf/NaN
+        placeholders are zeroed before the CDF.
+        """
+        summary = self._views.summary
+        safe = np.where(self.masked_weights > -math.inf, self.masked_weights, 0.0)
+        return summary.family.cdf_matrix(safe, self.theta)
+
+    @cached_property
+    def seed_matrix(self) -> np.ndarray | None:
+        """Seeds broadcast to ``(u, |R|)`` (``None`` without known seeds)."""
+        full = self._views.seed_matrix
+        if full is None:
+            return None
+        return full[:, self._col_list]
 
 
 def _union_and_matrices(

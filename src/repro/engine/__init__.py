@@ -1,15 +1,21 @@
-"""Shard-parallel stream-summarization engine.
+"""Shard-parallel stream-summarization and query-serving engine.
 
 Scale-out machinery for the paper's dispersed model: exact sketch merging
 over key-disjoint partitions (:mod:`repro.engine.merge`), hash-sharded
 batch ingestion of unaggregated streams (:mod:`repro.engine.sharded`), and
-convenience queries over the resulting summaries
-(:mod:`repro.engine.queries`).  The vectorized per-sampler hot path lives
-on :meth:`repro.sampling.bottomk.BottomKStreamSampler.process_batch`.
+batch query answering over the resulting summaries on the vectorized
+kernel fast path (:mod:`repro.engine.queries`).  The vectorized
+per-sampler ingestion hot path lives on
+:meth:`repro.sampling.bottomk.BottomKStreamSampler.process_batch`.
 """
 
 from repro.engine.merge import merge_bottomk, merge_poisson
-from repro.engine.queries import jaccard_from_summary
+from repro.engine.queries import (
+    Query,
+    QueryEngine,
+    QueryResult,
+    jaccard_from_summary,
+)
 from repro.engine.sharded import ShardedSummarizer, shard_indices
 
 __all__ = [
@@ -17,5 +23,8 @@ __all__ = [
     "merge_poisson",
     "ShardedSummarizer",
     "shard_indices",
+    "Query",
+    "QueryEngine",
+    "QueryResult",
     "jaccard_from_summary",
 ]

@@ -15,6 +15,10 @@ adjusted weights over the selected keys.
 * :mod:`~repro.estimators.jaccard` — weighted Jaccard from coordinated
   k-mins sketches (Theorem 4.1).
 * :mod:`~repro.estimators.variance` — analytic per-key variances & bounds.
+* :mod:`~repro.estimators.kernels` — vectorized fast-path counterparts of
+  the estimators above, operating on cached summary views; the per-spec
+  functions in the other modules are the reference implementations the
+  kernels are tested against.
 """
 
 from repro.estimators.base import AdjustedWeights, combine_difference
@@ -43,6 +47,18 @@ from repro.estimators.jaccard import (
     jaccard_from_kmins,
     kmins_match_fraction,
 )
+from repro.estimators.kernels import (
+    colocated_kernel,
+    dense_to_adjusted,
+    dispersed_kernel,
+    generic_kernel,
+    ht_kernel,
+    inclusion_probabilities_cached,
+    l1_kernel,
+    lset_kernel,
+    plain_rc_kernel,
+    sset_kernel,
+)
 from repro.estimators.variance import (
     conditional_variance,
     sigma_v_upper_bound,
@@ -68,4 +84,14 @@ __all__ = [
     "kmins_match_fraction",
     "conditional_variance",
     "sigma_v_upper_bound",
+    "sset_kernel",
+    "lset_kernel",
+    "l1_kernel",
+    "dispersed_kernel",
+    "colocated_kernel",
+    "generic_kernel",
+    "plain_rc_kernel",
+    "ht_kernel",
+    "inclusion_probabilities_cached",
+    "dense_to_adjusted",
 ]

@@ -20,6 +20,11 @@ depends on the rank-assignment method:
 The same code paths serve Poisson summaries by substituting the fixed
 ``τ^(b)`` for ``r^(b)_k(I∖{i})`` (the summary's ``thresholds`` matrix
 already encodes the right quantity for its kind).
+
+These per-spec functions are the *reference implementations*; the batch
+fast path (:func:`repro.estimators.kernels.colocated_kernel`) computes the
+spec-independent inclusion probabilities once per summary and is proven
+numerically identical in ``tests/test_kernel_parity.py``.
 """
 
 from __future__ import annotations

@@ -23,6 +23,13 @@ Two template selections are implemented:
 The L1/range aggregate is not top-ℓ dependent for any ℓ; it is estimated as
 ``a^(L1) = a^(max) − a^(min)`` (Eq. (17)), which is unbiased and, for
 consistent IPPS/EXP ranks, non-negative (Lemma 7.5).
+
+These per-spec functions are the *reference implementations*: each call
+recomputes its intermediates from the summary matrices.  The batch fast
+path lives in :mod:`repro.estimators.kernels` (:func:`sset_kernel`,
+:func:`lset_kernel`, :func:`l1_kernel`), which reads them from the cached
+summary views and is proven numerically identical in
+``tests/test_kernel_parity.py``.
 """
 
 from __future__ import annotations

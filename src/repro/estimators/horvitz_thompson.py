@@ -6,6 +6,10 @@ estimator applies directly: ``a(i) = w(i) / F_{w(i)}(τ)`` (Section 3).
 HT adjusted weights minimize ``VAR[a(i)]`` per key for the given sampling
 distribution, and with IPPS ranks the whole design minimizes the sum of
 per-key variances at a given expected size.
+
+Reference implementation; the batch fast path is
+:func:`repro.estimators.kernels.ht_kernel` (proven identical in
+``tests/test_kernel_parity.py``).
 """
 
 from __future__ import annotations

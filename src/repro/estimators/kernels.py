@@ -1,0 +1,326 @@
+"""Vectorized estimation kernels over cached summary views.
+
+The modules :mod:`repro.estimators.dispersed`,
+:mod:`repro.estimators.colocated`, :mod:`repro.estimators.rank_conditioning`
+and :mod:`repro.estimators.horvitz_thompson` are the *reference
+implementations*: each call recomputes every intermediate (thresholds,
+CDFs, sorts) for one :class:`~repro.core.aggregates.AggregationSpec`.  The
+kernels here produce numerically identical adjusted weights (see
+``tests/test_kernel_parity.py``) but read all shared intermediates from the
+per-summary :class:`~repro.core.summary.SummaryViews` cache, so a batch of
+queries against one summary pays for them once.
+
+Every kernel returns a **dense** ``(u,)`` vector of adjusted ``f``-weights
+aligned with the summary's union rows (zero where the estimator selects
+nothing), which makes applying a selection predicate a masked sum.
+
+Paper equation map (Cohen, Kaplan & Sen, PVLDB 2009):
+
+======================  =====================================================
+kernel                  estimator / equation
+======================  =====================================================
+:func:`sset_kernel`     s-set top-ℓ template, Section 7.1:
+                        ``p(i) = F_{w^(ℓth R)(i)}(r^(min R)_k(I∖{i}))``;
+                        independent ranks use the product form of §7.1.1
+:func:`lset_kernel`     l-set top-ℓ template, Section 7.2, Eq. (13)–(16)
+:func:`l1_kernel`       ``a^(L1) = a^(max) − a^(min)``, Eq. (17)
+:func:`colocated_kernel`  inclusive estimator, Section 6, Eq. (4)–(6)
+:func:`generic_kernel`  generic consistent-ranks estimator, Eq. (7)
+:func:`plain_rc_kernel` plain rank-conditioning ``w/F_w(r_{k+1})``, Section 3
+:func:`ht_kernel`       Horvitz–Thompson over Poisson-τ, Section 3
+======================  =====================================================
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.aggregates import AggregationSpec
+from repro.core.summary import MultiAssignmentSummary, SubsetViews
+from repro.estimators.base import AdjustedWeights
+from repro.estimators.colocated import (
+    _f_values_from_summary,
+    _require_colocated,
+)
+from repro.estimators.dispersed import _f_from_topell, _resolve_ell
+
+__all__ = [
+    "sset_kernel",
+    "lset_kernel",
+    "l1_kernel",
+    "dispersed_kernel",
+    "colocated_kernel",
+    "generic_kernel",
+    "plain_rc_kernel",
+    "ht_kernel",
+    "inclusion_probabilities_cached",
+    "dense_to_adjusted",
+]
+
+_NEG_INF = -math.inf
+
+
+def dense_to_adjusted(
+    summary: MultiAssignmentSummary, dense: np.ndarray, label: str = ""
+) -> AdjustedWeights:
+    """Wrap a dense kernel output as a sparse :class:`AdjustedWeights`.
+
+    Rows with zero adjusted weight are dropped — they contribute nothing to
+    any query, so the sparse object matches the reference estimators on
+    every estimate even though the retained row sets may differ on
+    zero-valued selected keys.
+    """
+    rows = np.flatnonzero(dense)
+    return AdjustedWeights(summary.positions[rows], dense[rows], label)
+
+
+def _subset(summary: MultiAssignmentSummary, spec: AggregationSpec) -> SubsetViews:
+    cols = summary.columns(list(spec.assignments))
+    return summary.views().subset(cols)
+
+
+# ---------------------------------------------------------------------------
+# dispersed kernels (Section 7)
+# ---------------------------------------------------------------------------
+
+
+def sset_kernel(
+    summary: MultiAssignmentSummary, spec: AggregationSpec
+) -> np.ndarray:
+    """Dense s-set adjusted weights (Section 7.1); parity with
+    :func:`repro.estimators.dispersed.sset_estimator`."""
+    ell = _resolve_ell(spec)
+    sub = _subset(summary, spec)
+    if not summary.consistent and ell != len(sub.cols):
+        raise ValueError(
+            "s-set estimation over independent sketches is only defined for "
+            "min-dependence (ℓ = |R|)"
+        )
+    theta_min = sub.theta_min
+    selected = sub.in_prime_counts >= ell
+    sorted_desc = sub.sset_sorted_desc
+    w_ellth = sorted_desc[:, ell - 1]
+    if summary.consistent:
+        probabilities = summary.family.cdf_matrix(
+            np.where(selected, w_ellth, 0.0), theta_min
+        )
+    else:
+        per_b = summary.family.cdf_matrix(
+            np.where(selected[:, None], sub.sset_weights, 0.0),
+            theta_min[:, None],
+        )
+        probabilities = np.prod(per_b, axis=1)
+    f_values = np.where(selected, _f_from_topell(sorted_desc, ell, spec), 0.0)
+    return np.divide(
+        f_values,
+        probabilities,
+        out=np.zeros_like(f_values),
+        where=(probabilities > 0.0) & selected,
+    )
+
+
+def lset_kernel(
+    summary: MultiAssignmentSummary, spec: AggregationSpec
+) -> np.ndarray:
+    """Dense l-set adjusted weights (Section 7.2, Eq. (13)–(16)); parity
+    with :func:`repro.estimators.dispersed.lset_estimator`."""
+    ell = _resolve_ell(spec)
+    sub = _subset(summary, spec)
+    m = len(sub.cols)
+    member = sub.member
+    candidate = sub.member_counts >= ell
+    sorted_desc = sub.sorted_desc
+    w_ellth = sorted_desc[:, ell - 1]
+    top_mask = (sub.col_rank < ell) & member
+    theta = sub.theta
+    if ell < m:
+        seed_matrix = sub.seed_matrix
+        if seed_matrix is None:
+            raise ValueError(
+                "the l-set estimator needs known seeds; this summary's rank "
+                "method does not expose them"
+            )
+        caps = summary.family.cdf_matrix(
+            np.where(candidate[:, None], np.maximum(w_ellth[:, None], 0.0), 0.0),
+            theta,
+        )
+        selected = candidate & (  # seed conditions on non-top assignments
+            (seed_matrix < caps) | top_mask
+        ).all(axis=1)
+    else:
+        selected = candidate
+    member_terms = sub.member_cdf
+    cap_terms = summary.family.cdf_matrix(
+        np.maximum(np.where(selected[:, None], w_ellth[:, None], 0.0), 0.0),
+        theta,
+    )
+    per_b = np.where(top_mask, member_terms, cap_terms)
+    if summary.method_name == "shared_seed":
+        probabilities = per_b.min(axis=1)
+    elif summary.method_name == "independent":
+        probabilities = np.prod(per_b, axis=1)
+    elif summary.consistent:
+        raise ValueError(
+            "closed-form l-set probabilities are implemented for shared-seed "
+            "consistent ranks and independent ranks with known seeds; "
+            f"got {summary.method_name!r} (use the s-set kernel instead)"
+        )
+    else:
+        raise ValueError(f"unknown rank method {summary.method_name!r}")
+    f_values = np.where(selected, _f_from_topell(sorted_desc, ell, spec), 0.0)
+    return np.divide(
+        f_values,
+        probabilities,
+        out=np.zeros_like(f_values),
+        where=(probabilities > 0.0) & selected,
+    )
+
+
+def l1_kernel(
+    summary: MultiAssignmentSummary,
+    spec: AggregationSpec,
+    min_variant: str = "l",
+) -> np.ndarray:
+    """Dense L1 adjusted weights ``a^(max) − a^(min)`` (Eq. (17))."""
+    if min_variant not in ("s", "l"):
+        raise ValueError(f"min_variant must be 's' or 'l', got {min_variant!r}")
+    max_spec = AggregationSpec("max", spec.assignments)
+    min_spec = AggregationSpec("min", spec.assignments)
+    dense_max = sset_kernel(summary, max_spec)
+    if min_variant == "s":
+        dense_min = sset_kernel(summary, min_spec)
+    else:
+        dense_min = lset_kernel(summary, min_spec)
+    return dense_max - dense_min
+
+
+def dispersed_kernel(
+    summary: MultiAssignmentSummary,
+    spec: AggregationSpec,
+    variant: str = "l",
+) -> np.ndarray:
+    """Kernel counterpart of :func:`repro.estimators.dispersed.dispersed_estimator`."""
+    if variant not in ("s", "l"):
+        raise ValueError(f"variant must be 's' or 'l', got {variant!r}")
+    if spec.function == "l1":
+        return l1_kernel(summary, spec, min_variant=variant)
+    if variant == "s":
+        return sset_kernel(summary, spec)
+    return lset_kernel(summary, spec)
+
+
+# ---------------------------------------------------------------------------
+# colocated kernels (Section 6)
+# ---------------------------------------------------------------------------
+
+
+def inclusion_probabilities_cached(
+    summary: MultiAssignmentSummary,
+) -> np.ndarray:
+    """Cached per-key inclusion probabilities (Eq. (4)–(6)).
+
+    Unlike :func:`repro.estimators.colocated.inclusion_probabilities`, the
+    result is computed once per summary and shared by every colocated query
+    — the probabilities do not depend on the aggregate at all.
+    """
+    _require_colocated(summary)
+    views = summary.views()
+
+    def compute() -> np.ndarray:
+        cdf = views.cdf_weight_threshold
+        if summary.method_name == "independent":
+            return 1.0 - np.prod(1.0 - cdf, axis=1)
+        if summary.method_name == "shared_seed":
+            return cdf.max(axis=1)
+        if summary.method_name == "independent_differences":
+            from repro.estimators.colocated import (
+                _independent_differences_probabilities,
+            )
+
+            if summary.family.name != "exp":
+                raise ValueError("independent-differences requires EXP ranks")
+            return _independent_differences_probabilities(summary)
+        raise ValueError(f"unknown rank method {summary.method_name!r}")
+
+    return views.cached("inclusion_probabilities", compute)
+
+
+def colocated_kernel(
+    summary: MultiAssignmentSummary, spec: AggregationSpec
+) -> np.ndarray:
+    """Dense inclusive adjusted weights (Section 6); parity with
+    :func:`repro.estimators.colocated.colocated_estimator`."""
+    f_values = _f_values_from_summary(summary, spec)
+    probabilities = inclusion_probabilities_cached(summary)
+    return np.divide(
+        f_values,
+        probabilities,
+        out=np.zeros_like(f_values),
+        where=probabilities > 0.0,
+    )
+
+
+def generic_kernel(
+    summary: MultiAssignmentSummary, spec: AggregationSpec
+) -> np.ndarray:
+    """Dense generic consistent-ranks adjusted weights (Eq. (7)); parity
+    with :func:`repro.estimators.colocated.generic_consistent_estimator`."""
+    _require_colocated(summary)
+    if not summary.consistent:
+        raise ValueError("the generic estimator requires consistent ranks")
+    sub = _subset(summary, spec)
+    theta_min = sub.theta_min
+    selected = sub.ranks.min(axis=1) < theta_min
+    max_weight = summary.weights[:, list(sub.cols)].max(axis=1)
+    probabilities = summary.family.cdf_matrix(max_weight, theta_min)
+    f_values = _f_values_from_summary(summary, spec)
+    return np.divide(
+        f_values,
+        probabilities,
+        out=np.zeros_like(f_values),
+        where=(probabilities > 0.0) & selected,
+    )
+
+
+# ---------------------------------------------------------------------------
+# single-sketch kernels (Section 3)
+# ---------------------------------------------------------------------------
+
+
+def plain_rc_kernel(
+    summary: MultiAssignmentSummary, assignment: str
+) -> np.ndarray:
+    """Dense plain-RC adjusted weights ``w(i)/F_{w(i)}(r_{k+1})``; parity
+    with :func:`repro.estimators.rank_conditioning.plain_rc_from_summary`.
+
+    Reads the member cells of the shared ``F_{w}(θ)`` matrix — for members
+    of b's sketch ``θ_ib`` *is* ``r^(b)_{k+1}(I)``.
+    """
+    if summary.kind != "bottomk":
+        raise ValueError("plain_rc_kernel requires a bottom-k summary")
+    return _single_sketch_dense(summary, assignment)
+
+
+def ht_kernel(summary: MultiAssignmentSummary, assignment: str) -> np.ndarray:
+    """Dense HT adjusted weights ``w(i)/F_{w(i)}(τ)``; parity with
+    :func:`repro.estimators.horvitz_thompson.ht_from_summary`."""
+    if summary.kind != "poisson":
+        raise ValueError("ht_kernel requires a Poisson summary")
+    return _single_sketch_dense(summary, assignment)
+
+
+def _single_sketch_dense(
+    summary: MultiAssignmentSummary, assignment: str
+) -> np.ndarray:
+    b = summary.columns([assignment])[0]
+    member = summary.member[:, b]
+    probabilities = summary.views().cdf_weight_threshold[:, b]
+    weights = np.where(member, summary.weights[:, b], 0.0)
+    return np.divide(
+        weights,
+        probabilities,
+        out=np.zeros_like(weights),
+        where=(probabilities > 0.0) & member,
+    )

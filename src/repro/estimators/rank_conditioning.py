@@ -9,6 +9,11 @@ and adjusted weight ``a(i) = w(i) / F_{w(i)}(r_{k+1}(I))`` (Section 3).
 With IPPS ranks this is the priority-sampling estimator, whose sum of
 per-key variances is at most that of HT over an IPPS Poisson sample of
 expected size k+1.
+
+Reference implementation; the batch fast path
+(:func:`repro.estimators.kernels.plain_rc_kernel`) reads the shared
+``F_w(θ)`` view instead and is proven identical in
+``tests/test_kernel_parity.py``.
 """
 
 from __future__ import annotations

@@ -30,16 +30,8 @@ from repro.core.aggregates import (
 )
 from repro.core.dataset import MultiAssignmentDataset
 from repro.core.summary import MultiAssignmentSummary
-from repro.estimators.colocated import colocated_estimator
-from repro.estimators.dispersed import (
-    independent_min_estimator,
-    l1_estimator,
-    lset_estimator,
-    max_estimator,
-    sset_estimator,
-)
+from repro.engine.queries import Query, QueryEngine
 from repro.estimators.jaccard import kmins_match_fraction
-from repro.estimators.rank_conditioning import plain_rc_from_summary
 from repro.evaluation.analytic import (
     colocated_inclusion_p,
     sv_colocated_inclusive,
@@ -137,25 +129,32 @@ def dispersed_tasks(
     tasks: list[EstimatorTask] = []
     if include_singles:
         for pos, b in enumerate(names):
+            single_spec = AggregationSpec("single", (b,))
             tasks.append(
                 EstimatorTask(
                     name=f"single[{b}]",
                     rank_method="shared_seed",
                     mode="dispersed",
                     estimate=(
-                        lambda s, b=b: plain_rc_from_summary(s, b)
+                        lambda s, spec=single_spec: QueryEngine.for_summary(
+                            s
+                        ).adjusted(spec, "plain_rc")
                     ),
                     f_values=dataset.column(b),
                     sigma_v=lambda ctx, pos=pos: sv_plain_rc(ctx, pos),
                 )
             )
     min_spec = AggregationSpec("min", names)
+    max_spec = AggregationSpec("max", names)
+    l1_spec = AggregationSpec("l1", names)
     tasks.append(
         EstimatorTask(
             name="coord min-l",
             rank_method="shared_seed",
             mode="dispersed",
-            estimate=lambda s: lset_estimator(s, min_spec),
+            estimate=lambda s: QueryEngine.for_summary(s).adjusted(
+                min_spec, "lset"
+            ),
             f_values=f_min,
             sigma_v=lambda ctx: sv_lset(ctx, cols, m, f_min),
         )
@@ -165,7 +164,9 @@ def dispersed_tasks(
             name="coord max",
             rank_method="shared_seed",
             mode="dispersed",
-            estimate=lambda s: max_estimator(s, names),
+            estimate=lambda s: QueryEngine.for_summary(s).adjusted(
+                max_spec, "sset"
+            ),
             f_values=f_max,
             sigma_v=lambda ctx: sv_sset(ctx, cols, 1, f_max),
         )
@@ -175,7 +176,9 @@ def dispersed_tasks(
             name="coord L1-l",
             rank_method="shared_seed",
             mode="dispersed",
-            estimate=lambda s: l1_estimator(s, names, min_variant="l"),
+            estimate=lambda s: QueryEngine.for_summary(s).adjusted(
+                l1_spec, "l1-l"
+            ),
             f_values=range_weights(dataset),
             sigma_v=lambda ctx: sv_l1(ctx, cols, "l"),
         )
@@ -186,7 +189,9 @@ def dispersed_tasks(
                 name="coord min-s",
                 rank_method="shared_seed",
                 mode="dispersed",
-                estimate=lambda s: sset_estimator(s, min_spec),
+                estimate=lambda s: QueryEngine.for_summary(s).adjusted(
+                    min_spec, "sset"
+                ),
                 f_values=f_min,
                 sigma_v=lambda ctx: sv_sset(ctx, cols, m, f_min),
             )
@@ -196,7 +201,9 @@ def dispersed_tasks(
                 name="coord L1-s",
                 rank_method="shared_seed",
                 mode="dispersed",
-                estimate=lambda s: l1_estimator(s, names, min_variant="s"),
+                estimate=lambda s: QueryEngine.for_summary(s).adjusted(
+                    l1_spec, "l1-s"
+                ),
                 f_values=range_weights(dataset),
                 sigma_v=lambda ctx: sv_l1(ctx, cols, "s"),
             )
@@ -207,7 +214,9 @@ def dispersed_tasks(
                 name="ind min",
                 rank_method="independent",
                 mode="dispersed",
-                estimate=lambda s: independent_min_estimator(s, names),
+                estimate=lambda s: QueryEngine.for_summary(s).adjusted(
+                    min_spec, "lset"
+                ),
                 f_values=f_min,
                 sigma_v=lambda ctx: sv_independent_min(ctx, cols),
             )
@@ -237,7 +246,9 @@ def colocated_tasks(
                     name=f"coord comb[{b}]",
                     rank_method="shared_seed",
                     mode="colocated",
-                    estimate=lambda s, spec=spec: colocated_estimator(s, spec),
+                    estimate=lambda s, spec=spec: QueryEngine.for_summary(
+                        s
+                    ).adjusted(spec, "colocated"),
                     f_values=f_values,
                     sigma_v=lambda ctx, f=f_values: sv_colocated_inclusive(ctx, f),
                 ),
@@ -245,7 +256,9 @@ def colocated_tasks(
                     name=f"ind comb[{b}]",
                     rank_method="independent",
                     mode="colocated",
-                    estimate=lambda s, spec=spec: colocated_estimator(s, spec),
+                    estimate=lambda s, spec=spec: QueryEngine.for_summary(
+                        s
+                    ).adjusted(spec, "colocated"),
                     f_values=f_values,
                     sigma_v=lambda ctx, f=f_values: sv_colocated_inclusive(ctx, f),
                 ),
@@ -253,7 +266,9 @@ def colocated_tasks(
                     name=f"coord plain[{b}]",
                     rank_method="shared_seed",
                     mode="colocated",
-                    estimate=lambda s, b=b: plain_rc_from_summary(s, b),
+                    estimate=lambda s, spec=spec: QueryEngine.for_summary(
+                        s
+                    ).adjusted(spec, "plain_rc"),
                     f_values=f_values,
                     sigma_v=lambda ctx, pos=pos: sv_plain_rc(ctx, pos),
                 ),
@@ -261,7 +276,9 @@ def colocated_tasks(
                     name=f"ind plain[{b}]",
                     rank_method="independent",
                     mode="colocated",
-                    estimate=lambda s, b=b: plain_rc_from_summary(s, b),
+                    estimate=lambda s, spec=spec: QueryEngine.for_summary(
+                        s
+                    ).adjusted(spec, "plain_rc"),
                     f_values=f_values,
                     sigma_v=lambda ctx, pos=pos: sv_plain_rc(ctx, pos),
                 ),
@@ -528,8 +545,14 @@ def table_totals(
     assignment_sets: Sequence[Sequence[str]],
     experiment_id: str = "T2",
     title: str = "per-assignment totals and multi-assignment norms",
+    summary: MultiAssignmentSummary | None = None,
 ) -> ExperimentResult:
-    """Tables 2–4: exact totals the estimators are later judged against."""
+    """Tables 2–4: exact totals the estimators are later judged against.
+
+    When ``summary`` is given, the norm table additionally carries the
+    estimated norms, answered as one :class:`QueryEngine` batch so the
+    min/max/L1 queries per subset share their sorts and thresholds.
+    """
     per_assignment_rows = [
         [
             b,
@@ -538,17 +561,39 @@ def table_totals(
         ]
         for b in dataset.assignments
     ]
+    estimates: dict[tuple[str, str], float] = {}
+    if summary is not None:
+        engine = QueryEngine.for_summary(summary, dataset)
+        queries = [
+            Query(AggregationSpec(function, tuple(subset)))
+            for subset in assignment_sets
+            for function in ("min", "max", "l1")
+        ]
+        for result in engine.run(queries):
+            spec = result.query.spec
+            estimates[(spec.function, "+".join(spec.assignments))] = (
+                result.estimate
+            )
     norm_rows = []
+    norm_headers = ["R", "Σ min", "Σ max", "Σ L1"]
+    if summary is not None:
+        norm_headers += ["est Σ min", "est Σ max", "est Σ L1"]
     for subset in assignment_sets:
         subset = list(subset)
-        norm_rows.append(
-            [
-                "+".join(subset),
-                float(min_weights(dataset, subset).sum()),
-                float(max_weights(dataset, subset).sum()),
-                float(range_weights(dataset, subset).sum()),
+        name = "+".join(subset)
+        row: list[object] = [
+            name,
+            float(min_weights(dataset, subset).sum()),
+            float(max_weights(dataset, subset).sum()),
+            float(range_weights(dataset, subset).sum()),
+        ]
+        if summary is not None:
+            row += [
+                estimates[("min", name)],
+                estimates[("max", name)],
+                estimates[("l1", name)],
             ]
-        )
+        norm_rows.append(row)
     return ExperimentResult(
         experiment_id=experiment_id,
         title=title,
@@ -560,7 +605,7 @@ def table_totals(
             ),
             (
                 "multi-assignment norms",
-                ["R", "Σ min", "Σ max", "Σ L1"],
+                norm_headers,
                 norm_rows,
             ),
         ],
@@ -635,9 +680,9 @@ def experiment_unweighted_baseline(
         summary: MultiAssignmentSummary, column: int
     ) -> "object":
         from repro.estimators.base import AdjustedWeights
-        from repro.estimators.colocated import inclusion_probabilities
+        from repro.estimators.kernels import inclusion_probabilities_cached
 
-        probabilities = inclusion_probabilities(summary)
+        probabilities = inclusion_probabilities_cached(summary)
         f_at = true_weights[summary.positions, column]
         values = np.divide(
             f_at, probabilities, out=np.zeros_like(f_at),
@@ -655,7 +700,9 @@ def experiment_unweighted_baseline(
                 name=f"weighted[{b}]",
                 rank_method="shared_seed",
                 mode="colocated",
-                estimate=lambda s, spec=spec: colocated_estimator(s, spec),
+                estimate=lambda s, spec=spec: QueryEngine.for_summary(
+                    s
+                ).adjusted(spec, "colocated"),
                 f_values=f_values,
                 sigma_v=lambda ctx, f=f_values: sv_colocated_inclusive(ctx, f),
             )

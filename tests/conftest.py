@@ -1,11 +1,24 @@
-"""Shared fixtures: the paper's worked examples and small random datasets."""
+"""Shared fixtures: the paper's worked examples and small random datasets.
+
+Also registers the hypothesis profiles: ``ci`` (more examples, used by the
+workflow via ``HYPOTHESIS_PROFILE=ci``) and ``dev`` (fewer examples for
+fast local iteration, the default).  Tests that pin ``max_examples``
+explicitly are unaffected.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.core.dataset import MultiAssignmentDataset
+
+settings.register_profile("ci", max_examples=150, deadline=None)
+settings.register_profile("dev", max_examples=25, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 # ---------------------------------------------------------------------------
 # Figure 1 of the paper: a single weighted set with an explicit IPPS rank

@@ -1,0 +1,312 @@
+"""Property suite: vectorized kernels == reference estimators.
+
+Every kernel in :mod:`repro.estimators.kernels` must produce adjusted
+weights numerically identical (exact, or within 1e-9 relative) to the
+retained per-spec reference implementations in
+:mod:`repro.estimators.dispersed` / ``colocated`` / ``rank_conditioning`` /
+``horvitz_thompson``, across rank families (EXP/IPPS), rank-assignment
+methods, colocated/dispersed modes, and degenerate inputs (empty
+summaries, single keys, subsets with no known weights, k ≥ n, Poisson
+summaries with k = 0).
+
+Where a reference estimator rejects a configuration (e.g. l-set without
+seeds), the kernel must reject it too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.aggregates import AggregationSpec
+from repro.core.summary import (
+    build_bottomk_summary,
+    build_poisson_summary,
+    build_summary_from_sketches,
+)
+from repro.estimators import kernels
+from repro.estimators.colocated import (
+    colocated_estimator,
+    generic_consistent_estimator,
+)
+from repro.estimators.dispersed import (
+    l1_estimator,
+    lset_estimator,
+    sset_estimator,
+)
+from repro.estimators.horvitz_thompson import ht_from_summary
+from repro.estimators.rank_conditioning import plain_rc_from_summary
+from repro.ranks.assignments import get_rank_method
+from repro.ranks.families import get_rank_family
+from repro.sampling.bottomk import BottomKStreamSampler
+from repro.sampling.poisson import calibrate_tau
+
+MAX_KEYS = 18
+
+weight_matrices = st.integers(1, 4).flatmap(
+    lambda m: arrays(
+        np.float64,
+        st.tuples(st.integers(1, MAX_KEYS), st.just(m)),
+        elements=st.floats(0.0, 50.0, allow_nan=False, allow_infinity=False),
+    )
+)
+ks = st.integers(1, 8)
+seeds = st.integers(0, 2**31)
+families = st.sampled_from(["ipps", "exp"])
+methods = st.sampled_from(["shared_seed", "independent"])
+modes = st.sampled_from(["colocated", "dispersed"])
+
+
+def dense_of(summary, adjusted) -> np.ndarray:
+    """Scatter sparse AdjustedWeights onto the summary's union rows."""
+    row_of = {int(p): r for r, p in enumerate(summary.positions)}
+    out = np.zeros(summary.n_union)
+    for pos, value in zip(adjusted.positions.tolist(), adjusted.values):
+        out[row_of[pos]] += value
+    return out
+
+
+def assert_parity(summary, reference_call, kernel_call, label) -> None:
+    """Reference and kernel agree: same values, or both reject."""
+    try:
+        reference = dense_of(summary, reference_call())
+    except ValueError:
+        with pytest.raises(ValueError):
+            kernel_call()
+        return
+    dense = kernel_call()
+    assert dense.shape == reference.shape
+    np.testing.assert_allclose(
+        dense, reference, rtol=1e-9, atol=1e-12,
+        err_msg=f"kernel/reference mismatch for {label}",
+    )
+
+
+def build_summary(weights, k, seed, family_name, method, mode):
+    family = get_rank_family(family_name)
+    rng = np.random.default_rng(seed)
+    draw = get_rank_method(method).draw(family, weights, rng)
+    names = [f"w{b}" for b in range(weights.shape[1])]
+    return build_bottomk_summary(weights, draw, k, names, family, mode=mode)
+
+
+def all_specs(names):
+    """Every aggregate spec family over full R, a sub-R, and singletons."""
+    names = tuple(names)
+    spec_list = [
+        AggregationSpec("min", names),
+        AggregationSpec("max", names),
+        AggregationSpec("single", names[:1]),
+    ]
+    for ell in range(1, len(names) + 1):
+        spec_list.append(AggregationSpec("lth_largest", names, ell=ell))
+    if len(names) > 1:
+        sub = names[: len(names) - 1]
+        spec_list.append(AggregationSpec("min", sub))
+        spec_list.append(AggregationSpec("max", sub))
+    return spec_list
+
+
+class TestDispersedKernels:
+    @given(weights=weight_matrices, k=ks, seed=seeds, family=families,
+           method=methods, mode=modes)
+    @settings(deadline=None)
+    def test_sset_and_lset(self, weights, k, seed, family, method, mode):
+        summary = build_summary(weights, k, seed, family, method, mode)
+        for spec in all_specs(summary.assignments):
+            assert_parity(
+                summary,
+                lambda: sset_estimator(summary, spec),
+                lambda: kernels.sset_kernel(summary, spec),
+                f"sset {spec.function} ell={spec.ell}",
+            )
+            assert_parity(
+                summary,
+                lambda: lset_estimator(summary, spec),
+                lambda: kernels.lset_kernel(summary, spec),
+                f"lset {spec.function} ell={spec.ell}",
+            )
+
+    @given(weights=weight_matrices, k=ks, seed=seeds, family=families,
+           method=methods, mode=modes, variant=st.sampled_from(["s", "l"]))
+    @settings(deadline=None)
+    def test_l1(self, weights, k, seed, family, method, mode, variant):
+        summary = build_summary(weights, k, seed, family, method, mode)
+        names = tuple(summary.assignments)
+        spec = AggregationSpec("l1", names)
+        assert_parity(
+            summary,
+            lambda: l1_estimator(summary, names, min_variant=variant),
+            lambda: kernels.l1_kernel(summary, spec, min_variant=variant),
+            f"l1-{variant}",
+        )
+
+    @given(weights=weight_matrices, k=ks, seed=seeds, family=families,
+           method=methods, mode=modes)
+    @settings(deadline=None)
+    def test_plain_rc(self, weights, k, seed, family, method, mode):
+        summary = build_summary(weights, k, seed, family, method, mode)
+        for b in summary.assignments:
+            assert_parity(
+                summary,
+                lambda: plain_rc_from_summary(summary, b),
+                lambda: kernels.plain_rc_kernel(summary, b),
+                f"plain_rc[{b}]",
+            )
+
+
+class TestColocatedKernels:
+    @given(weights=weight_matrices, k=ks, seed=seeds, family=families,
+           method=methods)
+    @settings(deadline=None)
+    def test_inclusive_and_generic(self, weights, k, seed, family, method):
+        summary = build_summary(weights, k, seed, family, method, "colocated")
+        for spec in all_specs(summary.assignments) + [
+            AggregationSpec("l1", tuple(summary.assignments))
+        ]:
+            assert_parity(
+                summary,
+                lambda: colocated_estimator(summary, spec),
+                lambda: kernels.colocated_kernel(summary, spec),
+                f"colocated {spec.function} ell={spec.ell}",
+            )
+            assert_parity(
+                summary,
+                lambda: generic_consistent_estimator(summary, spec),
+                lambda: kernels.generic_kernel(summary, spec),
+                f"generic {spec.function} ell={spec.ell}",
+            )
+
+    @given(weights=weight_matrices, k=ks, seed=seeds)
+    @settings(deadline=None)
+    def test_independent_differences(self, weights, k, seed):
+        """The EXP independent-differences method (Pr[A_ℓ] recursion)."""
+        summary = build_summary(
+            weights, k, seed, "exp", "independent_differences", "colocated"
+        )
+        for spec in all_specs(summary.assignments):
+            assert_parity(
+                summary,
+                lambda: colocated_estimator(summary, spec),
+                lambda: kernels.colocated_kernel(summary, spec),
+                f"idiff colocated {spec.function} ell={spec.ell}",
+            )
+
+
+class TestPoissonKernels:
+    @given(weights=weight_matrices, k=ks, seed=seeds, family=families,
+           method=methods, mode=modes)
+    @settings(deadline=None)
+    def test_ht(self, weights, k, seed, family, method, mode):
+        """Poisson summaries record k=0 when no expected size is given."""
+        family_obj = get_rank_family(family)
+        rng = np.random.default_rng(seed)
+        draw = get_rank_method(method).draw(family_obj, weights, rng)
+        taus = np.array(
+            [
+                calibrate_tau(weights[:, b], family_obj, min(k, MAX_KEYS))
+                for b in range(weights.shape[1])
+            ]
+        )
+        names = [f"w{b}" for b in range(weights.shape[1])]
+        summary = build_poisson_summary(
+            weights, draw, taus, names, family_obj, mode=mode
+        )
+        assert summary.k == 0  # the degenerate k the ISSUE calls out
+        for b in names:
+            assert_parity(
+                summary,
+                lambda: ht_from_summary(summary, b),
+                lambda: kernels.ht_kernel(summary, b),
+                f"ht[{b}]",
+            )
+        if mode == "colocated":
+            for spec in all_specs(names):
+                assert_parity(
+                    summary,
+                    lambda: colocated_estimator(summary, spec),
+                    lambda: kernels.colocated_kernel(summary, spec),
+                    f"poisson colocated {spec.function}",
+                )
+
+
+class TestDegenerateCases:
+    def _check_all(self, summary):
+        for spec in all_specs(summary.assignments):
+            assert_parity(
+                summary,
+                lambda: sset_estimator(summary, spec),
+                lambda: kernels.sset_kernel(summary, spec),
+                f"sset {spec.function}",
+            )
+            assert_parity(
+                summary,
+                lambda: lset_estimator(summary, spec),
+                lambda: kernels.lset_kernel(summary, spec),
+                f"lset {spec.function}",
+            )
+
+    @pytest.mark.parametrize("mode", ["colocated", "dispersed"])
+    @pytest.mark.parametrize("family", ["ipps", "exp"])
+    def test_empty_summary(self, family, mode):
+        """All-zero weights: nothing is sampled, the union is empty."""
+        weights = np.zeros((5, 3))
+        summary = build_summary(weights, 2, 0, family, "shared_seed", mode)
+        assert summary.n_union == 0
+        self._check_all(summary)
+
+    @pytest.mark.parametrize("mode", ["colocated", "dispersed"])
+    def test_single_key(self, mode):
+        weights = np.array([[3.0, 0.0, 7.0]])
+        summary = build_summary(weights, 2, 1, "ipps", "shared_seed", mode)
+        self._check_all(summary)
+
+    def test_subset_with_no_known_weights(self):
+        """Dispersed rows can be all-unknown (NaN) within the queried R."""
+        weights = np.array(
+            [
+                [100.0, 0.0],
+                [90.0, 0.0],
+                [80.0, 0.0],
+                [0.1, 1.0],
+                [0.2, 2.0],
+            ]
+        )
+        summary = build_summary(weights, 2, 3, "ipps", "shared_seed",
+                                "dispersed")
+        # keys sampled only for w0 have an all-NaN row within R = (w1,)
+        spec = AggregationSpec("max", ("w1",))
+        assert np.isnan(summary.weights[:, 1]).any()
+        assert_parity(
+            summary,
+            lambda: sset_estimator(summary, spec),
+            lambda: kernels.sset_kernel(summary, spec),
+            "all-NaN subset rows",
+        )
+
+    def test_k_at_least_n(self):
+        weights = np.abs(np.random.default_rng(3).normal(5, 2, (4, 2)))
+        summary = build_summary(weights, 10, 4, "exp", "shared_seed",
+                                "dispersed")
+        self._check_all(summary)
+
+    def test_stream_built_summary(self):
+        """Sketch-assembled dispersed summaries go through the same kernels."""
+        from repro.ranks.hashing import KeyHasher
+
+        rng = np.random.default_rng(0)
+        hasher = KeyHasher(11)
+        sketches = {}
+        for name in ("a", "b"):
+            sampler = BottomKStreamSampler(4, get_rank_family("ipps"), hasher)
+            for key in range(12):
+                weight = float(rng.pareto(1.5) + 0.1)
+                sampler.process(key, weight)
+            sketches[name] = sampler.sketch()
+        summary = build_summary_from_sketches(
+            sketches, get_rank_family("ipps")
+        )
+        self._check_all(summary)

@@ -78,3 +78,27 @@ class TestAttributePredicate:
         np.testing.assert_array_equal(
             pred.mask(make_dataset()), [True, False, True]
         )
+
+
+class TestMaskAtPushdown:
+    def test_mask_at_subset_of_positions(self):
+        ds = make_dataset()
+        positions = np.array([2, 0])
+        np.testing.assert_array_equal(
+            attribute_equals("port", 80).mask_at(ds, positions), [True, True]
+        )
+
+    def test_mask_at_matches_select_for_missing_attribute(self):
+        """mask_at is a vectorized override of the per-key select() loop,
+        so the two must agree even when the attribute column is absent."""
+        ds = make_dataset()
+        positions = np.arange(3)
+        for value in (None, 0, "x"):
+            pred = attribute_equals("no_such_attribute", value)
+            expected = [
+                pred.select(key, {name: ds.attributes[name][pos]
+                                  for name in ds.attributes})
+                for pos, key in enumerate(ds.keys)
+            ]
+            assert pred.mask_at(ds, positions).tolist() == expected
+            assert pred.mask(ds).tolist() == expected
