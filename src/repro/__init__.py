@@ -83,6 +83,13 @@ from repro.sampling import (
     kmins_sketches,
     poisson_from_ranks,
 )
+from repro.store import (
+    SketchBundle,
+    SummarizerCheckpoint,
+    SummaryStore,
+    load_checkpoint,
+    save_checkpoint,
+)
 
 __version__ = "1.0.0"
 
@@ -131,6 +138,11 @@ __all__ = [
     "poisson_from_ranks",
     "calibrate_tau",
     "kmins_sketches",
+    "SketchBundle",
+    "SummarizerCheckpoint",
+    "SummaryStore",
+    "save_checkpoint",
+    "load_checkpoint",
 ]
 
 

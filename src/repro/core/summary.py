@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.ranks.assignments import RankDraw
 from repro.ranks.families import RankFamily
-from repro.sampling.bottomk import BottomKSketch
+from repro.sampling.bottomk import BottomKSketch, _array_bits_equal
 from repro.sampling.poisson import PoissonSketch
 
 __all__ = [
@@ -159,6 +159,47 @@ class MultiAssignmentSummary:
             cache = SummaryViews(self)
             self.__dict__["_views"] = cache
         return cache
+
+    def equals(self, other: "MultiAssignmentSummary") -> bool:
+        """Bit-exact equality of every stored field.
+
+        Float arrays are compared by raw bytes, so ``+inf`` thresholds and
+        ``NaN`` dispersed-weight placeholders compare exactly.  This is the
+        contract behind checkpoint/resume ("bit-identical summaries") and
+        the store codec round-trip tests; cached views are ignored.
+        """
+
+        def bits(a: np.ndarray | None, b: np.ndarray | None) -> bool:
+            if a is None or b is None:
+                return a is None and b is None
+            return _array_bits_equal(a, b)
+
+        if not isinstance(other, MultiAssignmentSummary):
+            return False
+        if (
+            self.mode != other.mode
+            or self.kind != other.kind
+            or self.assignments != other.assignments
+            or self.k != other.k
+            or self.family != other.family
+            or self.method_name != other.method_name
+            or self.consistent != other.consistent
+        ):
+            return False
+        if (self.keys is None) != (other.keys is None):
+            return False
+        if self.keys is not None and list(self.keys) != list(other.keys):
+            return False
+        return (
+            bits(self.positions, other.positions)
+            and bits(self.member, other.member)
+            and bits(self.ranks, other.ranks)
+            and bits(self.weights, other.weights)
+            and bits(self.thresholds, other.thresholds)
+            and bits(self.rank_k, other.rank_k)
+            and bits(self.rank_kplus1, other.rank_kplus1)
+            and bits(self.seeds, other.seeds)
+        )
 
     def __repr__(self) -> str:
         return (

@@ -136,6 +136,25 @@ class QueryEngine:
     MAX_CACHED_PREDICATES = 256
 
     @classmethod
+    def from_store(
+        cls,
+        store,
+        namespace: str,
+        buckets: Sequence[str] | None = None,
+        dataset: MultiAssignmentDataset | None = None,
+    ) -> "QueryEngine":
+        """Engine over the stored summaries of one namespace.
+
+        Loads every sketch-bundle artifact of ``namespace`` (optionally
+        restricted to ``buckets``) from a
+        :class:`~repro.store.SummaryStore`, merges them exactly, assembles
+        the dispersed multi-assignment summary, and serves it on the
+        vectorized fast path.  Because compaction uses the same exact
+        merge, a rolled-up store answers identically to the raw one.
+        """
+        return cls(store.summary(namespace, buckets), dataset)
+
+    @classmethod
     def for_summary(
         cls,
         summary: MultiAssignmentSummary,

@@ -189,6 +189,9 @@ class ShardedSummarizer:
             name: [_ShardBuffer() for _ in range(n_shards)]
             for name in self.assignments
         }
+        # Finalized per-assignment merged sketches, recomputed lazily after
+        # every ingest (aggregation + sampling is O(buffered events)).
+        self._sketch_cache: dict[str, BottomKSketch] | None = None
 
     def _shards_for(self, assignment: str) -> list[_ShardBuffer]:
         try:
@@ -229,6 +232,7 @@ class ShardedSummarizer:
             )
         if len(keys) == 0:
             return
+        self._sketch_cache = None
         if self.n_shards == 1:
             # Copy: the multi-shard path copies via mask indexing; without
             # one here a caller refilling a preallocated batch buffer would
@@ -252,29 +256,141 @@ class ShardedSummarizer:
         if keys:
             self.ingest(assignment, keys, np.asarray(weights, dtype=float))
 
+    def _merged_sketches(self) -> dict[str, BottomKSketch]:
+        """Finalized per-assignment sketches, cached until the next ingest.
+
+        These are internal state: callers go through :meth:`sketches`,
+        which hands out defensive copies.
+        """
+        if self._sketch_cache is None:
+            out: dict[str, BottomKSketch] = {}
+            for name in self.assignments:
+                shard_sketches = []
+                for buffer in self._buffers[name]:
+                    keys, totals = buffer.aggregated()
+                    sampler = BottomKStreamSampler(
+                        self.k, self.family, self.hasher
+                    )
+                    if len(totals):
+                        sampler.process_batch(keys, totals)
+                    shard_sketches.append(sampler.sketch())
+                out[name] = merge_bottomk(*shard_sketches)
+            self._sketch_cache = out
+        return self._sketch_cache
+
     def sketches(self) -> dict[str, BottomKSketch]:
         """Aggregate, sample, and merge: one bottom-k sketch per assignment.
 
         Equals what one sampler per assignment would produce over the
-        pre-aggregated stream — sharding is invisible in the output.
+        pre-aggregated stream — sharding is invisible in the output.  The
+        finalized sketches are cached until the next :meth:`ingest`;
+        callers receive defensive copies, so mutating a returned sketch
+        (or its arrays) cannot corrupt the cached shard state that later
+        :meth:`summary` / :meth:`sketch_bundle` calls read.
         """
-        out: dict[str, BottomKSketch] = {}
-        for name in self.assignments:
-            shard_sketches = []
-            for buffer in self._buffers[name]:
-                keys, totals = buffer.aggregated()
-                sampler = BottomKStreamSampler(self.k, self.family, self.hasher)
-                if len(totals):
-                    sampler.process_batch(keys, totals)
-                shard_sketches.append(sampler.sketch())
-            out[name] = merge_bottomk(*shard_sketches)
-        return out
+        return {
+            name: sk.copy() for name, sk in self._merged_sketches().items()
+        }
 
     def summary(self) -> MultiAssignmentSummary:
         """Assemble the dispersed multi-assignment summary."""
         return build_summary_from_sketches(
-            self.sketches(), self.family, method_name="shared_seed"
+            self._merged_sketches(), self.family, method_name="shared_seed"
         )
+
+    def sketch_bundle(self) -> "SketchBundle":
+        """The storable artifact of this summarizer's current sketches.
+
+        A :class:`~repro.store.codec.SketchBundle` carrying the merged
+        per-assignment sketches plus the coordination metadata (family,
+        hasher salt) a :class:`~repro.store.SummaryStore` needs to merge
+        it exactly with artifacts from coordinated writers.
+        """
+        from repro.store.codec import SketchBundle
+
+        if type(self.hasher) is not KeyHasher:
+            # A custom hasher's behavior is not captured by its salt, so a
+            # stored bundle would claim a coordination it cannot reproduce.
+            raise ValueError(
+                "sketch_bundle requires a plain KeyHasher (a custom hasher "
+                "cannot be re-instantiated from its salt)"
+            )
+        return SketchBundle(
+            kind="bottomk",
+            sketches=self.sketches(),
+            family=self.family,
+            hasher_salt=self.hasher.salt,
+            method_name="shared_seed",
+        )
+
+    # -- checkpoint / resume --------------------------------------------------
+
+    def checkpoint_state(self) -> "SummarizerCheckpoint":
+        """Freeze the summarizer for :mod:`repro.store.checkpoint`.
+
+        Captures configuration, coordination salts, and every buffered raw
+        chunk in arrival order.  Restoring (:meth:`from_checkpoint`) and
+        finishing the stream is bit-identical to never having stopped.
+        Chunk arrays are shared, not copied: the summarizer only ever
+        appends new chunks, so the snapshot stays valid while it lives.
+        """
+        from repro.store.codec import SummarizerCheckpoint
+
+        if type(self.hasher) is not KeyHasher:
+            raise ValueError(
+                "checkpointing requires a plain KeyHasher (a custom hasher "
+                "cannot be re-instantiated from its salt)"
+            )
+        return SummarizerCheckpoint(
+            k=self.k,
+            assignments=list(self.assignments),
+            n_shards=self.n_shards,
+            family=self.family,
+            hasher_salt=self.hasher.salt,
+            partition_salt=self.partition_salt,
+            chunks={
+                name: [list(buffer.chunks) for buffer in buffers]
+                for name, buffers in self._buffers.items()
+            },
+        )
+
+    @classmethod
+    def from_checkpoint(
+        cls, state: "SummarizerCheckpoint"
+    ) -> "ShardedSummarizer":
+        """Rebuild a summarizer from a checkpoint snapshot.
+
+        The restored instance has the same configuration, salts, and
+        buffered chunks (in arrival order), so continuing the stream
+        produces summaries bit-identical to an uninterrupted run.
+        """
+        restored = cls(
+            k=state.k,
+            assignments=state.assignments,
+            n_shards=state.n_shards,
+            family=state.family,
+            hasher=KeyHasher(state.hasher_salt),
+            partition_salt=state.partition_salt,
+        )
+        for name in restored.assignments:
+            for shard, chunk_list in enumerate(state.chunks[name]):
+                restored._buffers[name][shard].chunks = [
+                    (keys, weights) for keys, weights in chunk_list
+                ]
+        return restored
+
+    def save_checkpoint(self, path) -> int:
+        """Write a checkpoint blob to ``path``; returns bytes written."""
+        from repro.store.checkpoint import save_checkpoint
+
+        return save_checkpoint(path, self)
+
+    @classmethod
+    def load_checkpoint(cls, path) -> "ShardedSummarizer":
+        """Restore a summarizer from a checkpoint file."""
+        from repro.store.checkpoint import load_checkpoint
+
+        return load_checkpoint(path)
 
     def __repr__(self) -> str:
         buffered = sum(

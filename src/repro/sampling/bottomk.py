@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import struct
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Iterator
 
@@ -57,6 +58,16 @@ __all__ = [
 ]
 
 _INF = math.inf
+
+
+def _float_bits_equal(a: float, b: float) -> bool:
+    """IEEE-754 bit equality (NaN == NaN, ``-0.0 != 0.0``)."""
+    return struct.pack("<d", float(a)) == struct.pack("<d", float(b))
+
+
+def _array_bits_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Bitwise array equality: same dtype, shape, and raw bytes."""
+    return a.dtype == b.dtype and a.shape == b.shape and a.tobytes() == b.tobytes()
 
 
 @dataclass
@@ -108,6 +119,53 @@ class BottomKSketch:
     def rank_k_excluding(self, key: Hashable) -> float:
         """``r_k(I \\ {key})``, recoverable from the sketch alone."""
         return self.threshold if key in self._members else self.kth_rank
+
+    def copy(self) -> "BottomKSketch":
+        """Deep copy: arrays and membership set are not shared.
+
+        Accessors that hand sketches across an ownership boundary (e.g.
+        :meth:`repro.engine.ShardedSummarizer.sketches`) return copies so
+        callers can mutate what they receive without corrupting cached
+        internal state.
+        """
+        return BottomKSketch(
+            k=self.k,
+            keys=self.keys.copy(),
+            ranks=self.ranks.copy(),
+            weights=self.weights.copy(),
+            kth_rank=self.kth_rank,
+            threshold=self.threshold,
+            seeds=None if self.seeds is None else self.seeds.copy(),
+        )
+
+    def equals(self, other: "BottomKSketch") -> bool:
+        """Bit-exact equality: same k, keys, and float bit patterns.
+
+        Float arrays are compared by their raw bytes (so ``+inf`` and NaN
+        cells compare exactly and ``-0.0 != 0.0``), which is the contract
+        the store codec round-trip tests pin down.
+        """
+        if not isinstance(other, BottomKSketch):
+            return False
+        if self.k != other.k or len(self) != len(other):
+            return False
+        if not _float_bits_equal(self.kth_rank, other.kth_rank):
+            return False
+        if not _float_bits_equal(self.threshold, other.threshold):
+            return False
+        if (self.seeds is None) != (other.seeds is None):
+            return False
+        if self.keys.tolist() != other.keys.tolist():
+            return False
+        if not _array_bits_equal(self.ranks, other.ranks):
+            return False
+        if not _array_bits_equal(self.weights, other.weights):
+            return False
+        if self.seeds is not None and not _array_bits_equal(
+            self.seeds, other.seeds
+        ):
+            return False
+        return True
 
     def items(self) -> Iterator[tuple[Hashable, float, float]]:
         """Iterate ``(key, rank, weight)`` triples in rank order."""
@@ -348,6 +406,45 @@ class BottomKStreamSampler:
                 )
             else:
                 break
+
+    def state(self) -> tuple[list[tuple], frozenset]:
+        """Snapshot ``(heap entries, seen keys)`` for checkpointing.
+
+        The heap entries are returned in internal list order (a valid heap
+        layout), so :meth:`from_state` restores a sampler that behaves
+        bit-identically — including duplicate-key detection, which needs
+        the seen set and not just the heap.  Both containers are copies.
+        """
+        return list(self._heap), frozenset(self._seen)
+
+    @classmethod
+    def from_state(
+        cls,
+        k: int,
+        family: RankFamily,
+        hasher: KeyHasher,
+        heap: Iterable[tuple],
+        seen: Iterable[Hashable],
+    ) -> "BottomKStreamSampler":
+        """Rebuild a sampler from a :meth:`state` snapshot.
+
+        Entries are re-heapified defensively (``heap`` may arrive in any
+        order).  The internal list layout may therefore differ from the
+        snapshot, but every observable output is layout-independent: the
+        kept entries are determined by rank comparisons alone and
+        :meth:`sketch` sorts them, so a restored sampler produces
+        bit-identical sketches to the original under any continued stream.
+        """
+        sampler = cls(k, family, hasher)
+        sampler._heap = [tuple(entry) for entry in heap]
+        heapq.heapify(sampler._heap)
+        sampler._seen = set(seen)
+        if len(sampler._heap) > k + 1:
+            raise ValueError(
+                f"heap holds {len(sampler._heap)} entries; a bottom-{k} "
+                "sampler keeps at most k + 1"
+            )
+        return sampler
 
     def sketch(self) -> BottomKSketch:
         """Materialize the sketch from the current sampler state."""

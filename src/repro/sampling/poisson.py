@@ -69,6 +69,40 @@ class PoissonSketch:
 
         return merge_poisson(self, *others)
 
+    def copy(self) -> "PoissonSketch":
+        """Deep copy: arrays and membership set are not shared."""
+        return PoissonSketch(
+            tau=self.tau,
+            keys=self.keys.copy(),
+            ranks=self.ranks.copy(),
+            weights=self.weights.copy(),
+            seeds=None if self.seeds is None else self.seeds.copy(),
+        )
+
+    def equals(self, other: "PoissonSketch") -> bool:
+        """Bit-exact equality (see :meth:`BottomKSketch.equals`)."""
+        from repro.sampling.bottomk import _array_bits_equal, _float_bits_equal
+
+        if not isinstance(other, PoissonSketch):
+            return False
+        if len(self) != len(other):
+            return False
+        if not _float_bits_equal(self.tau, other.tau):
+            return False
+        if (self.seeds is None) != (other.seeds is None):
+            return False
+        if self.keys.tolist() != other.keys.tolist():
+            return False
+        if not _array_bits_equal(self.ranks, other.ranks):
+            return False
+        if not _array_bits_equal(self.weights, other.weights):
+            return False
+        if self.seeds is not None and not _array_bits_equal(
+            self.seeds, other.seeds
+        ):
+            return False
+        return True
+
 
 def poisson_from_ranks(
     ranks: np.ndarray,

@@ -1,0 +1,50 @@
+"""Persistent summary store: codec, disk registry, and checkpoint/resume.
+
+The storage layer between the sharded ingestion engine and the query
+engine: :mod:`repro.store.codec` serializes sketches, samplers, summaries,
+and checkpoints to a versioned zero-copy binary format;
+:mod:`repro.store.store` keeps the resulting artifacts in a namespace- and
+time-bucket-partitioned on-disk registry with atomic writes and exact
+merge-based rollups; :mod:`repro.store.checkpoint` freezes and resumes
+sharded ingestion bit-identically.  ``python -m repro.store`` exposes the
+write/ls/compact/query workflow on the command line.
+"""
+
+from repro.store.checkpoint import load_checkpoint, save_checkpoint
+from repro.store.codec import (
+    CodecError,
+    SketchBundle,
+    SummarizerCheckpoint,
+    UnsupportedFormatError,
+    decode,
+    encode,
+    read_file,
+    write_file,
+)
+from repro.store.store import (
+    GRANULARITIES,
+    StoreEntry,
+    SummaryStore,
+    bucket_for,
+    bucket_granularity,
+    coarsen_bucket,
+)
+
+__all__ = [
+    "CodecError",
+    "UnsupportedFormatError",
+    "SketchBundle",
+    "SummarizerCheckpoint",
+    "encode",
+    "decode",
+    "write_file",
+    "read_file",
+    "save_checkpoint",
+    "load_checkpoint",
+    "GRANULARITIES",
+    "StoreEntry",
+    "SummaryStore",
+    "bucket_for",
+    "bucket_granularity",
+    "coarsen_bucket",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.store`` — the store CLI entry point."""
+
+import sys
+
+from repro.store.cli import main
+
+sys.exit(main())

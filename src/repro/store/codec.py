@@ -1,0 +1,916 @@
+"""Versioned binary codec for summaries, sketches, and sampler state.
+
+Everything the engine can produce — :class:`~repro.sampling.bottomk.BottomKSketch`,
+:class:`~repro.sampling.poisson.PoissonSketch`,
+:class:`~repro.sampling.bottomk.BottomKStreamSampler` state,
+:class:`~repro.core.summary.MultiAssignmentSummary`, per-assignment
+:class:`SketchBundle` artifacts, and :class:`SummarizerCheckpoint` snapshots
+— round-trips through one self-describing binary format:
+
+* **bit-exact** — float arrays and scalars are stored as raw IEEE-754
+  buffers (``+inf`` thresholds, ``NaN`` dispersed-weight placeholders, and
+  last-ulp rank values all survive), so ``decode(encode(x))`` equals ``x``
+  bit for bit and resumed pipelines stay coordinated;
+* **zero-copy** — numeric arrays decode as :func:`numpy.frombuffer` views
+  into the input buffer (read-only; pass ``writable=True`` to copy), so
+  loading a stored summary costs one JSON-header parse, not a memcpy per
+  matrix;
+* **coordination-complete** — rank-family names, hasher salts, and
+  rank-method names ride along, so a process that loads an artifact can
+  keep hashing new keys consistently with the process that wrote it;
+* **versioned** — every blob starts with magic + format version; unknown
+  versions are refused with :class:`UnsupportedFormatError` instead of
+  being misread (``tests/data/golden_store_v1.cws`` pins v1 against drift).
+
+Layout of one encoded blob (all integers little-endian)::
+
+    magic b"CWSS" | uint16 version | uint32 header_len | header JSON
+    | padding to 16 | buffer section (each buffer padded to 16)
+
+The JSON header carries only strings, ints, bools, and nulls (floats live
+in buffers, where JSON's textual round-trip cannot touch them) and is
+serialized with sorted keys, so encoding is deterministic: equal objects
+produce equal bytes.
+
+Key arrays are stored raw when their dtype allows (ints, floats, bools,
+fixed-width str/bytes) and otherwise element-wise with a tagged packing
+that covers every key type the hash layer accepts (int of any magnitude,
+float, str, bytes, bool, and arbitrarily nested tuples).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Sequence
+
+import numpy as np
+
+from repro.core.summary import MultiAssignmentSummary
+from repro.ranks.families import RankFamily, get_rank_family
+from repro.ranks.hashing import KeyHasher
+from repro.sampling.bottomk import BottomKSketch, BottomKStreamSampler
+from repro.sampling.poisson import PoissonSketch
+
+__all__ = [
+    "CodecError",
+    "UnsupportedFormatError",
+    "FORMAT_VERSION",
+    "MAGIC",
+    "SketchBundle",
+    "SummarizerCheckpoint",
+    "encode",
+    "decode",
+    "write_file",
+    "read_file",
+    "atomic_write_bytes",
+]
+
+MAGIC = b"CWSS"
+FORMAT_VERSION = 1
+
+_ALIGN = 16
+_HEADER_PREFIX = struct.Struct("<4sHI")  # magic, version, header length
+
+
+class CodecError(ValueError):
+    """Raised on malformed input or objects the codec cannot represent."""
+
+
+class UnsupportedFormatError(CodecError):
+    """Raised when a blob declares a format version this codec cannot read."""
+
+
+# ---------------------------------------------------------------------------
+# artifact dataclasses
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SketchBundle:
+    """One storable artifact: per-assignment sketches plus coordination data.
+
+    This is the unit :class:`~repro.store.SummaryStore` writes, rolls up,
+    and serves: the bottom-k (or Poisson) sketches of the assignments one
+    writer produced for one time bucket, together with everything a later
+    process needs to stay coordinated with it — the rank family, the rank
+    method, and the key-hasher salt.  Bundles over key-disjoint data merge
+    exactly (:meth:`merge`), which is what makes minute→hour→day rollups
+    lossless, and bottom-k bundles assemble directly into the dispersed
+    :class:`~repro.core.summary.MultiAssignmentSummary` (:meth:`summary`).
+    """
+
+    kind: str  # "bottomk" or "poisson"
+    sketches: dict[str, BottomKSketch | PoissonSketch]
+    family: RankFamily
+    hasher_salt: int | None = None
+    method_name: str = "shared_seed"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("bottomk", "poisson"):
+            raise ValueError(
+                f"bundle kind must be 'bottomk' or 'poisson', got {self.kind!r}"
+            )
+        if not self.sketches:
+            raise ValueError("a SketchBundle needs at least one sketch")
+        want = BottomKSketch if self.kind == "bottomk" else PoissonSketch
+        for name, sk in self.sketches.items():
+            if not isinstance(sk, want):
+                raise ValueError(
+                    f"sketch {name!r} is {type(sk).__name__}, but the bundle "
+                    f"kind is {self.kind!r}"
+                )
+
+    @property
+    def assignments(self) -> list[str]:
+        return list(self.sketches)
+
+    def compatible_with(self, other: "SketchBundle") -> bool:
+        """True when sketches of the two bundles may be merged exactly."""
+        return (
+            self.kind == other.kind
+            and self.family == other.family
+            and self.hasher_salt == other.hasher_salt
+            and self.method_name == other.method_name
+        )
+
+    def merge(self, *others: "SketchBundle") -> "SketchBundle":
+        """Exact merge over key-disjoint bundles (union of assignments).
+
+        Per assignment, the present sketches are merged with the exact
+        :func:`~repro.engine.merge.merge_bottomk` /
+        :func:`~repro.engine.merge.merge_poisson` primitives — which raise
+        on duplicate keys, the signal that the inputs were not a
+        key-disjoint partition.  Assignments keep first-encounter order.
+        """
+        from repro.engine.merge import merge_bottomk, merge_poisson
+
+        for other in others:
+            if not self.compatible_with(other):
+                raise ValueError(
+                    "cannot merge incompatible bundles: "
+                    f"({self.kind}, {self.family.name}, {self.hasher_salt}, "
+                    f"{self.method_name}) vs ({other.kind}, "
+                    f"{other.family.name}, {other.hasher_salt}, "
+                    f"{other.method_name})"
+                )
+        merge_one = merge_bottomk if self.kind == "bottomk" else merge_poisson
+        grouped: dict[str, list] = {}
+        for bundle in (self, *others):
+            for name, sk in bundle.sketches.items():
+                grouped.setdefault(name, []).append(sk)
+        merged = {name: merge_one(*parts) for name, parts in grouped.items()}
+        return SketchBundle(
+            kind=self.kind,
+            sketches=merged,
+            family=self.family,
+            hasher_salt=self.hasher_salt,
+            method_name=self.method_name,
+        )
+
+    def summary(self) -> MultiAssignmentSummary:
+        """Assemble the dispersed multi-assignment summary (bottom-k only)."""
+        from repro.core.summary import build_summary_from_sketches
+
+        if self.kind != "bottomk":
+            raise ValueError(
+                "only bottom-k bundles assemble into a multi-assignment "
+                f"summary, got kind {self.kind!r}"
+            )
+        return build_summary_from_sketches(
+            self.sketches, self.family, method_name=self.method_name
+        )
+
+    def equals(self, other: "SketchBundle") -> bool:
+        """Bit-exact equality of metadata and every sketch."""
+        if not isinstance(other, SketchBundle):
+            return False
+        if not self.compatible_with(other):
+            return False
+        if self.assignments != other.assignments:
+            return False
+        return all(
+            sk.equals(other.sketches[name]) for name, sk in self.sketches.items()
+        )
+
+
+@dataclass
+class SummarizerCheckpoint:
+    """Snapshot of a :class:`~repro.engine.ShardedSummarizer` mid-ingestion.
+
+    Captures the full configuration (so re-hashing stays coordinated) plus
+    every buffered raw-event chunk per (assignment, shard) in arrival
+    order.  Restoring and finishing the stream is therefore bit-identical
+    to never having been interrupted: aggregation order, shard placement,
+    and rank seeds are all reproduced exactly.
+
+    ``chunks[assignment][shard]`` is the list of ``(keys, weights)`` array
+    pairs buffered for that shard sampler.
+    """
+
+    k: int
+    assignments: list[str]
+    n_shards: int
+    family: RankFamily
+    hasher_salt: int
+    partition_salt: int
+    chunks: dict[str, list[list[tuple[np.ndarray, np.ndarray]]]] = field(
+        repr=False
+    )
+
+    def __post_init__(self) -> None:
+        missing = [name for name in self.assignments if name not in self.chunks]
+        if missing:
+            raise ValueError(f"chunks missing for assignments {missing!r}")
+        for name, shards in self.chunks.items():
+            if len(shards) != self.n_shards:
+                raise ValueError(
+                    f"assignment {name!r} has {len(shards)} shard chunk "
+                    f"lists, expected n_shards={self.n_shards}"
+                )
+
+    @property
+    def buffered_events(self) -> int:
+        return sum(
+            len(keys)
+            for shards in self.chunks.values()
+            for chunk_list in shards
+            for keys, _ in chunk_list
+        )
+
+    def restore(self):
+        """Rebuild the summarizer (see ShardedSummarizer.from_checkpoint)."""
+        from repro.engine.sharded import ShardedSummarizer
+
+        return ShardedSummarizer.from_checkpoint(self)
+
+
+# ---------------------------------------------------------------------------
+# tagged key packing (object arrays, lists, and sets of key identifiers)
+# ---------------------------------------------------------------------------
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+
+def _pack_key(value: Hashable, out: bytearray) -> None:
+    """Append one tagged key to ``out`` (recursive for tuples)."""
+    # bool before int: bool is an int subclass but a distinct key identity.
+    if isinstance(value, (bool, np.bool_)):
+        out += b"B" + (b"\x01" if value else b"\x00")
+    elif isinstance(value, (int, np.integer)):
+        value = int(value)
+        if _INT64_MIN <= value <= _INT64_MAX:
+            out += b"i" + _I64.pack(value)
+        else:
+            raw = value.to_bytes(
+                (value.bit_length() + 8) // 8, "little", signed=True
+            )
+            out += b"I" + _U32.pack(len(raw)) + raw
+    elif isinstance(value, (float, np.floating)):
+        out += b"f" + _F64.pack(float(value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += b"s" + _U32.pack(len(raw)) + raw
+    elif isinstance(value, bytes):
+        out += b"y" + _U32.pack(len(value)) + value
+    elif isinstance(value, tuple):
+        out += b"t" + _U32.pack(len(value))
+        for part in value:
+            _pack_key(part, out)
+    else:
+        raise CodecError(
+            f"cannot serialize key of type {type(value).__name__}: {value!r}"
+        )
+
+
+def _pack_keys(values: Sequence[Hashable]) -> bytes:
+    out = bytearray()
+    for value in values:
+        _pack_key(value, out)
+    return bytes(out)
+
+
+def _unpack_key(buf: memoryview, pos: int) -> tuple[Hashable, int]:
+    """Read one tagged key starting at ``pos``; return (value, next pos)."""
+    if pos >= len(buf):
+        raise CodecError("truncated key buffer")
+    tag = buf[pos : pos + 1].tobytes()
+    pos += 1
+    if tag == b"B":
+        return buf[pos] != 0, pos + 1
+    if tag == b"i":
+        return _I64.unpack_from(buf, pos)[0], pos + 8
+    if tag == b"I":
+        (n,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        return int.from_bytes(buf[pos : pos + n], "little", signed=True), pos + n
+    if tag == b"f":
+        return _F64.unpack_from(buf, pos)[0], pos + 8
+    if tag == b"s":
+        (n,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        return buf[pos : pos + n].tobytes().decode("utf-8"), pos + n
+    if tag == b"y":
+        (n,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        return buf[pos : pos + n].tobytes(), pos + n
+    if tag == b"t":
+        (count,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        parts = []
+        for _ in range(count):
+            part, pos = _unpack_key(buf, pos)
+            parts.append(part)
+        return tuple(parts), pos
+    raise CodecError(f"unknown key tag {tag!r}")
+
+
+def _unpack_keys(buf: memoryview, count: int) -> list[Hashable]:
+    values = []
+    pos = 0
+    try:
+        for _ in range(count):
+            value, pos = _unpack_key(buf, pos)
+            values.append(value)
+    except (struct.error, IndexError):
+        # unpack_from past the end of the buffer: the blob lied about its
+        # key count or was cut mid-entry
+        raise CodecError("truncated key buffer") from None
+    if pos != len(buf):
+        raise CodecError(
+            f"key buffer has {len(buf) - pos} trailing bytes after "
+            f"{count} keys"
+        )
+    return values
+
+
+#: array dtype kinds stored as raw buffers (everything else is tag-packed)
+_RAW_KINDS = "biufUS"
+
+
+# ---------------------------------------------------------------------------
+# blob writer / reader
+# ---------------------------------------------------------------------------
+
+
+def _pad(n: int) -> int:
+    return (-n) % _ALIGN
+
+
+class _BlobWriter:
+    """Accumulates named buffers and renders the final blob."""
+
+    def __init__(self, kind: str, meta: dict[str, Any]) -> None:
+        self.kind = kind
+        self.meta = meta
+        self.arrays: dict[str, dict[str, Any]] = {}
+        self.parts: list[bytes] = []
+        self.offset = 0
+
+    def _append(self, name: str, data: bytes, spec: dict[str, Any]) -> None:
+        if name in self.arrays:
+            raise CodecError(f"duplicate buffer name {name!r}")
+        spec["offset"] = self.offset
+        spec["nbytes"] = len(data)
+        self.arrays[name] = spec
+        self.parts.append(data)
+        pad = _pad(len(data))
+        if pad:
+            self.parts.append(b"\0" * pad)
+        self.offset += len(data) + pad
+
+    def add_array(self, name: str, arr: np.ndarray) -> None:
+        """Store an array raw when its dtype allows, tag-packed otherwise."""
+        if arr.dtype.kind in _RAW_KINDS:
+            contiguous = np.ascontiguousarray(arr)
+            self._append(
+                name,
+                contiguous.tobytes(),
+                {
+                    "enc": "raw",
+                    "dtype": contiguous.dtype.str,
+                    "shape": list(arr.shape),
+                },
+            )
+        elif arr.dtype.kind == "O":
+            if arr.ndim != 1:
+                raise CodecError(
+                    f"object arrays must be 1-D, got shape {arr.shape}"
+                )
+            self.add_keys(name, arr.tolist())
+        else:
+            raise CodecError(
+                f"cannot serialize array {name!r} of dtype {arr.dtype}"
+            )
+
+    def add_keys(self, name: str, values: Sequence[Hashable]) -> None:
+        """Store a sequence of key identifiers with the tagged packing."""
+        values = list(values)
+        self._append(
+            name, _pack_keys(values), {"enc": "obj", "count": len(values)}
+        )
+
+    def add_scalars(self, name: str, values: Sequence[float]) -> None:
+        """Store scalar floats as a raw f8 buffer (JSON cannot hold inf)."""
+        self.add_array(name, np.array(values, dtype="<f8"))
+
+    def add_blob(self, name: str, data: bytes) -> None:
+        """Store an opaque nested blob (recursively encoded object)."""
+        self._append(name, data, {"enc": "blob"})
+
+    def render(self) -> bytes:
+        payload = b"".join(self.parts)
+        header = {
+            "kind": self.kind,
+            "meta": self.meta,
+            "arrays": self.arrays,
+            "crc32": zlib.crc32(payload) & 0xFFFFFFFF,
+        }
+        header_json = json.dumps(
+            header, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        prefix = _HEADER_PREFIX.pack(MAGIC, FORMAT_VERSION, len(header_json))
+        head = prefix + header_json
+        return head + b"\0" * _pad(len(head)) + payload
+
+
+class _BlobReader:
+    """Resolves named buffers of one decoded blob (zero-copy by default)."""
+
+    def __init__(self, data, writable: bool, verify: bool) -> None:
+        view = memoryview(data)
+        if len(view) < _HEADER_PREFIX.size:
+            raise CodecError(
+                f"blob too short ({len(view)} bytes) to hold a header"
+            )
+        magic, version, header_len = _HEADER_PREFIX.unpack_from(view, 0)
+        if magic != MAGIC:
+            raise CodecError(
+                f"bad magic {magic!r}; not a coordinated-sampling store blob"
+            )
+        if version != FORMAT_VERSION:
+            raise UnsupportedFormatError(
+                f"format version {version} is not supported by this codec "
+                f"(supported: {FORMAT_VERSION}); refusing to guess at the "
+                "layout"
+            )
+        head_end = _HEADER_PREFIX.size + header_len
+        if head_end > len(view):
+            raise CodecError("truncated header")
+        try:
+            header = json.loads(view[_HEADER_PREFIX.size : head_end].tobytes())
+        except json.JSONDecodeError as err:
+            raise CodecError(f"corrupt header JSON: {err}") from None
+        self.kind: str = header["kind"]
+        self.meta: dict[str, Any] = header["meta"]
+        self.arrays: dict[str, dict[str, Any]] = header["arrays"]
+        self._base = head_end + _pad(head_end)
+        self._view = view
+        self._data = data
+        self.writable = writable
+        if verify:
+            payload = view[self._base :]
+            if (zlib.crc32(payload) & 0xFFFFFFFF) != header["crc32"]:
+                raise CodecError("payload checksum mismatch; blob is corrupt")
+
+    def _slice(self, spec: dict[str, Any]) -> memoryview:
+        start = self._base + spec["offset"]
+        end = start + spec["nbytes"]
+        if end > len(self._view):
+            raise CodecError("buffer extends past end of blob; truncated?")
+        return self._view[start:end]
+
+    def _spec(self, name: str, enc: str) -> dict[str, Any]:
+        try:
+            spec = self.arrays[name]
+        except KeyError:
+            raise CodecError(f"blob is missing buffer {name!r}") from None
+        if spec["enc"] != enc:
+            raise CodecError(
+                f"buffer {name!r} has encoding {spec['enc']!r}, "
+                f"expected {enc!r}"
+            )
+        return spec
+
+    def has(self, name: str) -> bool:
+        return name in self.arrays
+
+    def array(self, name: str) -> np.ndarray:
+        """A named array: zero-copy view for raw, rebuilt for tag-packed."""
+        spec = self.arrays.get(name)
+        if spec is None:
+            raise CodecError(f"blob is missing buffer {name!r}")
+        if spec["enc"] == "obj":
+            values = self.keys(name)
+            out = np.empty(len(values), dtype=object)
+            for pos, value in enumerate(values):
+                out[pos] = value
+            return out
+        spec = self._spec(name, "raw")
+        dtype = np.dtype(spec["dtype"])
+        shape = tuple(spec["shape"])
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        arr = np.frombuffer(
+            self._slice(spec), dtype=dtype, count=count
+        ).reshape(shape)
+        return arr.copy() if self.writable else arr
+
+    def keys(self, name: str) -> list[Hashable]:
+        spec = self._spec(name, "obj")
+        return _unpack_keys(self._slice(spec), spec["count"])
+
+    def scalars(self, name: str, count: int) -> tuple[float, ...]:
+        arr = self.array(name)
+        if arr.shape != (count,):
+            raise CodecError(
+                f"scalar buffer {name!r} has shape {arr.shape}, "
+                f"expected ({count},)"
+            )
+        return tuple(float(v) for v in arr)
+
+    def blob(self, name: str) -> memoryview:
+        return self._slice(self._spec(name, "blob"))
+
+
+# ---------------------------------------------------------------------------
+# coordination metadata helpers
+# ---------------------------------------------------------------------------
+
+
+def _family_name(family: RankFamily) -> str:
+    """Name of a registry rank family; refuse unregistered instances."""
+    name = getattr(family, "name", None)
+    try:
+        canonical = get_rank_family(name) if isinstance(name, str) else None
+    except ValueError:
+        canonical = None
+    if canonical is None or canonical != family:
+        raise CodecError(
+            f"rank family {family!r} is not in the registry; only named "
+            "families (exp, ipps) can be stored and re-instantiated"
+        )
+    return name
+
+
+def _hasher_salt(hasher: KeyHasher) -> int:
+    if type(hasher) is not KeyHasher:
+        raise CodecError(
+            f"only plain KeyHasher instances can be stored, got "
+            f"{type(hasher).__name__}; custom hashers cannot be "
+            "re-instantiated from a salt alone"
+        )
+    return hasher.salt
+
+
+# ---------------------------------------------------------------------------
+# per-kind encoders
+# ---------------------------------------------------------------------------
+
+
+def _encode_bottomk_sketch(sk: BottomKSketch) -> bytes:
+    writer = _BlobWriter("bottomk_sketch", {"k": sk.k})
+    writer.add_array("keys", sk.keys)
+    writer.add_array("ranks", np.asarray(sk.ranks, dtype="<f8"))
+    writer.add_array("weights", np.asarray(sk.weights, dtype="<f8"))
+    writer.add_scalars("scalars", [sk.kth_rank, sk.threshold])
+    if sk.seeds is not None:
+        writer.add_array("seeds", np.asarray(sk.seeds, dtype="<f8"))
+    return writer.render()
+
+
+def _decode_bottomk_sketch(reader: _BlobReader) -> BottomKSketch:
+    kth_rank, threshold = reader.scalars("scalars", 2)
+    return BottomKSketch(
+        k=int(reader.meta["k"]),
+        keys=reader.array("keys"),
+        ranks=reader.array("ranks"),
+        weights=reader.array("weights"),
+        kth_rank=kth_rank,
+        threshold=threshold,
+        seeds=reader.array("seeds") if reader.has("seeds") else None,
+    )
+
+
+def _encode_poisson_sketch(sk: PoissonSketch) -> bytes:
+    writer = _BlobWriter("poisson_sketch", {})
+    writer.add_array("keys", sk.keys)
+    writer.add_array("ranks", np.asarray(sk.ranks, dtype="<f8"))
+    writer.add_array("weights", np.asarray(sk.weights, dtype="<f8"))
+    writer.add_scalars("scalars", [sk.tau])
+    if sk.seeds is not None:
+        writer.add_array("seeds", np.asarray(sk.seeds, dtype="<f8"))
+    return writer.render()
+
+
+def _decode_poisson_sketch(reader: _BlobReader) -> PoissonSketch:
+    (tau,) = reader.scalars("scalars", 1)
+    return PoissonSketch(
+        tau=tau,
+        keys=reader.array("keys"),
+        ranks=reader.array("ranks"),
+        weights=reader.array("weights"),
+        seeds=reader.array("seeds") if reader.has("seeds") else None,
+    )
+
+
+def _encode_sampler(sampler: BottomKStreamSampler) -> bytes:
+    heap, seen = sampler.state()
+    writer = _BlobWriter(
+        "bottomk_sampler",
+        {
+            "k": sampler.k,
+            "family": _family_name(sampler.family),
+            "salt": _hasher_salt(sampler.hasher),
+        },
+    )
+    writer.add_keys("heap_keys", [entry[1] for entry in heap])
+    writer.add_scalars("heap_ranks", [entry[2] for entry in heap])
+    writer.add_scalars("heap_weights", [entry[3] for entry in heap])
+    writer.add_scalars("heap_seeds", [entry[4] for entry in heap])
+    # Sets have no stable iteration order (str hashing is salted per
+    # process); sort by packed representation so encoding is deterministic.
+    packed = []
+    for key in seen:
+        buf = bytearray()
+        _pack_key(key, buf)
+        packed.append(bytes(buf))
+    writer._append(
+        "seen", b"".join(sorted(packed)), {"enc": "obj", "count": len(packed)}
+    )
+    return writer.render()
+
+
+def _decode_sampler(reader: _BlobReader) -> BottomKStreamSampler:
+    meta = reader.meta
+    keys = reader.keys("heap_keys")
+    ranks = reader.array("heap_ranks")
+    weights = reader.array("heap_weights")
+    seeds = reader.array("heap_seeds")
+    if not (len(keys) == len(ranks) == len(weights) == len(seeds)):
+        raise CodecError("sampler heap buffers have inconsistent lengths")
+    heap = [
+        (-float(rank), key, float(rank), float(weight), float(seed))
+        for key, rank, weight, seed in zip(keys, ranks, weights, seeds)
+    ]
+    return BottomKStreamSampler.from_state(
+        k=int(meta["k"]),
+        family=get_rank_family(meta["family"]),
+        hasher=KeyHasher(int(meta["salt"])),
+        heap=heap,
+        seen=reader.keys("seen"),
+    )
+
+
+def _encode_summary(summary: MultiAssignmentSummary) -> bytes:
+    writer = _BlobWriter(
+        "summary",
+        {
+            "mode": summary.mode,
+            "summary_kind": summary.kind,
+            "assignments": list(summary.assignments),
+            "k": summary.k,
+            "method": summary.method_name,
+            "consistent": bool(summary.consistent),
+            "family": _family_name(summary.family),
+        },
+    )
+    writer.add_array("positions", summary.positions)
+    writer.add_array("member", np.asarray(summary.member, dtype="|b1"))
+    writer.add_array("ranks", np.asarray(summary.ranks, dtype="<f8"))
+    writer.add_array("weights", np.asarray(summary.weights, dtype="<f8"))
+    writer.add_array("thresholds", np.asarray(summary.thresholds, dtype="<f8"))
+    if summary.rank_k is not None:
+        writer.add_array("rank_k", np.asarray(summary.rank_k, dtype="<f8"))
+    if summary.rank_kplus1 is not None:
+        writer.add_array(
+            "rank_kplus1", np.asarray(summary.rank_kplus1, dtype="<f8")
+        )
+    if summary.seeds is not None:
+        writer.add_array("seeds", np.asarray(summary.seeds, dtype="<f8"))
+    if summary.keys is not None:
+        writer.add_keys("union_keys", summary.keys)
+    return writer.render()
+
+
+def _decode_summary(reader: _BlobReader) -> MultiAssignmentSummary:
+    meta = reader.meta
+    return MultiAssignmentSummary(
+        mode=meta["mode"],
+        kind=meta["summary_kind"],
+        assignments=list(meta["assignments"]),
+        k=int(meta["k"]),
+        positions=reader.array("positions"),
+        member=reader.array("member"),
+        ranks=reader.array("ranks"),
+        weights=reader.array("weights"),
+        thresholds=reader.array("thresholds"),
+        rank_k=reader.array("rank_k") if reader.has("rank_k") else None,
+        rank_kplus1=(
+            reader.array("rank_kplus1") if reader.has("rank_kplus1") else None
+        ),
+        seeds=reader.array("seeds") if reader.has("seeds") else None,
+        family=get_rank_family(meta["family"]),
+        method_name=meta["method"],
+        consistent=bool(meta["consistent"]),
+        keys=reader.keys("union_keys") if reader.has("union_keys") else None,
+    )
+
+
+def _encode_bundle(bundle: SketchBundle) -> bytes:
+    writer = _BlobWriter(
+        "sketch_bundle",
+        {
+            "bundle_kind": bundle.kind,
+            "family": _family_name(bundle.family),
+            "salt": bundle.hasher_salt,
+            "method": bundle.method_name,
+            "names": bundle.assignments,
+        },
+    )
+    for index, sk in enumerate(bundle.sketches.values()):
+        writer.add_blob(f"part{index}", encode(sk))
+    return writer.render()
+
+
+def _decode_bundle(reader: _BlobReader) -> SketchBundle:
+    meta = reader.meta
+    sketches = {}
+    for index, name in enumerate(meta["names"]):
+        sketches[name] = decode(
+            reader.blob(f"part{index}"), writable=reader.writable
+        )
+    salt = meta["salt"]
+    return SketchBundle(
+        kind=meta["bundle_kind"],
+        sketches=sketches,
+        family=get_rank_family(meta["family"]),
+        hasher_salt=None if salt is None else int(salt),
+        method_name=meta["method"],
+    )
+
+
+def _encode_checkpoint(cp: SummarizerCheckpoint) -> bytes:
+    layout = [
+        [len(cp.chunks[name][shard]) for shard in range(cp.n_shards)]
+        for name in cp.assignments
+    ]
+    writer = _BlobWriter(
+        "checkpoint",
+        {
+            "k": cp.k,
+            "assignments": list(cp.assignments),
+            "n_shards": cp.n_shards,
+            "family": _family_name(cp.family),
+            "salt": cp.hasher_salt,
+            "partition_salt": cp.partition_salt,
+            "layout": layout,
+        },
+    )
+    for ai, name in enumerate(cp.assignments):
+        for si, chunk_list in enumerate(cp.chunks[name]):
+            for ci, (keys, weights) in enumerate(chunk_list):
+                writer.add_array(f"a{ai}.s{si}.c{ci}.k", keys)
+                writer.add_array(
+                    f"a{ai}.s{si}.c{ci}.w", np.asarray(weights, dtype="<f8")
+                )
+    return writer.render()
+
+
+def _decode_checkpoint(reader: _BlobReader) -> SummarizerCheckpoint:
+    meta = reader.meta
+    assignments = list(meta["assignments"])
+    layout = meta["layout"]
+    if len(layout) != len(assignments):
+        raise CodecError("checkpoint layout does not match assignments")
+    chunks: dict[str, list[list[tuple[np.ndarray, np.ndarray]]]] = {}
+    for ai, name in enumerate(assignments):
+        shards = []
+        for si, n_chunks in enumerate(layout[ai]):
+            chunk_list = []
+            for ci in range(n_chunks):
+                keys = reader.array(f"a{ai}.s{si}.c{ci}.k")
+                weights = reader.array(f"a{ai}.s{si}.c{ci}.w")
+                if len(keys) != len(weights):
+                    raise CodecError(
+                        f"chunk a{ai}.s{si}.c{ci} has {len(keys)} keys but "
+                        f"{len(weights)} weights"
+                    )
+                chunk_list.append((keys, weights))
+            shards.append(chunk_list)
+        chunks[name] = shards
+    return SummarizerCheckpoint(
+        k=int(meta["k"]),
+        assignments=assignments,
+        n_shards=int(meta["n_shards"]),
+        family=get_rank_family(meta["family"]),
+        hasher_salt=int(meta["salt"]),
+        partition_salt=int(meta["partition_salt"]),
+        chunks=chunks,
+    )
+
+
+_DECODERS: dict[str, Callable[[_BlobReader], Any]] = {
+    "bottomk_sketch": _decode_bottomk_sketch,
+    "poisson_sketch": _decode_poisson_sketch,
+    "bottomk_sampler": _decode_sampler,
+    "summary": _decode_summary,
+    "sketch_bundle": _decode_bundle,
+    "checkpoint": _decode_checkpoint,
+}
+
+
+# ---------------------------------------------------------------------------
+# public API
+# ---------------------------------------------------------------------------
+
+
+def encode(obj) -> bytes:
+    """Serialize a supported object to a self-describing binary blob.
+
+    Deterministic: equal objects produce byte-identical blobs, which is
+    what lets the golden-file test pin format v1 against drift.
+    """
+    if isinstance(obj, BottomKSketch):
+        return _encode_bottomk_sketch(obj)
+    if isinstance(obj, PoissonSketch):
+        return _encode_poisson_sketch(obj)
+    if isinstance(obj, BottomKStreamSampler):
+        return _encode_sampler(obj)
+    if isinstance(obj, MultiAssignmentSummary):
+        return _encode_summary(obj)
+    if isinstance(obj, SketchBundle):
+        return _encode_bundle(obj)
+    if isinstance(obj, SummarizerCheckpoint):
+        return _encode_checkpoint(obj)
+    raise CodecError(
+        f"cannot serialize object of type {type(obj).__name__}; supported: "
+        "BottomKSketch, PoissonSketch, BottomKStreamSampler, "
+        "MultiAssignmentSummary, SketchBundle, SummarizerCheckpoint"
+    )
+
+
+def decode(data, *, writable: bool = False, verify: bool = False):
+    """Deserialize a blob produced by :func:`encode`.
+
+    Numeric arrays are zero-copy read-only views into ``data`` by default;
+    pass ``writable=True`` to copy them out (needed only when the caller
+    mutates arrays in place).  ``verify=True`` additionally checks the
+    payload CRC — recommended when reading from storage, skipped by
+    default so hot-path loads stay O(header).
+    """
+    reader = _BlobReader(data, writable=writable, verify=verify)
+    try:
+        decoder = _DECODERS[reader.kind]
+    except KeyError:
+        raise CodecError(f"unknown blob kind {reader.kind!r}") from None
+    return decoder(reader)
+
+
+def atomic_write_bytes(path, data: bytes) -> None:
+    """Publish ``data`` at ``path`` via a same-directory staging file.
+
+    The bytes are staged to a temporary file beside the target, fsynced,
+    and published with :func:`os.replace`, so a crash mid-write never
+    leaves a truncated or half-written file at ``path``.  Parent
+    directories are created as needed.  Shared by :func:`write_file` and
+    every :class:`~repro.store.SummaryStore` blob/manifest publication.
+    """
+    path = os.fspath(path)
+    directory, name = os.path.split(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    staging = os.path.join(directory, f".{name}.tmp.{os.getpid()}")
+    try:
+        with open(staging, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(staging, path)
+    finally:
+        if os.path.exists(staging):
+            os.unlink(staging)
+
+
+def write_file(path, obj) -> int:
+    """Atomically encode ``obj`` into ``path``; returns bytes written.
+
+    Atomicity is the property checkpoint files depend on: overwriting the
+    previous good checkpoint must not destroy it if the writer crashes.
+    """
+    blob = encode(obj)
+    atomic_write_bytes(path, blob)
+    return len(blob)
+
+
+def read_file(path, *, writable: bool = False, verify: bool = True):
+    """Read and decode one blob file (CRC-verified by default)."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    return decode(data, writable=writable, verify=verify)

@@ -1,0 +1,580 @@
+"""Disk-backed summary registry: namespaces, time buckets, exact rollups.
+
+:class:`SummaryStore` persists the engine's artifacts so summaries survive
+process restarts and can be served long after ingestion:
+
+* **layout** — artifacts live under ``root/data/<namespace>/<bucket>/`` as
+  codec blobs (``.cws`` files, format v1); a JSON ``manifest.json`` at the
+  root is the source of truth for what the store contains;
+* **atomic writes** — every blob and every manifest revision is staged to
+  a temporary file in the target directory and published with
+  :func:`os.replace`, so readers never observe a half-written artifact
+  (a crash can leave orphaned data files, never a corrupt manifest);
+  mutations additionally serialize on a cross-process lock file and
+  re-read the manifest before applying, so concurrent writers sharing one
+  root compose instead of losing each other's entries;
+* **time buckets** — bucket ids are UTC timestamps at ``minute``
+  (``YYYYMMDDTHHMM``), ``hour`` (``YYYYMMDDTHH``), or ``day``
+  (``YYYYMMDD``) granularity, so a bucket id *is* its coarsening prefix;
+* **merge-based compaction** — :meth:`compact` rolls fine buckets up into
+  coarser ones (minute→hour→day) with the exact
+  :func:`~repro.engine.merge.merge_bottomk` / ``merge_poisson``
+  primitives, so a compacted store answers
+  :class:`~repro.engine.queries.QueryEngine` queries identically to
+  merging the raw artifacts in memory.  Rollups require the grouped
+  artifacts to be key-disjoint (shards of one partition, or event logs
+  whose keys do not recur across buckets); duplicate keys make the merge
+  raise rather than silently double-count.
+
+The store holds three artifact kinds: :class:`~repro.store.codec.SketchBundle`
+(per-assignment sketches — the unit of rollups and query serving),
+:class:`~repro.core.summary.MultiAssignmentSummary` (assembled summaries,
+stored as-is), and :class:`~repro.store.codec.SummarizerCheckpoint`
+(mid-ingestion snapshots; see :mod:`repro.store.checkpoint`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.summary import MultiAssignmentSummary
+from repro.store.codec import (
+    CodecError,
+    SketchBundle,
+    SummarizerCheckpoint,
+    atomic_write_bytes,
+    decode,
+    encode,
+)
+
+__all__ = [
+    "GRANULARITIES",
+    "bucket_granularity",
+    "coarsen_bucket",
+    "bucket_for",
+    "StoreEntry",
+    "SummaryStore",
+]
+
+#: bucket granularities, finest first
+GRANULARITIES = ("minute", "hour", "day")
+
+_BUCKET_FORMATS = {
+    "minute": ("%Y%m%dT%H%M", 13),
+    "hour": ("%Y%m%dT%H", 11),
+    "day": ("%Y%m%d", 8),
+}
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
+_MANIFEST_VERSION = 1
+
+
+def bucket_granularity(bucket: str) -> str:
+    """Granularity of a bucket id, inferred from its format.
+
+    >>> bucket_granularity("20260728T1201")
+    'minute'
+    >>> bucket_granularity("20260728")
+    'day'
+    """
+    for granularity, (fmt, width) in _BUCKET_FORMATS.items():
+        if len(bucket) == width:
+            try:
+                datetime.strptime(bucket, fmt)
+            except ValueError:
+                break
+            return granularity
+    raise ValueError(
+        f"invalid bucket id {bucket!r}; expected YYYYMMDDTHHMM (minute), "
+        "YYYYMMDDTHH (hour), or YYYYMMDD (day)"
+    )
+
+
+def coarsen_bucket(bucket: str, to: str) -> str:
+    """Coarsen a bucket id to granularity ``to`` (a prefix truncation).
+
+    >>> coarsen_bucket("20260728T1201", "hour")
+    '20260728T12'
+    >>> coarsen_bucket("20260728T12", "day")
+    '20260728'
+    """
+    if to not in GRANULARITIES:
+        raise ValueError(
+            f"unknown granularity {to!r}; known: {', '.join(GRANULARITIES)}"
+        )
+    current = bucket_granularity(bucket)
+    if GRANULARITIES.index(current) > GRANULARITIES.index(to):
+        raise ValueError(
+            f"cannot refine bucket {bucket!r} ({current}) to finer "
+            f"granularity {to!r}"
+        )
+    return bucket[: _BUCKET_FORMATS[to][1]]
+
+
+def bucket_for(when: datetime | float, granularity: str = "minute") -> str:
+    """Bucket id of a timestamp (datetime or POSIX seconds, UTC).
+
+    >>> bucket_for(datetime(2026, 7, 28, 12, 1, tzinfo=timezone.utc))
+    '20260728T1201'
+    """
+    if granularity not in GRANULARITIES:
+        raise ValueError(
+            f"unknown granularity {granularity!r}; known: "
+            f"{', '.join(GRANULARITIES)}"
+        )
+    if not isinstance(when, datetime):
+        when = datetime.fromtimestamp(float(when), tz=timezone.utc)
+    elif when.tzinfo is not None:
+        when = when.astimezone(timezone.utc)
+    return when.strftime(_BUCKET_FORMATS[granularity][0])
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One manifest row: where an artifact lives and what it holds."""
+
+    namespace: str
+    bucket: str
+    part: str
+    kind: str  # "bottomk" | "poisson" | "summary" | "checkpoint"
+    assignments: tuple[str, ...]
+    path: str  # store-root-relative POSIX path
+    nbytes: int
+
+    @property
+    def granularity(self) -> str:
+        return bucket_granularity(self.bucket)
+
+    def to_json(self) -> dict:
+        return {
+            "namespace": self.namespace,
+            "bucket": self.bucket,
+            "part": self.part,
+            "kind": self.kind,
+            "assignments": list(self.assignments),
+            "path": self.path,
+            "nbytes": self.nbytes,
+        }
+
+    @classmethod
+    def from_json(cls, row: dict) -> "StoreEntry":
+        return cls(
+            namespace=row["namespace"],
+            bucket=row["bucket"],
+            part=row["part"],
+            kind=row["kind"],
+            assignments=tuple(row["assignments"]),
+            path=row["path"],
+            nbytes=int(row["nbytes"]),
+        )
+
+
+#: entry kinds that participate in rollups and query serving
+_BUNDLE_KINDS = ("bottomk", "poisson")
+
+
+class _StoreLock:
+    """Advisory cross-process mutation lock (``O_CREAT | O_EXCL`` file).
+
+    Serializes manifest mutations so concurrent writers (several CLI
+    invocations, multiple collector processes sharing one root) cannot
+    lose each other's entries or pick colliding part names.  A process
+    that dies holding the lock leaves the file behind; waiters time out
+    with a message naming it so an operator can remove it.
+    """
+
+    def __init__(self, path: Path, timeout: float = 10.0) -> None:
+        self.path = path
+        self.timeout = timeout
+
+    def __enter__(self) -> "_StoreLock":
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"could not acquire store lock {self.path} within "
+                        f"{self.timeout:.0f}s; if no writer is running, "
+                        "remove the stale lock file"
+                    ) from None
+                time.sleep(0.05)
+            else:
+                os.write(fd, str(os.getpid()).encode("ascii"))
+                os.close(fd)
+                return self
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class SummaryStore:
+    """Namespace- and time-bucket-partitioned registry of codec artifacts.
+
+    >>> import tempfile
+    >>> from repro.ranks import IppsRanks, KeyHasher
+    >>> from repro.sampling.bottomk import BottomKStreamSampler
+    >>> from repro.store.codec import SketchBundle
+    >>> sampler = BottomKStreamSampler(2, IppsRanks(), KeyHasher(7))
+    >>> sampler.process_stream([("a", 3.0), ("b", 1.0)])
+    >>> bundle = SketchBundle("bottomk", {"h1": sampler.sketch()},
+    ...                       IppsRanks(), hasher_salt=7)
+    >>> root = tempfile.mkdtemp()
+    >>> store = SummaryStore(root)
+    >>> entry = store.write("flows", "20260728T1201", bundle)
+    >>> [e.bucket for e in store.entries("flows")]
+    ['20260728T1201']
+    >>> SummaryStore(root).load(entry).equals(bundle)
+    True
+    """
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, root, create: bool = True) -> None:
+        self.root = Path(root)
+        self._entries: list[StoreEntry] = []
+        manifest = self.root / self.MANIFEST
+        if manifest.exists():
+            self._load_manifest(manifest)
+        elif create:
+            # Initialize under the mutation lock: two racing initializers
+            # must not let the loser's empty manifest replace one the
+            # winner has already committed entries into.
+            self.root.mkdir(parents=True, exist_ok=True)
+            with self._mutation_lock():
+                if manifest.exists():
+                    self._load_manifest(manifest)
+                else:
+                    self._persist_manifest()
+        else:
+            raise FileNotFoundError(
+                f"no store at {self.root} (missing {self.MANIFEST}); pass "
+                "create=True to initialize one"
+            )
+
+    # -- manifest -------------------------------------------------------------
+
+    def _load_manifest(self, path: Path) -> None:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        version = manifest.get("version")
+        if version != _MANIFEST_VERSION:
+            raise CodecError(
+                f"manifest version {version!r} is not supported "
+                f"(supported: {_MANIFEST_VERSION})"
+            )
+        self._entries = [StoreEntry.from_json(row) for row in manifest["entries"]]
+
+    def refresh(self) -> None:
+        """Re-read the manifest from disk (picks up other writers' work)."""
+        manifest = self.root / self.MANIFEST
+        if manifest.exists():
+            self._load_manifest(manifest)
+
+    def _mutation_lock(self) -> _StoreLock:
+        return _StoreLock(self.root / ".store.lock")
+
+    def _persist_manifest(self) -> None:
+        manifest = {
+            "version": _MANIFEST_VERSION,
+            "entries": [entry.to_json() for entry in self._entries],
+        }
+        data = json.dumps(manifest, indent=1, sort_keys=True).encode("utf-8")
+        atomic_write_bytes(self.root / self.MANIFEST, data)
+
+    # -- listing --------------------------------------------------------------
+
+    def entries(
+        self,
+        namespace: str | None = None,
+        buckets: Sequence[str] | None = None,
+        kind: str | None = None,
+    ) -> list[StoreEntry]:
+        """Manifest entries, optionally filtered; manifest order."""
+        wanted = None if buckets is None else set(buckets)
+        return [
+            entry
+            for entry in self._entries
+            if (namespace is None or entry.namespace == namespace)
+            and (wanted is None or entry.bucket in wanted)
+            and (kind is None or entry.kind == kind)
+        ]
+
+    def namespaces(self) -> list[str]:
+        """Distinct namespaces, in first-write order."""
+        seen: dict[str, None] = {}
+        for entry in self._entries:
+            seen.setdefault(entry.namespace, None)
+        return list(seen)
+
+    def ls(self, namespace: str | None = None) -> str:
+        """Human-readable manifest listing (the CLI's ``ls`` output)."""
+        selected = self.entries(namespace)
+        if not selected:
+            return (
+                f"(empty store at {self.root})"
+                if namespace is None
+                else f"(no artifacts for namespace {namespace!r})"
+            )
+        rows = [("NAMESPACE", "BUCKET", "GRAN", "PART", "KIND",
+                 "ASSIGNMENTS", "BYTES")]
+        for entry in selected:
+            rows.append((
+                entry.namespace,
+                entry.bucket,
+                entry.granularity,
+                entry.part,
+                entry.kind,
+                ",".join(entry.assignments) or "-",
+                f"{entry.nbytes:,}",
+            ))
+        widths = [max(len(row[col]) for row in rows) for col in range(7)]
+        return "\n".join(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+            for row in rows
+        )
+
+    # -- writing --------------------------------------------------------------
+
+    @staticmethod
+    def _kind_of(obj) -> tuple[str, tuple[str, ...]]:
+        if isinstance(obj, SketchBundle):
+            return obj.kind, tuple(obj.assignments)
+        if isinstance(obj, MultiAssignmentSummary):
+            return "summary", tuple(obj.assignments)
+        if isinstance(obj, SummarizerCheckpoint):
+            return "checkpoint", tuple(obj.assignments)
+        raise CodecError(
+            f"a store holds SketchBundle, MultiAssignmentSummary, or "
+            f"SummarizerCheckpoint artifacts, got {type(obj).__name__}"
+        )
+
+    def _free_part(self, namespace: str, bucket: str, stem: str) -> str:
+        taken = {
+            entry.part
+            for entry in self._entries
+            if entry.namespace == namespace and entry.bucket == bucket
+        }
+        index = 0
+        while f"{stem}-{index:04d}" in taken:
+            index += 1
+        return f"{stem}-{index:04d}"
+
+    def write(
+        self,
+        namespace: str,
+        bucket: str,
+        obj,
+        part: str | None = None,
+        overwrite: bool = False,
+    ) -> StoreEntry:
+        """Atomically publish one artifact and record it in the manifest.
+
+        ``part`` names the artifact within its (namespace, bucket) slot and
+        defaults to the next free ``part-NNNN``; writing an existing part
+        raises unless ``overwrite=True``.
+
+        Mutations take the store's cross-process lock and re-read the
+        manifest before applying, so concurrent writers sharing one root
+        cannot lose each other's entries or collide on part names.  An
+        overwrite stages the replacement blob under a new revisioned file
+        name, swaps the manifest row, and only then unlinks the old file —
+        a crash at any point leaves the manifest describing an intact
+        artifact (at worst an orphaned data file is stranded).
+        """
+        if not _NAME_RE.match(namespace):
+            raise ValueError(
+                f"invalid namespace {namespace!r}; use letters, digits, "
+                "and _ . - (leading alphanumeric)"
+            )
+        bucket_granularity(bucket)  # validates
+        if part is not None and not _NAME_RE.match(part):
+            raise ValueError(
+                f"invalid part name {part!r}; use letters, digits, and "
+                "_ . - (leading alphanumeric)"
+            )
+        kind, assignments = self._kind_of(obj)
+        blob = encode(obj)
+        with self._mutation_lock():
+            self.refresh()
+            if part is None:
+                part = self._free_part(namespace, bucket, "part")
+            existing = [
+                entry
+                for entry in self._entries
+                if (entry.namespace, entry.bucket, entry.part)
+                == (namespace, bucket, part)
+            ]
+            if existing and not overwrite:
+                raise FileExistsError(
+                    f"artifact {namespace}/{bucket}/{part} already exists; "
+                    "pass overwrite=True to replace it"
+                )
+            rel_path = f"data/{namespace}/{bucket}/{part}.cws"
+            if existing:
+                # Never replace the current file in place: stage the new
+                # revision beside it so the manifest always points at an
+                # intact blob, whichever side of the swap a crash lands on.
+                match = re.search(r"\.r(\d+)\.cws$", existing[0].path)
+                revision = int(match.group(1)) + 1 if match else 1
+                rel_path = (
+                    f"data/{namespace}/{bucket}/{part}.r{revision}.cws"
+                )
+            atomic_write_bytes(self.root / rel_path, blob)
+            entry = StoreEntry(
+                namespace=namespace,
+                bucket=bucket,
+                part=part,
+                kind=kind,
+                assignments=assignments,
+                path=rel_path,
+                nbytes=len(blob),
+            )
+            if existing:
+                self._entries = [e for e in self._entries if e not in existing]
+            self._entries.append(entry)
+            self._persist_manifest()
+            for old in existing:
+                old_path = self.root / old.path
+                if old.path != rel_path and old_path.exists():
+                    old_path.unlink()
+        return entry
+
+    # -- reading --------------------------------------------------------------
+
+    def _resolve(
+        self, namespace: str, bucket: str, part: str
+    ) -> StoreEntry:
+        for entry in self._entries:
+            if (entry.namespace, entry.bucket, entry.part) == (
+                namespace, bucket, part,
+            ):
+                return entry
+        raise KeyError(f"no artifact {namespace}/{bucket}/{part} in the store")
+
+    def load(self, entry: StoreEntry, writable: bool = False):
+        """Decode one artifact (CRC-verified; arrays read-only by default)."""
+        with open(self.root / entry.path, "rb") as handle:
+            data = handle.read()
+        return decode(data, writable=writable, verify=True)
+
+    def read(self, namespace: str, bucket: str, part: str, **kwargs):
+        """Convenience: :meth:`load` by (namespace, bucket, part)."""
+        return self.load(self._resolve(namespace, bucket, part), **kwargs)
+
+    def merged_bundle(
+        self, namespace: str, buckets: Sequence[str] | None = None
+    ) -> SketchBundle:
+        """Exact merge of every sketch bundle in a namespace (or buckets).
+
+        The merge is per assignment over all matching artifacts, so it
+        spans parts within a bucket and buckets across time alike; the
+        underlying primitives raise on duplicate keys (not a key-disjoint
+        partition) and on mismatched coordination metadata.
+        """
+        selected = [
+            entry
+            for entry in self.entries(namespace, buckets)
+            if entry.kind in _BUNDLE_KINDS
+        ]
+        if not selected:
+            raise KeyError(
+                f"no sketch bundles for namespace {namespace!r}"
+                + (f" in buckets {list(buckets)!r}" if buckets else "")
+            )
+        bundles = [self.load(entry) for entry in selected]
+        return bundles[0].merge(*bundles[1:])
+
+    def summary(
+        self, namespace: str, buckets: Sequence[str] | None = None
+    ) -> MultiAssignmentSummary:
+        """Dispersed multi-assignment summary of a namespace's bundles."""
+        return self.merged_bundle(namespace, buckets).summary()
+
+    # -- compaction -----------------------------------------------------------
+
+    def compact(
+        self, namespace: str, to: str = "hour"
+    ) -> list[StoreEntry]:
+        """Roll sketch bundles up to coarser time buckets, exactly.
+
+        Groups every bundle artifact of ``namespace`` whose bucket is finer
+        than (or at) granularity ``to`` by its coarsened bucket id, merges
+        each group with the exact sketch-merge primitives, publishes one
+        ``rollup-NNNN`` artifact per coarse bucket, and retires the
+        originals.  Groups that are already a single artifact at the target
+        granularity are left untouched.  Summary and checkpoint artifacts
+        never participate.
+
+        Crash safety: the new artifact is published first, then the
+        manifest is rewritten (old entries out, new entry in), then old
+        files are unlinked — a crash can strand orphaned ``.cws`` files but
+        the manifest never references missing or double-counted data.
+
+        Returns the newly written entries.
+        """
+        if to not in GRANULARITIES:
+            raise ValueError(
+                f"unknown granularity {to!r}; known: {', '.join(GRANULARITIES)}"
+            )
+        with self._mutation_lock():
+            self.refresh()
+            return self._compact_locked(namespace, to)
+
+    def _compact_locked(self, namespace: str, to: str) -> list[StoreEntry]:
+        groups: dict[str, list[StoreEntry]] = {}
+        for entry in self.entries(namespace):
+            if entry.kind not in _BUNDLE_KINDS:
+                continue
+            if GRANULARITIES.index(entry.granularity) > GRANULARITIES.index(to):
+                continue  # already coarser than the target
+            groups.setdefault(coarsen_bucket(entry.bucket, to), []).append(entry)
+        written: list[StoreEntry] = []
+        for coarse_bucket, group in sorted(groups.items()):
+            if len(group) == 1 and group[0].bucket == coarse_bucket:
+                continue  # nothing to roll up
+            bundles = [self.load(entry) for entry in group]
+            merged = bundles[0].merge(*bundles[1:])
+            blob = encode(merged)
+            part = self._free_part(namespace, coarse_bucket, "rollup")
+            rel_path = f"data/{namespace}/{coarse_bucket}/{part}.cws"
+            atomic_write_bytes(self.root / rel_path, blob)
+            new_entry = StoreEntry(
+                namespace=namespace,
+                bucket=coarse_bucket,
+                part=part,
+                kind=merged.kind,
+                assignments=tuple(merged.assignments),
+                path=rel_path,
+                nbytes=len(blob),
+            )
+            retired = set(group)
+            self._entries = [e for e in self._entries if e not in retired]
+            self._entries.append(new_entry)
+            self._persist_manifest()
+            for entry in group:
+                old = self.root / entry.path
+                if old.exists():
+                    old.unlink()
+            written.append(new_entry)
+        return written
+
+    def __repr__(self) -> str:
+        return (
+            f"SummaryStore(root={str(self.root)!r}, "
+            f"entries={len(self._entries)})"
+        )

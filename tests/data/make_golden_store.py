@@ -1,0 +1,23 @@
+"""Regenerate the golden v1 store blob pinned by tests/test_store_codec.py.
+
+Run (only on a deliberate format bump, alongside a FORMAT_VERSION review):
+
+    PYTHONPATH=src python tests/data/make_golden_store.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+from test_store_codec import golden_bundle  # noqa: E402
+
+from repro.store.codec import encode  # noqa: E402
+
+if __name__ == "__main__":
+    out = pathlib.Path(__file__).parent / "golden_store_v1.cws"
+    blob = encode(golden_bundle())
+    out.write_bytes(blob)
+    print(f"wrote {out} ({len(blob)} bytes)")

@@ -1,0 +1,190 @@
+"""Checkpoint/resume: interrupted ingestion is invisible in the output.
+
+The acceptance property pinned here: checkpoint/resume of a
+ShardedSummarizer yields summaries **bit-identical** to an uninterrupted
+run — same keys, same rank bits, same thresholds, same seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.sharded import ShardedSummarizer
+from repro.ranks.families import ExponentialRanks, IppsRanks
+from repro.ranks.hashing import KeyHasher
+from repro.store import SummaryStore, load_checkpoint, save_checkpoint
+from repro.store.codec import SummarizerCheckpoint, decode, encode
+
+
+def make_events(n=4000, n_keys=800, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, n_keys, n)
+    weights = rng.pareto(1.2, n) + 0.01
+    return keys, weights
+
+
+def feed(engine, assignment, keys, weights, batch=512):
+    for lo in range(0, len(keys), batch):
+        engine.ingest(assignment, keys[lo : lo + batch],
+                      weights[lo : lo + batch])
+
+
+@pytest.mark.parametrize("n_shards", [1, 3])
+@pytest.mark.parametrize(
+    "family", [IppsRanks(), ExponentialRanks()], ids=lambda f: f.name
+)
+def test_resume_is_bit_identical(tmp_path, n_shards, family):
+    keys, weights = make_events()
+    half = len(keys) // 2
+
+    def fresh():
+        return ShardedSummarizer(
+            k=64, assignments=["h1", "h2"], n_shards=n_shards,
+            family=family, hasher=KeyHasher(42),
+        )
+
+    uninterrupted = fresh()
+    feed(uninterrupted, "h1", keys, weights)
+    feed(uninterrupted, "h2", keys[::2], weights[::2] * 3.0)
+
+    interrupted = fresh()
+    feed(interrupted, "h1", keys[:half], weights[:half])
+    path = tmp_path / "ingest.ckpt"
+    interrupted.save_checkpoint(path)
+    del interrupted  # the "crash"
+
+    resumed = ShardedSummarizer.load_checkpoint(path)
+    feed(resumed, "h1", keys[half:], weights[half:])
+    feed(resumed, "h2", keys[::2], weights[::2] * 3.0)
+
+    assert resumed.summary().equals(uninterrupted.summary())
+    for name, sk in resumed.sketches().items():
+        assert sk.equals(uninterrupted.sketches()[name])
+
+
+def test_resume_with_string_and_tuple_keys(tmp_path):
+    events = [(f"flow-{i % 37}", float(i % 11) + 0.5) for i in range(200)]
+    events += [(("src", i % 13, "dst"), 1.25) for i in range(100)]
+
+    def run(interrupt):
+        engine = ShardedSummarizer(
+            k=16, assignments=["a"], n_shards=2, hasher=KeyHasher(7)
+        )
+        if interrupt:
+            engine.ingest_stream("a", events[:150])
+            engine = decode(encode(engine.checkpoint_state())).restore()
+            engine.ingest_stream("a", events[150:])
+        else:
+            engine.ingest_stream("a", events)
+        return engine.summary()
+
+    assert run(interrupt=True).equals(run(interrupt=False))
+
+
+def test_checkpoint_into_store(tmp_path):
+    keys, weights = make_events(n=600, n_keys=100)
+    engine = ShardedSummarizer(
+        k=8, assignments=["h1"], n_shards=2, hasher=KeyHasher(5)
+    )
+    feed(engine, "h1", keys, weights)
+    store = SummaryStore(tmp_path)
+    entry = store.write("flows", "20260728T1201", engine.checkpoint_state())
+    assert entry.kind == "checkpoint"
+    restored = store.load(entry).restore()
+    assert restored.summary().equals(engine.summary())
+
+
+def test_checkpoint_functions_and_type_guard(tmp_path):
+    engine = ShardedSummarizer(k=4, assignments=["a"], hasher=KeyHasher(1))
+    engine.ingest("a", np.arange(20), np.ones(20))
+    path = tmp_path / "cp.cws"
+    assert save_checkpoint(path, engine) == path.stat().st_size
+    assert load_checkpoint(path).summary().equals(engine.summary())
+    # also accepts an already-captured state
+    save_checkpoint(path, engine.checkpoint_state())
+
+    sketch_path = tmp_path / "sk.cws"
+    from repro.store.codec import write_file
+
+    write_file(sketch_path, engine.sketches()["a"])
+    with pytest.raises(TypeError, match="SummarizerCheckpoint"):
+        load_checkpoint(sketch_path)
+
+
+def test_checkpoint_requires_plain_hasher():
+    class FancyHasher(KeyHasher):
+        pass
+
+    engine = ShardedSummarizer(k=4, assignments=["a"], hasher=FancyHasher(1))
+    with pytest.raises(ValueError, match="KeyHasher"):
+        engine.checkpoint_state()
+    # a bundle would store a salt that cannot reproduce the custom hashing
+    with pytest.raises(ValueError, match="KeyHasher"):
+        engine.sketch_bundle()
+
+
+def test_checkpoint_state_validation():
+    with pytest.raises(ValueError, match="missing"):
+        SummarizerCheckpoint(
+            k=2, assignments=["a"], n_shards=1, family=IppsRanks(),
+            hasher_salt=0, partition_salt=0, chunks={},
+        )
+    with pytest.raises(ValueError, match="n_shards"):
+        SummarizerCheckpoint(
+            k=2, assignments=["a"], n_shards=2, family=IppsRanks(),
+            hasher_salt=0, partition_salt=0, chunks={"a": [[]]},
+        )
+
+
+def test_save_checkpoint_overwrite_is_atomic(tmp_path):
+    """Re-checkpointing to the same path must stage + rename, never truncate."""
+    engine = ShardedSummarizer(k=4, assignments=["a"], hasher=KeyHasher(1))
+    engine.ingest("a", np.arange(20), np.ones(20))
+    path = tmp_path / "cp.cws"
+    engine.save_checkpoint(path)
+    engine.ingest("a", np.arange(20, 40), np.ones(20))
+    engine.save_checkpoint(path)  # overwrite in place
+    assert load_checkpoint(path).summary().equals(engine.summary())
+    strays = [p for p in tmp_path.iterdir() if ".tmp." in p.name]
+    assert strays == []
+
+
+def test_buffered_events_property():
+    engine = ShardedSummarizer(k=4, assignments=["a"], hasher=KeyHasher(1))
+    engine.ingest("a", np.arange(15), np.ones(15))
+    assert engine.checkpoint_state().buffered_events == 15
+
+
+class TestDefensiveAccessors:
+    def test_sketches_returns_defensive_copies(self):
+        engine = ShardedSummarizer(k=4, assignments=["a"], hasher=KeyHasher(1))
+        engine.ingest("a", np.arange(50), np.arange(50, dtype=float) + 1.0)
+        handed_out = engine.sketches()["a"]
+        handed_out.weights[:] = -99.0
+        handed_out.ranks[:] = 0.0
+        handed_out.keys[:] = 0
+        clean = engine.sketches()["a"]
+        assert (clean.weights > 0).all()
+        assert not clean.equals(handed_out)
+        # the summary path reads the same internal cache and must be clean
+        assert np.nanmax(engine.summary().weights) > 0
+
+    def test_sketch_cache_invalidated_by_ingest(self):
+        engine = ShardedSummarizer(k=4, assignments=["a"], hasher=KeyHasher(1))
+        engine.ingest("a", np.arange(10), np.ones(10))
+        before = engine.sketches()["a"]
+        engine.ingest("a", np.arange(10, 20), np.full(10, 50.0))
+        after = engine.sketches()["a"]
+        assert not after.equals(before)  # heavy new keys displaced the old
+        reference = ShardedSummarizer(
+            k=4, assignments=["a"], hasher=KeyHasher(1)
+        )
+        reference.ingest("a", np.arange(20),
+                         np.concatenate([np.ones(10), np.full(10, 50.0)]))
+        assert after.equals(reference.sketches()["a"])
+
+    def test_repeated_calls_share_cache(self):
+        engine = ShardedSummarizer(k=4, assignments=["a"], hasher=KeyHasher(1))
+        engine.ingest("a", np.arange(10), np.ones(10))
+        assert engine._merged_sketches() is engine._merged_sketches()

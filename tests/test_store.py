@@ -1,0 +1,379 @@
+"""SummaryStore behavior: buckets, manifest, atomic writes, exact rollups.
+
+The acceptance property pinned here: a compacted (rolled-up) store answers
+QueryEngine estimates *identically* to merging the raw shard artifacts in
+memory — compaction is pure, exact sketch algebra.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+
+import numpy as np
+import pytest
+
+from repro.core.aggregates import AggregationSpec
+from repro.engine.queries import QueryEngine
+from repro.engine.sharded import ShardedSummarizer
+from repro.ranks.families import IppsRanks
+from repro.ranks.hashing import KeyHasher
+from repro.sampling.bottomk import BottomKStreamSampler
+from repro.store import (
+    CodecError,
+    SketchBundle,
+    SummaryStore,
+    bucket_for,
+    bucket_granularity,
+    coarsen_bucket,
+)
+
+SALT = 13
+ASSIGNMENTS = ["h1", "h2"]
+
+
+def make_bundle(key_range, seed=0, k=40, salt=SALT) -> SketchBundle:
+    """Bundle over a dedicated key range (disjoint ranges merge exactly)."""
+    rng = np.random.default_rng(seed)
+    engine = ShardedSummarizer(
+        k=k, assignments=ASSIGNMENTS, n_shards=2, hasher=KeyHasher(salt)
+    )
+    keys = np.arange(*key_range)
+    for name in ASSIGNMENTS:
+        engine.ingest(name, keys, rng.pareto(1.3, len(keys)) + 0.05)
+    return engine.sketch_bundle()
+
+
+class TestBuckets:
+    @pytest.mark.parametrize(
+        "bucket,granularity",
+        [
+            ("20260728T1201", "minute"),
+            ("20260728T12", "hour"),
+            ("20260728", "day"),
+        ],
+    )
+    def test_granularity_inference(self, bucket, granularity):
+        assert bucket_granularity(bucket) == granularity
+
+    @pytest.mark.parametrize(
+        "bad", ["2026-07-28", "20260728T", "20261340", "20260728T2561", "x"]
+    )
+    def test_invalid_bucket_ids(self, bad):
+        with pytest.raises(ValueError, match="bucket"):
+            bucket_granularity(bad)
+
+    def test_coarsen(self):
+        assert coarsen_bucket("20260728T1201", "hour") == "20260728T12"
+        assert coarsen_bucket("20260728T1201", "day") == "20260728"
+        assert coarsen_bucket("20260728T12", "hour") == "20260728T12"
+
+    def test_coarsen_rejects_refinement(self):
+        with pytest.raises(ValueError, match="finer"):
+            coarsen_bucket("20260728", "minute")
+
+    def test_bucket_for(self):
+        when = datetime(2026, 7, 28, 12, 1, 30, tzinfo=timezone.utc)
+        assert bucket_for(when) == "20260728T1201"
+        assert bucket_for(when, "hour") == "20260728T12"
+        assert bucket_for(when.timestamp(), "day") == "20260728"
+
+    def test_bucket_for_unknown_granularity(self):
+        with pytest.raises(ValueError, match="granularity"):
+            bucket_for(0.0, "week")
+
+
+class TestWriteRead:
+    def test_write_load_round_trip(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        bundle = make_bundle((0, 500))
+        entry = store.write("flows", "20260728T1201", bundle)
+        assert entry.kind == "bottomk"
+        assert entry.assignments == ("h1", "h2")
+        assert store.load(entry).equals(bundle)
+        assert store.read("flows", "20260728T1201", entry.part).equals(bundle)
+
+    def test_manifest_survives_reopen(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        store.write("flows", "20260728T1201", make_bundle((0, 100)))
+        reopened = SummaryStore(tmp_path, create=False)
+        assert [e.bucket for e in reopened.entries("flows")] == ["20260728T1201"]
+
+    def test_missing_store_without_create(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="manifest"):
+            SummaryStore(tmp_path / "nope", create=False)
+
+    def test_auto_part_naming(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        bundle = make_bundle((0, 50))
+        first = store.write("flows", "20260728T1201", bundle)
+        second = store.write("flows", "20260728T1201", make_bundle((50, 100)))
+        assert (first.part, second.part) == ("part-0000", "part-0001")
+
+    def test_overwrite_guard(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        bundle = make_bundle((0, 50))
+        store.write("flows", "20260728T1201", bundle, part="p")
+        with pytest.raises(FileExistsError, match="overwrite"):
+            store.write("flows", "20260728T1201", bundle, part="p")
+        replaced = store.write(
+            "flows", "20260728T1201", make_bundle((50, 80)), part="p",
+            overwrite=True,
+        )
+        assert len(store.entries("flows")) == 1
+        assert store.load(replaced).assignments == ["h1", "h2"]
+
+    @pytest.mark.parametrize("bad", ["", "a/b", "../up", ".hidden", "-x"])
+    def test_invalid_names_rejected(self, tmp_path, bad):
+        store = SummaryStore(tmp_path)
+        with pytest.raises(ValueError, match="invalid"):
+            store.write(bad, "20260728", make_bundle((0, 10)))
+
+    def test_unsupported_artifact_type(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        with pytest.raises(CodecError, match="store holds"):
+            store.write("flows", "20260728", object())
+
+    def test_stored_summary_artifact(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        summary = make_bundle((0, 200)).summary()
+        entry = store.write("reports", "20260728", summary)
+        assert entry.kind == "summary"
+        assert store.load(entry).equals(summary)
+
+    def test_corrupt_file_caught_on_load(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        entry = store.write("flows", "20260728", make_bundle((0, 50)))
+        path = tmp_path / entry.path
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CodecError, match="checksum"):
+            store.load(entry)
+
+    def test_manifest_version_refused(self, tmp_path):
+        SummaryStore(tmp_path)
+        manifest = tmp_path / SummaryStore.MANIFEST
+        manifest.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(CodecError, match="manifest version"):
+            SummaryStore(tmp_path)
+
+    def test_no_stray_staging_files(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        store.write("flows", "20260728", make_bundle((0, 50)))
+        strays = [p for p in tmp_path.rglob("*") if ".tmp." in p.name]
+        assert strays == []
+
+    def test_overwrite_stages_a_new_revision(self, tmp_path):
+        # An overwrite must never replace the referenced file in place: the
+        # manifest points at an intact blob on either side of the swap.
+        store = SummaryStore(tmp_path)
+        first = store.write("flows", "20260728", make_bundle((0, 50)),
+                            part="p")
+        second = store.write("flows", "20260728", make_bundle((50, 80)),
+                             part="p", overwrite=True)
+        third = store.write("flows", "20260728", make_bundle((80, 90)),
+                            part="p", overwrite=True)
+        assert first.path != second.path != third.path
+        assert not (tmp_path / first.path).exists()  # retired after swap
+        assert not (tmp_path / second.path).exists()
+        assert (tmp_path / third.path).exists()
+        assert len(store.entries("flows")) == 1
+
+    def test_concurrent_handles_do_not_lose_entries(self, tmp_path):
+        # Two long-lived handles on one root: each write re-reads the
+        # manifest under the mutation lock, so neither clobbers the other.
+        writer_a = SummaryStore(tmp_path)
+        writer_b = SummaryStore(tmp_path)
+        entry_a = writer_a.write("flows", "20260728T1201",
+                                 make_bundle((0, 50)))
+        entry_b = writer_b.write("flows", "20260728T1201",
+                                 make_bundle((50, 100), seed=1))
+        assert entry_a.part != entry_b.part
+        merged = SummaryStore(tmp_path, create=False)
+        assert len(merged.entries("flows")) == 2
+
+    def test_stale_lock_times_out_with_pointed_error(self, tmp_path):
+        from repro.store.store import _StoreLock
+
+        store = SummaryStore(tmp_path)
+        (tmp_path / ".store.lock").write_text("12345")
+        with pytest.raises(TimeoutError, match="stale lock"):
+            with _StoreLock(tmp_path / ".store.lock", timeout=0.2):
+                pass
+        (tmp_path / ".store.lock").unlink()
+        store.write("flows", "20260728", make_bundle((0, 10)))
+        assert not (tmp_path / ".store.lock").exists()  # released
+
+    def test_namespaces_and_ls(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        store.write("a", "20260728", make_bundle((0, 10)))
+        store.write("b", "20260728", make_bundle((10, 20)))
+        assert store.namespaces() == ["a", "b"]
+        listing = store.ls()
+        assert "NAMESPACE" in listing and "h1,h2" in listing
+        assert "(no artifacts" in store.ls("missing")
+        assert "(empty store" in SummaryStore(tmp_path / "fresh").ls()
+
+
+class TestMergedServing:
+    def test_summary_matches_in_memory_merge(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        parts = [make_bundle((0, 300)), make_bundle((300, 600), seed=1)]
+        store.write("flows", "20260728T1201", parts[0])
+        store.write("flows", "20260728T1202", parts[1])
+        expected = parts[0].merge(parts[1]).summary()
+        assert store.summary("flows").equals(expected)
+
+    def test_bucket_filter(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        first = make_bundle((0, 300))
+        store.write("flows", "20260728T1201", first)
+        store.write("flows", "20260728T1202", make_bundle((300, 600), seed=1))
+        only_first = store.summary("flows", buckets=["20260728T1201"])
+        assert only_first.equals(first.summary())
+
+    def test_empty_namespace_raises(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        with pytest.raises(KeyError, match="no sketch bundles"):
+            store.summary("ghost")
+
+    def test_incompatible_bundles_refuse_to_merge(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        store.write("flows", "20260728T1201", make_bundle((0, 100)))
+        store.write(
+            "flows", "20260728T1202", make_bundle((100, 200), salt=SALT + 1)
+        )
+        with pytest.raises(ValueError, match="incompatible"):
+            store.summary("flows")
+
+    def test_overlapping_keys_refuse_to_merge(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        store.write("flows", "20260728T1201", make_bundle((0, 100)))
+        store.write("flows", "20260728T1202", make_bundle((0, 100), seed=9))
+        with pytest.raises(ValueError, match="key-disjoint"):
+            store.summary("flows")
+
+
+class TestCompaction:
+    def fill(self, store: SummaryStore) -> list[SketchBundle]:
+        buckets = [
+            "20260728T1201", "20260728T1202", "20260728T1259",
+            "20260728T1300", "20260729T0001",
+        ]
+        bundles = []
+        for index, bucket in enumerate(buckets):
+            bundle = make_bundle(
+                (index * 1000, index * 1000 + 400), seed=index
+            )
+            store.write("flows", bucket, bundle)
+            bundles.append(bundle)
+        return bundles
+
+    def test_rollup_to_hour_preserves_estimates(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        bundles = self.fill(store)
+        specs = [
+            AggregationSpec("max", ("h1", "h2")),
+            AggregationSpec("min", ("h1", "h2")),
+            AggregationSpec("l1", ("h1", "h2")),
+            AggregationSpec("single", ("h1",)),
+        ]
+        in_memory = QueryEngine(bundles[0].merge(*bundles[1:]).summary())
+        raw = QueryEngine.from_store(store, "flows")
+        written = store.compact("flows", to="hour")
+        compacted = QueryEngine.from_store(store, "flows")
+        for spec in specs:
+            expected = in_memory.estimate(spec)
+            assert raw.estimate(spec) == expected
+            assert compacted.estimate(spec) == expected
+        buckets = sorted(e.bucket for e in store.entries("flows"))
+        assert buckets == ["20260728T12", "20260728T13", "20260729T00"]
+        assert {e.part for e in written} == {"rollup-0000"}
+
+    def test_rollup_to_day(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        bundles = self.fill(store)
+        store.compact("flows", to="hour")
+        store.compact("flows", to="day")
+        assert sorted(e.bucket for e in store.entries("flows")) == [
+            "20260728", "20260729",
+        ]
+        expected = bundles[0].merge(*bundles[1:]).summary()
+        assert store.summary("flows").equals(expected)
+
+    def test_old_files_removed(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        self.fill(store)
+        store.compact("flows", to="day")
+        on_disk = sorted(p.name for p in tmp_path.rglob("*.cws"))
+        manifest_files = sorted(
+            p.split("/")[-1] for p in
+            (e.path for e in store.entries())
+        )
+        assert on_disk == manifest_files
+
+    def test_single_entry_at_target_untouched(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        entry = store.write("flows", "20260728T12", make_bundle((0, 100)))
+        assert store.compact("flows", to="hour") == []
+        assert store.entries("flows") == [entry]
+
+    def test_multiple_parts_in_one_bucket_collapse(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        store.write("flows", "20260728T12", make_bundle((0, 100)))
+        store.write("flows", "20260728T12", make_bundle((100, 200), seed=1))
+        written = store.compact("flows", to="hour")
+        assert len(written) == 1
+        assert len(store.entries("flows")) == 1
+
+    def test_checkpoints_not_compacted(self, tmp_path):
+        engine = ShardedSummarizer(
+            k=4, assignments=["h1"], hasher=KeyHasher(SALT)
+        )
+        engine.ingest("h1", np.arange(10), np.ones(10))
+        store = SummaryStore(tmp_path)
+        store.write("flows", "20260728T1201", engine.checkpoint_state())
+        store.write("flows", "20260728T1201", make_bundle((0, 50)))
+        store.write("flows", "20260728T1202", make_bundle((50, 90), seed=1))
+        store.compact("flows", to="hour")
+        kinds = sorted(e.kind for e in store.entries("flows"))
+        assert kinds == ["bottomk", "checkpoint"]
+
+    def test_unknown_granularity(self, tmp_path):
+        with pytest.raises(ValueError, match="granularity"):
+            SummaryStore(tmp_path).compact("flows", to="fortnight")
+
+    def test_coarser_entries_ignored(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        store.write("flows", "20260728", make_bundle((0, 100)))
+        assert store.compact("flows", to="hour") == []
+
+
+class TestFromStore:
+    def test_from_store_with_dataset_binding(self, tmp_path):
+        # Stream summaries carry raw key identifiers; from_store must keep
+        # serving key_in predicates without any dataset attached.
+        from repro.core.predicates import key_in
+
+        sampler_keys = [f"key{i}" for i in range(60)]
+        sketches = {}
+        for name, scale in [("h1", 1.0), ("h2", 2.0)]:
+            sampler = BottomKStreamSampler(20, IppsRanks(), KeyHasher(SALT))
+            sampler.process_stream(
+                (key, (i % 7 + 1) * scale)
+                for i, key in enumerate(sampler_keys)
+            )
+            sketches[name] = sampler.sketch()
+        bundle = SketchBundle(
+            "bottomk", sketches, IppsRanks(), hasher_salt=SALT
+        )
+        store = SummaryStore(tmp_path)
+        store.write("flows", "20260728", bundle)
+        engine = QueryEngine.from_store(store, "flows")
+        spec = AggregationSpec("max", ("h1", "h2"))
+        subset = engine.estimate(
+            spec, predicate=key_in(sampler_keys[:30])
+        )
+        total = engine.estimate(spec)
+        assert 0.0 <= subset <= total

@@ -1,0 +1,172 @@
+"""Tests for the store CLI (python -m repro.store)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store.cli import build_parser, main
+
+
+def write_bucket(root, bucket, assignment, prefix, seed=0, extra=()):
+    argv = [
+        "write", "--root", str(root), "--namespace", "web",
+        "--bucket", bucket, "--assignment", assignment, "--k", "32",
+        "--demo", "400", "--demo-seed", str(seed), "--demo-prefix", prefix,
+        *extra,
+    ]
+    assert main(argv) == 0
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_write_defaults(self):
+        args = build_parser().parse_args(
+            ["write", "--root", "r", "--namespace", "n",
+             "--bucket", "20260728", "--assignment", "h1"]
+        )
+        assert args.k == 256 and args.family == "ipps" and args.salt == 0
+
+    def test_compact_granularity_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compact", "--root", "r", "--namespace", "n",
+                 "--to", "century"]
+            )
+
+
+class TestRoundTrip:
+    def test_write_ls_compact_query(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        # Two assignments per minute bucket; per-bucket key prefixes keep
+        # the buckets key-disjoint, so the rollup merge is exact.
+        for bucket, prefix, seed in [
+            ("20260728T1201", "a-", 0),
+            ("20260728T1202", "b-", 1),
+        ]:
+            write_bucket(root, bucket, "h1", prefix, seed=seed)
+            write_bucket(root, bucket, "h2", prefix, seed=seed + 10)
+        out = capsys.readouterr().out
+        assert out.count("wrote web/") == 4
+
+        assert main(["ls", "--root", str(root)]) == 0
+        listing = capsys.readouterr().out
+        assert "20260728T1201" in listing and "bottomk" in listing
+
+        assert main(["query", "--root", str(root), "--namespace", "web",
+                     "--function", "max", "--assignments", "h1", "h2"]) == 0
+        before = capsys.readouterr().out
+        assert before.startswith("max(h1,h2) ~=")
+
+        assert main(["compact", "--root", str(root), "--namespace", "web",
+                     "--to", "hour"]) == 0
+        assert "compacted ->" in capsys.readouterr().out
+
+        assert main(["ls", "--root", str(root), "--namespace", "web"]) == 0
+        assert "20260728T12 " in capsys.readouterr().out
+
+        assert main(["query", "--root", str(root), "--namespace", "web",
+                     "--function", "max", "--assignments", "h1", "h2"]) == 0
+        after = capsys.readouterr().out
+        assert after == before  # compaction is exact: identical estimate
+
+    def test_csv_input(self, tmp_path, capsys):
+        events = tmp_path / "events.csv"
+        events.write_text(
+            "key,weight\nflow-1,10.0\nflow-2,3.5\nflow-1,2.0\n\n"
+        )
+        root = tmp_path / "store"
+        assert main(["write", "--root", str(root), "--namespace", "web",
+                     "--bucket", "20260728", "--assignment", "h1",
+                     "--k", "8", "--input", str(events)]) == 0
+        assert "2 sampled keys" in capsys.readouterr().out
+
+        assert main(["query", "--root", str(root), "--namespace", "web",
+                     "--function", "single", "--assignments", "h1"]) == 0
+        # k=8 > distinct keys, so the estimate is exact: 12.0 + 3.5
+        assert "15.5" in capsys.readouterr().out
+
+    def test_bucket_filtered_query(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        write_bucket(root, "20260728T1201", "h1", "a-")
+        write_bucket(root, "20260728T1202", "h1", "b-", seed=1)
+        capsys.readouterr()
+        assert main(["query", "--root", str(root), "--namespace", "web",
+                     "--function", "single", "--assignments", "h1",
+                     "--buckets", "20260728T1201"]) == 0
+        assert "single(h1)" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_input_and_demo_are_exclusive(self, tmp_path):
+        base = ["write", "--root", str(tmp_path), "--namespace", "n",
+                "--bucket", "20260728", "--assignment", "h1"]
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(base)
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(base + ["--demo", "10", "--input", "x.csv"])
+
+    def test_invalid_bucket(self, tmp_path):
+        with pytest.raises(SystemExit, match="bucket"):
+            main(["write", "--root", str(tmp_path), "--namespace", "n",
+                  "--bucket", "not-a-bucket", "--assignment", "h1",
+                  "--demo", "10"])
+
+    def test_ls_missing_store(self, tmp_path):
+        with pytest.raises(SystemExit, match="no store"):
+            main(["ls", "--root", str(tmp_path / "ghost")])
+
+    def test_query_unknown_namespace(self, tmp_path, capsys):
+        write_bucket(tmp_path / "s", "20260728", "h1", "a-")
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="no sketch bundles"):
+            main(["query", "--root", str(tmp_path / "s"),
+                  "--namespace", "ghost", "--function", "single",
+                  "--assignments", "h1"])
+
+    def test_malformed_csv(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("only-one-column\n")
+        with pytest.raises(SystemExit, match="key,weight"):
+            main(["write", "--root", str(tmp_path / "s"), "--namespace", "n",
+                  "--bucket", "20260728", "--assignment", "h1",
+                  "--input", str(bad)])
+
+    def test_non_numeric_weight_past_header(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("k,w\nflow,abc\n")
+        with pytest.raises(SystemExit, match="non-numeric"):
+            main(["write", "--root", str(tmp_path / "s"), "--namespace", "n",
+                  "--bucket", "20260728", "--assignment", "h1",
+                  "--input", str(bad)])
+
+    def test_malformed_first_data_row_is_not_mistaken_for_header(
+        self, tmp_path
+    ):
+        # "12x3" contains digits, so it is a typo'd weight, not a header
+        # column name — the write must abort, not silently drop the row.
+        bad = tmp_path / "bad.csv"
+        bad.write_text("alice,12x3\nbob,4.0\n")
+        with pytest.raises(SystemExit, match="non-numeric weight '12x3'"):
+            main(["write", "--root", str(tmp_path / "s"), "--namespace", "n",
+                  "--bucket", "20260728", "--assignment", "h1",
+                  "--input", str(bad)])
+
+    def test_stale_lock_reports_clean_cli_error(self, tmp_path, monkeypatch):
+        from repro.store import store as store_module
+
+        root = tmp_path / "s"
+        write_bucket(root, "20260728", "h1", "a-")
+        (root / ".store.lock").write_text("999999")
+        monkeypatch.setattr(
+            store_module.SummaryStore, "_mutation_lock",
+            lambda self: store_module._StoreLock(
+                self.root / ".store.lock", timeout=0.2
+            ),
+        )
+        with pytest.raises(SystemExit, match="stale lock"):
+            main(["write", "--root", str(root), "--namespace", "n",
+                  "--bucket", "20260728", "--assignment", "h1",
+                  "--demo", "5"])
