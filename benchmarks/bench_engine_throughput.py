@@ -16,6 +16,7 @@ import time
 
 import numpy as np
 
+from emit import write_bench_json
 from repro.engine import ShardedSummarizer
 from repro.ranks import IppsRanks, KeyHasher
 from repro.sampling import BottomKStreamSampler
@@ -106,9 +107,30 @@ def render(result: dict) -> str:
     return "\n".join(lines)
 
 
+def emit_json(result: dict) -> None:
+    write_bench_json(
+        "engine_throughput",
+        config={"n_items": result["n_items"], "k": result["k"],
+                "batch": BATCH, "salt": SALT},
+        metrics={
+            "item_seconds": result["item_seconds"],
+            "batch_seconds": result["batch_seconds"],
+            "sharded_seconds": result["sharded_seconds"],
+            "item_ops_per_sec": result["n_items"] / result["item_seconds"],
+            "batch_ops_per_sec": result["n_items"] / result["batch_seconds"],
+            "sharded_ops_per_sec": (
+                result["n_items"] / result["sharded_seconds"]
+            ),
+            "speedup": result["speedup"],
+            "identical": result["identical"],
+        },
+    )
+
+
 def test_engine_throughput(benchmark, emit):
     result = benchmark.pedantic(measure, rounds=1, iterations=1)
     emit(render(result), name="ENGINE_throughput")
+    emit_json(result)
     assert result["identical"], "batch/sharded sketches diverged from item loop"
     assert result["speedup"] >= 5.0, (
         f"batch ingestion only {result['speedup']:.1f}x faster than the "
@@ -117,4 +139,6 @@ def test_engine_throughput(benchmark, emit):
 
 
 if __name__ == "__main__":
-    print(render(measure()))
+    result = measure()
+    print(render(result))
+    emit_json(result)

@@ -19,6 +19,7 @@ import time
 
 import numpy as np
 
+from emit import write_bench_json
 from repro.core.aggregates import AggregationSpec
 from repro.core.dataset import MultiAssignmentDataset
 from repro.core.predicates import (
@@ -170,9 +171,30 @@ def render(result: dict) -> str:
     return "\n".join(lines)
 
 
+def emit_json(result: dict) -> None:
+    write_bench_json(
+        "query_throughput",
+        config={"n_keys": result["n_keys"], "k": result["k"],
+                "n_queries": result["n_queries"], "seed": SEED},
+        metrics={
+            "reference_seconds": result["reference_seconds"],
+            "engine_seconds": result["engine_seconds"],
+            "reference_ops_per_sec": (
+                result["n_queries"] / result["reference_seconds"]
+            ),
+            "engine_ops_per_sec": (
+                result["n_queries"] / result["engine_seconds"]
+            ),
+            "speedup": result["speedup"],
+            "identical": result["identical"],
+        },
+    )
+
+
 def test_query_throughput(benchmark, emit):
     result = benchmark.pedantic(measure, rounds=1, iterations=1)
     emit(render(result), name="QUERY_throughput")
+    emit_json(result)
     assert result["identical"], "engine estimates diverged from the reference"
     assert result["speedup"] >= 5.0, (
         f"QueryEngine only {result['speedup']:.1f}x faster than the "
@@ -181,4 +203,6 @@ def test_query_throughput(benchmark, emit):
 
 
 if __name__ == "__main__":
-    print(render(measure()))
+    result = measure()
+    print(render(result))
+    emit_json(result)

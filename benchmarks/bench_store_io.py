@@ -26,6 +26,7 @@ import time
 
 import numpy as np
 
+from emit import write_bench_json
 from repro.core.aggregates import AggregationSpec
 from repro.core.summary import build_bottomk_summary
 from repro.engine.queries import QueryEngine
@@ -147,9 +148,33 @@ def render(result: dict) -> str:
     return "\n".join(lines)
 
 
+def emit_json(result: dict) -> None:
+    write_bench_json(
+        "store_io",
+        config={"n_keys": result["n_keys"], "k": K,
+                "n_assignments": len(ASSIGNMENTS),
+                "n_buckets": result["n_buckets"], "seed": SEED},
+        metrics={
+            "encode_seconds": result["encode_seconds"],
+            "decode_seconds": result["decode_seconds"],
+            "pickle_dump_seconds": result["pickle_dump_seconds"],
+            "pickle_load_seconds": result["pickle_load_seconds"],
+            "decode_speedup": result["decode_speedup"],
+            "decode_ops_per_sec": 1.0 / result["decode_seconds"],
+            "blob_bytes": result["blob_bytes"],
+            "compact_seconds": result["compact_seconds"],
+            "compact_ops_per_sec": (
+                result["n_buckets"] / result["compact_seconds"]
+            ),
+            "compact_identical": result["compact_identical"],
+        },
+    )
+
+
 def test_store_io(benchmark, emit):
     result = benchmark.pedantic(measure, rounds=1, iterations=1)
     emit(render(result), name="STORE_io")
+    emit_json(result)
     assert result["compact_identical"], (
         "compacted store diverged from the raw store"
     )
@@ -160,4 +185,6 @@ def test_store_io(benchmark, emit):
 
 
 if __name__ == "__main__":
-    print(render(measure()))
+    result = measure()
+    print(render(result))
+    emit_json(result)

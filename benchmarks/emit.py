@@ -1,0 +1,57 @@
+"""Shared machine-readable benchmark emission.
+
+Every throughput/IO bench renders a human-readable block (persisted as
+``benchmarks/results/<name>.txt`` via the ``emit`` fixture) — but the
+bench *trajectory* needs structured numbers.  :func:`write_bench_json`
+writes ``benchmarks/results/BENCH_<name>.json`` with a fixed envelope::
+
+    {
+      "name": "engine_throughput",
+      "config": {...},      # workload shape: sizes, k, workers, ...
+      "metrics": {...},     # ops/sec, seconds, speedups, gates
+      "host": {"cpus": 4, "python": "3.11.7"}
+    }
+
+so runs are comparable across commits and machines.  CI uploads the
+``BENCH_*.json`` files as workflow artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import re
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _host() -> dict:
+    from repro.engine.parallel import available_workers
+
+    return {
+        "cpus": available_workers(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def write_bench_json(name: str, config: dict, metrics: dict) -> pathlib.Path:
+    """Persist one bench run as ``benchmarks/results/BENCH_<name>.json``.
+
+    ``config`` describes the workload shape (so two runs are known to be
+    comparable); ``metrics`` carries the measured numbers (seconds,
+    ops/sec, speedups, booleans for correctness gates).  Values must be
+    JSON-serializable.  Returns the written path.
+    """
+    safe = re.sub(r"[^A-Za-z0-9_.-]", "_", name)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{safe}.json"
+    payload = {
+        "name": name,
+        "config": config,
+        "metrics": metrics,
+        "host": _host(),
+    }
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return path

@@ -46,10 +46,16 @@ from repro.core.summary import (
     build_summary_from_sketches,
 )
 from repro.engine import (
+    Executor,
+    ProcessExecutor,
     Query,
     QueryEngine,
     QueryResult,
+    SerialExecutor,
     ShardedSummarizer,
+    ThreadExecutor,
+    available_workers,
+    get_executor,
     jaccard_from_summary,
     merge_bottomk,
     merge_poisson,
@@ -116,6 +122,12 @@ __all__ = [
     "QueryEngine",
     "QueryResult",
     "jaccard_from_summary",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "available_workers",
     "AdjustedWeights",
     "colocated_estimator",
     "dispersed_estimator",

@@ -2,14 +2,25 @@
 
 Scale-out machinery for the paper's dispersed model: exact sketch merging
 over key-disjoint partitions (:mod:`repro.engine.merge`), hash-sharded
-batch ingestion of unaggregated streams (:mod:`repro.engine.sharded`), and
+batch ingestion of unaggregated streams (:mod:`repro.engine.sharded`),
 batch query answering over the resulting summaries on the vectorized
-kernel fast path (:mod:`repro.engine.queries`).  The vectorized
-per-sampler ingestion hot path lives on
-:meth:`repro.sampling.bottomk.BottomKStreamSampler.process_batch`.
+kernel fast path (:mod:`repro.engine.queries`), and the multicore
+execution layer — injectable serial/thread/process executors with
+shared-memory payload handoff — that runs shard pipelines, store
+compaction, and multi-namespace query serving across cores
+(:mod:`repro.engine.parallel`).  The vectorized per-sampler ingestion hot
+path lives on :meth:`repro.sampling.bottomk.BottomKStreamSampler.process_batch`.
 """
 
 from repro.engine.merge import merge_bottomk, merge_poisson
+from repro.engine.parallel import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_workers,
+    get_executor,
+)
 from repro.engine.queries import (
     Query,
     QueryEngine,
@@ -27,4 +38,10 @@ __all__ = [
     "QueryEngine",
     "QueryResult",
     "jaccard_from_summary",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "available_workers",
 ]

@@ -1,0 +1,630 @@
+"""Multicore execution layer: injectable executors + shared-memory handoff.
+
+The paper's summaries are *mergeable over key-disjoint partitions by
+construction* (Sections 4, 7), which makes shard-level parallelism free:
+each shard of a :class:`~repro.engine.sharded.ShardedSummarizer` can be
+aggregated and bottom-k-sampled in its own process, and the parent's exact
+:func:`~repro.engine.merge.merge_bottomk` reduction reproduces the serial
+result bit for bit.  This module supplies the machinery:
+
+* **executors** — :class:`SerialExecutor` (the default everywhere; runs
+  tasks inline so small workloads and tests pay zero overhead),
+  :class:`ThreadExecutor`, and :class:`ProcessExecutor`, all behind one
+  :class:`Executor` interface whose :meth:`Executor.map` preserves input
+  order and applies *chunked backpressure*: at most ``queue_depth`` tasks
+  are in flight, and task payloads are materialized lazily at submission
+  time, so a thousand-shard pipeline never stages a thousand payloads at
+  once;
+* **spec strings** — :func:`get_executor` parses ``"serial"``,
+  ``"thread[:workers[:queue_depth]]"``, and
+  ``"process[:workers[:queue_depth]]"``, the format every CLI flag and
+  constructor argument accepts (:func:`executor_scope` additionally closes
+  executors it created while leaving caller-owned ones alone);
+* **shared-memory handoff** — :func:`ship_arrays` / :func:`open_arrays`
+  move numeric numpy buffers to worker processes through
+  :mod:`multiprocessing.shared_memory` segments instead of pickling the
+  payload bytes: the parent packs each shard's ``(keys, weights)`` buffers
+  into one segment, the worker maps them back as zero-copy views, and only
+  a tiny descriptor dict crosses the pipe;
+* **worker entry points** — module-level functions (picklable under any
+  start method) for the three parallel pipelines: per-shard aggregate +
+  sample (:func:`sample_shard_task`), per-bucket compaction merge
+  (:func:`compact_group_task`), and per-namespace query serving
+  (:func:`serve_namespace_task`).
+
+Every parallel path reuses the exact serial code on the worker side, so
+parallel results are bit-identical to serial ones by construction — the
+property ``tests/test_parallel.py`` pins down.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
+
+import numpy as np
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "executor_scope",
+    "available_workers",
+    "ship_arrays",
+    "ship_chunks",
+    "open_arrays",
+    "sample_shard_task",
+    "compact_group_task",
+    "serve_namespace_task",
+]
+
+
+def available_workers() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------------
+# executor abstraction
+# ---------------------------------------------------------------------------
+
+
+class Executor:
+    """Ordered task mapping with chunked backpressure.
+
+    Subclasses set :attr:`cross_process` (whether task payloads cross an
+    address-space boundary and therefore need shared-memory shipping) and
+    implement :meth:`_submit`.  ``queue_depth`` bounds the number of
+    in-flight tasks; because :meth:`map` pulls items from its iterable only
+    when a submission slot frees up, lazily-built payloads (e.g. staged
+    shared-memory segments) are never all materialized at once.
+    """
+
+    #: do task payloads cross process boundaries?
+    cross_process = False
+
+    def __init__(self, workers: int = 1, queue_depth: int | None = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_depth is not None and queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.workers = workers
+        self.queue_depth = queue_depth if queue_depth is not None else 2 * workers
+
+    # -- subclass hooks -------------------------------------------------------
+
+    def _submit(self, fn: Callable[[Any], Any], item: Any):
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pool resources (idempotent)."""
+
+    # -- public API -----------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        on_result: Callable[[int], None] | None = None,
+    ) -> list:
+        """Apply ``fn`` to every item; results in input order.
+
+        At most ``queue_depth`` tasks are in flight: the next item is drawn
+        from ``items`` only once a slot frees up, and the oldest future is
+        awaited first so results stream back in order.  ``on_result(index)``
+        fires as each result is collected — callers that stage per-task
+        resources (e.g. shared-memory segments) release them there, so live
+        staging is bounded by the backpressure window rather than the whole
+        task list.
+        """
+        iterator = iter(items)
+        in_flight: deque = deque()
+        results: list = []
+        exhausted = False
+        try:
+            while True:
+                while not exhausted and len(in_flight) < self.queue_depth:
+                    try:
+                        item = next(iterator)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    in_flight.append(self._submit(fn, item))
+                if not in_flight:
+                    return results
+                results.append(in_flight.popleft().result())
+                if on_result is not None:
+                    on_result(len(results) - 1)
+        finally:
+            for future in in_flight:
+                future.cancel()
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(workers={self.workers}, "
+            f"queue_depth={self.queue_depth})"
+        )
+
+
+class _InlineFuture:
+    """Minimal completed-future shim for the serial executor."""
+
+    __slots__ = ("_value", "_error")
+
+    def __init__(self, fn: Callable[[Any], Any], item: Any) -> None:
+        self._error = None
+        self._value = None
+        try:
+            self._value = fn(item)
+        except BaseException as err:  # re-raised from result(), like a Future
+            self._error = err
+
+    def result(self):
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def cancel(self) -> bool:
+        return False
+
+
+class SerialExecutor(Executor):
+    """Runs every task inline in the calling thread (the default mode).
+
+    ``map`` degenerates to a plain loop, so serial pipelines execute the
+    exact pre-existing code path with zero overhead — the property that
+    keeps default behavior (and stored artifacts) byte-identical.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(workers=1, queue_depth=1)
+
+    def _submit(self, fn: Callable[[Any], Any], item: Any):
+        return _InlineFuture(fn, item)
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool executor: shared memory, no payload shipping.
+
+    Best for I/O-heavy stages (store compaction, query serving from disk)
+    and for numpy-heavy stages that release the GIL.
+    """
+
+    def __init__(
+        self, workers: int | None = None, queue_depth: int | None = None
+    ) -> None:
+        super().__init__(
+            available_workers() if workers is None else workers, queue_depth
+        )
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _submit(self, fn: Callable[[Any], Any], item: Any):
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        return self._pool.submit(fn, item)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessExecutor(Executor):
+    """Process-pool executor: true multicore, shared-memory payloads.
+
+    Task functions must be module-level (picklable); large numpy payloads
+    should travel via :func:`ship_arrays` rather than pickling.  The pool
+    is created lazily on first use, so constructing one (e.g. from a CLI
+    default) costs nothing until work is actually submitted.
+    """
+
+    cross_process = True
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        queue_depth: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        super().__init__(
+            available_workers() if workers is None else workers, queue_depth
+        )
+        self.start_method = start_method
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _submit(self, fn: Callable[[Any], Any], item: Any):
+        if self._pool is None:
+            context = None
+            if self.start_method is not None:
+                import multiprocessing
+
+                context = multiprocessing.get_context(self.start_method)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context
+            )
+        return self._pool.submit(fn, item)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+_MODES = ("serial", "thread", "process")
+
+
+def get_executor(spec: "str | Executor | None") -> Executor:
+    """Build an executor from a spec string (or pass an instance through).
+
+    Spec grammar: ``mode[:workers[:queue_depth]]`` with mode one of
+    ``serial``, ``thread``, ``process``.  ``None`` and ``"serial"`` give
+    the inline serial executor; workers default to the available CPUs.
+
+    >>> get_executor("process:4:16")
+    ProcessExecutor(workers=4, queue_depth=16)
+    >>> get_executor(None)
+    SerialExecutor(workers=1, queue_depth=1)
+    """
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, Executor):
+        return spec
+    parts = str(spec).strip().lower().split(":")
+    mode = parts[0]
+    if mode not in _MODES or len(parts) > 3:
+        raise ValueError(
+            f"invalid executor spec {spec!r}; expected "
+            "'serial', 'thread[:workers[:queue_depth]]', or "
+            "'process[:workers[:queue_depth]]'"
+        )
+    try:
+        workers = int(parts[1]) if len(parts) > 1 and parts[1] else None
+        queue_depth = int(parts[2]) if len(parts) > 2 and parts[2] else None
+    except ValueError:
+        raise ValueError(
+            f"invalid executor spec {spec!r}; workers and queue_depth "
+            "must be integers"
+        ) from None
+    if mode == "serial":
+        if workers not in (None, 1):
+            raise ValueError(
+                f"invalid executor spec {spec!r}; serial mode is "
+                "single-worker by definition"
+            )
+        return SerialExecutor()
+    if mode == "thread":
+        return ThreadExecutor(workers, queue_depth)
+    return ProcessExecutor(workers, queue_depth)
+
+
+@contextmanager
+def executor_scope(spec: "str | Executor | None") -> Iterator[Executor]:
+    """Resolve a spec to an executor, closing it only if created here.
+
+    Call sites accept ``str | Executor | None`` everywhere; this context
+    manager keeps the ownership rule in one place: an executor *instance*
+    belongs to the caller (left open for reuse across calls), while one
+    built from a spec string is torn down on exit.
+    """
+    if isinstance(spec, Executor):
+        yield spec
+        return
+    executor = get_executor(spec)
+    try:
+        yield executor
+    finally:
+        executor.close()
+
+
+# ---------------------------------------------------------------------------
+# shared-memory array shipping
+# ---------------------------------------------------------------------------
+
+_SHM_ALIGN = 64
+
+
+@contextmanager
+def _untracked_shm_attach() -> Iterator[None]:
+    """Suppress resource-tracker registration while attaching a segment.
+
+    Before Python 3.13 every attaching process registers the segment with
+    a resource tracker, which either unlinks it out from under the owner
+    at exit (spawn: per-process trackers, cpython#82300) or double-frees
+    the owner's registration (fork: shared tracker).  The parent owns the
+    segment lifecycle here — create, then unlink after the map completes —
+    so workers must attach without registering at all.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def register(name, rtype):  # pragma: no cover - exercised in workers
+        if rtype != "shared_memory":
+            original(name, rtype)
+
+    resource_tracker.register = register
+    try:
+        yield
+    finally:
+        resource_tracker.register = original
+
+
+def ship_arrays(arrays: "dict[str, np.ndarray]") -> tuple[dict, Any]:
+    """Pack numeric arrays into one shared-memory segment.
+
+    Returns ``(descriptor, shm)``: the descriptor is a small picklable dict
+    a worker hands to :func:`open_arrays`; ``shm`` is the parent's handle,
+    which must stay alive until every worker is done and is then released
+    with :func:`release_shipment`.  Arrays must have a fixed-width
+    non-object dtype (callers route object-dtype key arrays through plain
+    pickling instead).
+    """
+    from multiprocessing import shared_memory
+
+    layout: dict[str, dict] = {}
+    offset = 0
+    for name, arr in arrays.items():
+        if arr.dtype.hasobject:
+            raise ValueError(
+                f"array {name!r} has object dtype; shared-memory shipping "
+                "needs fixed-width dtypes (pickle object arrays instead)"
+            )
+        layout[name] = {"dtype": arr.dtype.str, "shape": list(arr.shape)}
+        offset += -offset % _SHM_ALIGN
+        layout[name]["offset"] = offset
+        offset += arr.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for name, arr in arrays.items():
+        spec = layout[name]
+        flat = np.ascontiguousarray(arr)
+        view = np.ndarray(
+            flat.shape, dtype=flat.dtype, buffer=shm.buf, offset=spec["offset"]
+        )
+        view[...] = flat
+        del view
+    return {"shm": shm.name, "arrays": layout}, shm
+
+
+def open_arrays(descriptor: dict) -> tuple["dict[str, np.ndarray]", Any]:
+    """Map a :func:`ship_arrays` descriptor back to zero-copy views.
+
+    Returns ``(arrays, shm)``.  The views alias the segment buffer: the
+    caller must drop every reference to them (and anything sliced from
+    them) before calling ``shm.close()``.
+    """
+    from multiprocessing import shared_memory
+
+    with _untracked_shm_attach():
+        shm = shared_memory.SharedMemory(name=descriptor["shm"])
+    arrays = {
+        name: np.ndarray(
+            tuple(spec["shape"]),
+            dtype=np.dtype(spec["dtype"]),
+            buffer=shm.buf,
+            offset=spec["offset"],
+        )
+        for name, spec in descriptor["arrays"].items()
+    }
+    return arrays, shm
+
+
+def ship_chunks(chunks: "list[tuple[np.ndarray, np.ndarray]]") -> tuple[dict, Any]:
+    """Concatenate one shard's chunks straight into a shared segment.
+
+    Like ``ship_arrays({"keys": concat, "weights": concat})`` but without
+    the intermediate concatenated copies: the segment is sized up front
+    and each chunk is copied into its slice exactly once.  All chunk key
+    arrays must share one fixed-width dtype (the caller's eligibility
+    check); weights are float64 by construction.
+    """
+    from multiprocessing import shared_memory
+
+    key_dtype = chunks[0][0].dtype
+    total = sum(len(chunk_keys) for chunk_keys, _ in chunks)
+    keys_nbytes = total * key_dtype.itemsize
+    weights_offset = keys_nbytes + (-keys_nbytes % _SHM_ALIGN)
+    descriptor = {
+        "arrays": {
+            "keys": {
+                "dtype": key_dtype.str,
+                "shape": [total],
+                "offset": 0,
+            },
+            "weights": {
+                "dtype": "<f8",
+                "shape": [total],
+                "offset": weights_offset,
+            },
+        },
+    }
+    shm = shared_memory.SharedMemory(
+        create=True, size=max(weights_offset + total * 8, 1)
+    )
+    descriptor["shm"] = shm.name
+    keys_view = np.ndarray(total, dtype=key_dtype, buffer=shm.buf, offset=0)
+    weights_view = np.ndarray(
+        total, dtype="<f8", buffer=shm.buf, offset=weights_offset
+    )
+    position = 0
+    for chunk_keys, chunk_weights in chunks:
+        end = position + len(chunk_keys)
+        keys_view[position:end] = chunk_keys
+        weights_view[position:end] = chunk_weights
+        position = end
+    del keys_view, weights_view
+    return descriptor, shm
+
+
+def release_shipment(shm: Any) -> None:
+    """Close and unlink a parent-side shared-memory handle (idempotent)."""
+    if shm is None:
+        return
+    try:
+        shm.close()
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass
+
+
+# ---------------------------------------------------------------------------
+# worker entry point: per-shard aggregate + sample
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardTask:
+    """One (assignment, shard) unit of finalization work.
+
+    ``payload`` is one of:
+
+    * ``("chunks", [(keys, weights), ...])`` — in-memory chunk list
+      (serial/thread executors, or object-dtype keys under processes,
+      where the chunks are pickled as-is);
+    * ``("shm", descriptor)`` — concatenated ``keys``/``weights`` buffers
+      shipped through shared memory (numeric keys under processes).
+
+    The shared-memory form is exact: the vectorized aggregation path
+    concatenates its chunks before ``np.unique`` anyway, so handing the
+    worker the pre-concatenated arrays reproduces the serial result bit
+    for bit.
+    """
+
+    k: int
+    family: Any
+    hasher: Any
+    payload: tuple
+
+
+def _sample_chunks(k: int, family, hasher, chunks: list) -> Any:
+    """Aggregate one shard's chunks and bottom-k sample them (serial core).
+
+    This is the single source of truth for shard finalization: every
+    executor mode funnels through it, which is what makes parallel output
+    bit-identical to serial output by construction.
+    """
+    from repro.engine.sharded import _ShardBuffer
+    from repro.sampling.bottomk import BottomKStreamSampler
+
+    buffer = _ShardBuffer()
+    buffer.chunks = list(chunks)
+    keys, totals = buffer.aggregated()
+    sampler = BottomKStreamSampler(k, family, hasher)
+    if len(totals):
+        sampler.process_batch(keys, totals)
+    return sampler.sketch()
+
+
+def sample_shard_task(task: ShardTask):
+    """Worker entry: materialize the payload and run the serial core."""
+    form, payload = task.payload
+    if form == "chunks":
+        return _sample_chunks(task.k, task.family, task.hasher, payload)
+    if form != "shm":
+        raise ValueError(f"unknown shard payload form {form!r}")
+    arrays, shm = open_arrays(payload)
+    try:
+        chunks = [(arrays["keys"], arrays["weights"])]
+        return _sample_chunks(task.k, task.family, task.hasher, chunks)
+    finally:
+        del arrays
+        shm.close()
+
+
+def build_shard_tasks(
+    k: int,
+    family,
+    hasher,
+    buffers: "list[tuple[str, int, Any]]",
+    cross_process: bool,
+) -> Iterator[tuple[ShardTask, Any]]:
+    """Yield ``(task, shm_handle)`` pairs for a finalization run, lazily.
+
+    ``buffers`` holds ``(assignment, shard_index, _ShardBuffer)`` triples.
+    Payloads are built one at a time as the executor's backpressure window
+    admits them: under a process executor, numeric single-dtype shards are
+    concatenated once in the parent and shipped via shared memory (the
+    handle is yielded so the caller can release the segment after the
+    map completes); everything else rides the chunk-list form.
+    """
+    from repro.engine.sharded import vectorized_aggregation_eligible
+
+    for _name, _shard, buffer in buffers:
+        chunks = buffer.chunks
+        shm = None
+        # Ship pre-concatenated only when the serial aggregation path
+        # would concatenate too (same predicate, shared so it can't drift).
+        if cross_process and chunks and vectorized_aggregation_eligible(chunks):
+            descriptor, shm = ship_chunks(chunks)
+            yield ShardTask(k, family, hasher, ("shm", descriptor)), shm
+            continue
+        yield ShardTask(k, family, hasher, ("chunks", chunks)), shm
+
+
+# ---------------------------------------------------------------------------
+# worker entry point: per-bucket compaction merge
+# ---------------------------------------------------------------------------
+
+
+def compact_group_task(task: dict) -> dict:
+    """Merge one coarse bucket's artifacts and publish the rollup blob.
+
+    ``task`` carries ``root``, the group's blob ``paths`` (store-relative,
+    manifest order), and the ``target`` relative path.  The merged blob is
+    written atomically; the manifest row stays the parent's job, so a
+    failed or crashed worker strands at most an orphaned data file —
+    exactly the serial crash contract.
+    """
+    from repro.store.codec import atomic_write_bytes, encode, read_file
+
+    root = task["root"]
+    bundles = [
+        read_file(os.path.join(root, path), verify=True)
+        for path in task["paths"]
+    ]
+    merged = bundles[0].merge(*bundles[1:])
+    blob = encode(merged)
+    atomic_write_bytes(os.path.join(root, task["target"]), blob)
+    return {
+        "bucket": task["bucket"],
+        "kind": merged.kind,
+        "assignments": tuple(merged.assignments),
+        "nbytes": len(blob),
+    }
+
+
+# ---------------------------------------------------------------------------
+# worker entry point: per-namespace query serving
+# ---------------------------------------------------------------------------
+
+
+def serve_namespace_task(task: dict) -> list:
+    """Answer one namespace's query batch from a store on disk.
+
+    The worker merges the namespace's bundles once, builds one
+    :class:`~repro.engine.queries.QueryEngine` over the summary, and runs
+    the whole batch through it — so the decoded summary views and kernel
+    caches are shared across every query of the namespace, per worker.
+    """
+    from repro.engine.queries import QueryEngine
+    from repro.store.store import SummaryStore
+
+    store = SummaryStore(task["root"], create=False)
+    engine = QueryEngine.from_store(
+        store, task["namespace"], buckets=task.get("buckets")
+    )
+    return engine.run(task["queries"])

@@ -24,6 +24,7 @@ Estimates are numerically identical to the reference estimators (see
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -153,6 +154,57 @@ class QueryEngine:
         merge, a rolled-up store answers identically to the raw one.
         """
         return cls(store.summary(namespace, buckets), dataset)
+
+    @staticmethod
+    def serve_many(
+        store,
+        requests,
+        executor: "str | None | object" = None,
+        buckets=None,
+    ) -> "dict[str, list[QueryResult]]":
+        """Answer query batches across many stored namespaces concurrently.
+
+        Parameters
+        ----------
+        store:
+            a :class:`~repro.store.SummaryStore` or a store root path.
+        requests:
+            mapping of namespace -> sequence of :class:`Query` (or bare
+            :class:`~repro.core.aggregates.AggregationSpec`) items.
+        executor:
+            execution mode (``None``/spec string/
+            :class:`~repro.engine.parallel.Executor`).  Namespaces are
+            independent, so each worker merges one namespace's bundles
+            once, builds one engine over the summary, and serves that
+            namespace's whole batch from shared decoded views and kernel
+            caches.  Under a process executor the queries must be
+            picklable (``attribute_predicate`` lambdas are not; key-based
+            and attribute-equality predicates are).
+        buckets:
+            optional mapping of namespace -> bucket ids to restrict to.
+
+        Returns ``{namespace: [QueryResult, ...]}`` with result order
+        matching each batch's query order; estimates are identical across
+        executor modes (the engine fast path is deterministic).
+        """
+        from repro.engine.parallel import executor_scope, serve_namespace_task
+
+        root = store if isinstance(store, (str, os.PathLike)) else store.root
+        names = list(requests)
+        with executor_scope(executor) as ex:
+            answers = ex.map(
+                serve_namespace_task,
+                (
+                    {
+                        "root": str(root),
+                        "namespace": name,
+                        "queries": list(requests[name]),
+                        "buckets": None if buckets is None else buckets.get(name),
+                    }
+                    for name in names
+                ),
+            )
+        return dict(zip(names, answers))
 
     @classmethod
     def for_summary(

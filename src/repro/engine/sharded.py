@@ -50,11 +50,7 @@ from repro.ranks.hashing import (
     splitmix64,
     splitmix64_array,
 )
-from repro.sampling.bottomk import (
-    BottomKSketch,
-    BottomKStreamSampler,
-    aggregate_stream,
-)
+from repro.sampling.bottomk import BottomKSketch, aggregate_stream
 
 __all__ = ["shard_indices", "ShardedSummarizer"]
 
@@ -90,6 +86,23 @@ def shard_indices(keys, n_shards: int, salt: int = 0) -> np.ndarray:
     return (hashed % np.uint64(n_shards)).astype(np.int64)
 
 
+def vectorized_aggregation_eligible(
+    chunks: "list[tuple[np.ndarray, np.ndarray]]",
+) -> bool:
+    """True when a chunk list takes the concatenate-then-unique path.
+
+    One numeric dtype guarantees the concatenation never lossily promotes
+    keys (e.g. large int64 ids to float64).  This predicate is shared with
+    the shared-memory shipping eligibility check in
+    :mod:`repro.engine.parallel`: pre-concatenating a shard's chunks for a
+    worker is bit-identical to serial aggregation precisely when the
+    serial path would concatenate them too, so the two checks must never
+    drift apart.
+    """
+    dtypes = {chunk_keys.dtype for chunk_keys, _ in chunks}
+    return len(dtypes) == 1 and next(iter(dtypes)).kind in "biuf"
+
+
 class _ShardBuffer:
     """Raw (keys, weights) chunks destined for one shard sampler."""
 
@@ -114,8 +127,7 @@ class _ShardBuffer:
         """
         if not self.chunks:
             return np.empty(0, dtype=np.int64), np.empty(0)
-        dtypes = {chunk_keys.dtype for chunk_keys, _ in self.chunks}
-        if len(dtypes) == 1 and next(iter(dtypes)).kind in "biuf":
+        if vectorized_aggregation_eligible(self.chunks):
             keys = np.concatenate([ck for ck, _ in self.chunks])
             weights = np.concatenate([cw for _, cw in self.chunks])
             uniq, first, inverse = np.unique(
@@ -154,6 +166,14 @@ class ShardedSummarizer:
         two summarizers with equal hashers produce coordinated summaries.
     partition_salt:
         extra salt for shard placement (does not affect the summary).
+    executor:
+        execution mode for finalization (aggregation + sampling of the
+        key-disjoint shards): ``None``/"serial" (default, inline),
+        a spec string like ``"thread:4"`` or ``"process:4:16"``, or an
+        :class:`~repro.engine.parallel.Executor` instance (caller-owned,
+        reused across finalizations).  Because shards are key-disjoint
+        and the merge is exact, every mode produces bit-identical
+        summaries; the mode only changes how many cores do the work.
 
     >>> eng = ShardedSummarizer(k=2, assignments=["h1", "h2"], n_shards=2)
     >>> eng.ingest("h1", np.array([1, 2, 3]), np.array([5.0, 1.0, 9.0]))
@@ -170,6 +190,7 @@ class ShardedSummarizer:
         family: RankFamily | None = None,
         hasher: KeyHasher | None = None,
         partition_salt: int = 0,
+        executor: "str | None | object" = None,
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -185,6 +206,7 @@ class ShardedSummarizer:
         self.family = family if family is not None else IppsRanks()
         self.hasher = hasher if hasher is not None else KeyHasher(0)
         self.partition_salt = partition_salt
+        self.executor = executor
         self._buffers: dict[str, list[_ShardBuffer]] = {
             name: [_ShardBuffer() for _ in range(n_shards)]
             for name in self.assignments
@@ -202,21 +224,7 @@ class ShardedSummarizer:
                 f"unknown assignment {assignment!r}; known: {known}"
             ) from None
 
-    def ingest(self, assignment: str, keys, weights) -> None:
-        """Feed one batch of raw (key, weight) events for an assignment.
-
-        Events are unaggregated: the same key may appear in any number of
-        batches (and multiple times per batch); weights are summed per key.
-        Key identity follows Python equality for numeric keys — ``1``,
-        ``1.0``, and ``np.int64(1)`` all name the same key regardless of
-        which batch or dtype they arrive in.  The one exception is bool,
-        which the hash layer deliberately keeps distinct from 0/1: never
-        mix bool and int representations of one logical key.  Weights must
-        be finite and non-negative; zero weights are dropped at sampling
-        time.
-        """
-        buffers = self._shards_for(assignment)
-        keys = as_key_array(keys)
+    def _checked_weights(self, keys: np.ndarray, weights) -> np.ndarray:
         weights = np.asarray(weights, dtype=float)
         if weights.ndim != 1 or len(weights) != len(keys):
             raise ValueError(
@@ -230,19 +238,86 @@ class ShardedSummarizer:
                 f"weights must be finite and non-negative, got "
                 f"{weights[bad]!r} for key {keys[bad]!r}"
             )
-        if len(keys) == 0:
+        return weights
+
+    def _partition_order(
+        self, keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stable grouping of a batch by shard: ``(order, bounds)``.
+
+        One stable sort by shard id plus boundary slices, instead of one
+        full-array boolean mask per shard.  The stable sort keeps each
+        shard's events in arrival order, so the buffered chunks are
+        element-identical to a mask-based split.  Narrowing the ids to the
+        smallest dtype that holds n_shards lets the stable radix sort do
+        1-2 byte passes instead of 8.
+        """
+        ids = shard_indices(keys, self.n_shards, self.partition_salt)
+        if self.n_shards <= 1 << 8:
+            ids = ids.astype(np.uint8)
+        elif self.n_shards <= 1 << 16:
+            ids = ids.astype(np.uint16)
+        order = np.argsort(ids, kind="stable")
+        bounds = np.searchsorted(ids[order], np.arange(self.n_shards + 1))
+        return order, bounds
+
+    def ingest(self, assignment: str, keys, weights) -> None:
+        """Feed one batch of raw (key, weight) events for an assignment.
+
+        Events are unaggregated: the same key may appear in any number of
+        batches (and multiple times per batch); weights are summed per key.
+        Key identity follows Python equality for numeric keys — ``1``,
+        ``1.0``, and ``np.int64(1)`` all name the same key regardless of
+        which batch or dtype they arrive in.  The one exception is bool,
+        which the hash layer deliberately keeps distinct from 0/1: never
+        mix bool and int representations of one logical key.  Weights must
+        be finite and non-negative; zero weights are dropped at sampling
+        time.
+        """
+        self.ingest_multi(keys, {assignment: weights})
+
+    def ingest_multi(self, keys, weights_by_assignment) -> None:
+        """Feed one key batch carrying weights for several assignments.
+
+        Equivalent to calling :meth:`ingest` once per assignment with the
+        same ``keys`` (bit-identical buffered chunks), but the partition —
+        hash, stable sort, key gather — is computed once and shared, which
+        matters when every event updates all assignments (e.g. bytes and
+        packet-count weights of one flow record).
+        """
+        names = list(weights_by_assignment)
+        buffers_by_name = {name: self._shards_for(name) for name in names}
+        keys = as_key_array(keys)
+        checked = {
+            name: self._checked_weights(keys, weights_by_assignment[name])
+            for name in names
+        }
+        if len(keys) == 0 or not names:
             return
         self._sketch_cache = None
         if self.n_shards == 1:
-            # Copy: the multi-shard path copies via mask indexing; without
+            # Copy: the multi-shard path copies via gather indexing; without
             # one here a caller refilling a preallocated batch buffer would
-            # retroactively corrupt every buffered chunk.
-            buffers[0].append(keys.copy(), weights.copy())
+            # retroactively corrupt every buffered chunk.  One key copy is
+            # shared across assignments, like sorted_keys below.
+            keys = keys.copy()
+            for name in names:
+                buffers_by_name[name][0].append(keys, checked[name].copy())
             return
-        ids = shard_indices(keys, self.n_shards, self.partition_salt)
-        for shard in np.unique(ids):
-            mask = ids == shard
-            buffers[shard].append(keys[mask], weights[mask])
+        order, bounds = self._partition_order(keys)
+        sorted_keys = keys[order]
+        for name in names:
+            sorted_weights = checked[name][order]
+            buffers = buffers_by_name[name]
+            for shard in range(self.n_shards):
+                lo, hi = bounds[shard], bounds[shard + 1]
+                if hi > lo:
+                    # Slices view the per-batch copies made above, so later
+                    # caller mutation of the ingested arrays cannot reach
+                    # them.
+                    buffers[shard].append(
+                        sorted_keys[lo:hi], sorted_weights[lo:hi]
+                    )
 
     def ingest_stream(
         self, assignment: str, items: Iterable[tuple[Hashable, float]]
@@ -263,19 +338,53 @@ class ShardedSummarizer:
         which hands out defensive copies.
         """
         if self._sketch_cache is None:
-            out: dict[str, BottomKSketch] = {}
-            for name in self.assignments:
-                shard_sketches = []
-                for buffer in self._buffers[name]:
-                    keys, totals = buffer.aggregated()
-                    sampler = BottomKStreamSampler(
-                        self.k, self.family, self.hasher
+            from repro.engine.parallel import (
+                build_shard_tasks,
+                executor_scope,
+                release_shipment,
+                sample_shard_task,
+            )
+
+            buffers = [
+                (name, shard, buffer)
+                for name in self.assignments
+                for shard, buffer in enumerate(self._buffers[name])
+            ]
+            shipments: list = []
+            with executor_scope(self.executor) as executor:
+
+                def tasks():
+                    for task, shm in build_shard_tasks(
+                        self.k, self.family, self.hasher, buffers,
+                        executor.cross_process,
+                    ):
+                        shipments.append(shm)
+                        yield task
+
+                def release(index: int) -> None:
+                    # Free each task's segment as its result lands, so
+                    # live shared memory is bounded by the backpressure
+                    # window, not the full buffered dataset.
+                    if index < len(shipments):
+                        release_shipment(shipments[index])
+                        shipments[index] = None
+
+                try:
+                    sketches = executor.map(
+                        sample_shard_task, tasks(), on_result=release
                     )
-                    if len(totals):
-                        sampler.process_batch(keys, totals)
-                    shard_sketches.append(sampler.sketch())
-                out[name] = merge_bottomk(*shard_sketches)
-            self._sketch_cache = out
+                finally:
+                    for shm in shipments:
+                        release_shipment(shm)
+            per_assignment: dict[str, list[BottomKSketch]] = {
+                name: [] for name in self.assignments
+            }
+            for (name, _shard, _buffer), sketch in zip(buffers, sketches):
+                per_assignment[name].append(sketch)
+            self._sketch_cache = {
+                name: merge_bottomk(*shard_sketches)
+                for name, shard_sketches in per_assignment.items()
+            }
         return self._sketch_cache
 
     def sketches(self) -> dict[str, BottomKSketch]:
@@ -356,13 +465,18 @@ class ShardedSummarizer:
 
     @classmethod
     def from_checkpoint(
-        cls, state: "SummarizerCheckpoint"
+        cls,
+        state: "SummarizerCheckpoint",
+        executor: "str | None | object" = None,
     ) -> "ShardedSummarizer":
         """Rebuild a summarizer from a checkpoint snapshot.
 
         The restored instance has the same configuration, salts, and
         buffered chunks (in arrival order), so continuing the stream
-        produces summaries bit-identical to an uninterrupted run.
+        produces summaries bit-identical to an uninterrupted run.  The
+        executor is runtime configuration, not stream state: it is never
+        captured in a checkpoint, and the restored summarizer may finalize
+        under any mode (``executor``) without affecting the output.
         """
         restored = cls(
             k=state.k,
@@ -371,6 +485,7 @@ class ShardedSummarizer:
             family=state.family,
             hasher=KeyHasher(state.hasher_salt),
             partition_salt=state.partition_salt,
+            executor=executor,
         )
         for name in restored.assignments:
             for shard, chunk_list in enumerate(state.chunks[name]):
@@ -386,11 +501,13 @@ class ShardedSummarizer:
         return save_checkpoint(path, self)
 
     @classmethod
-    def load_checkpoint(cls, path) -> "ShardedSummarizer":
+    def load_checkpoint(
+        cls, path, executor: "str | None | object" = None
+    ) -> "ShardedSummarizer":
         """Restore a summarizer from a checkpoint file."""
         from repro.store.checkpoint import load_checkpoint
 
-        return load_checkpoint(path)
+        return load_checkpoint(path, executor=executor)
 
     def __repr__(self) -> str:
         buffered = sum(

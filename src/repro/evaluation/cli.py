@@ -135,6 +135,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--scale", type=float, default=1.0,
                         help="multiply workload key counts")
+    parser.add_argument("--executor", default=None, metavar="SPEC",
+                        help="parallelize experiment runs: 'serial' "
+                             "(default), 'thread[:workers[:depth]]', or "
+                             "'process[:workers[:depth]]' (process mode "
+                             "needs picklable tasks; prefer thread here). "
+                             "Results are bit-identical across modes.")
     return parser
 
 
@@ -144,6 +150,15 @@ def main(argv: list[str] | None = None) -> int:
         for eid, summary in sorted(_EXPERIMENT_SUMMARIES.items()):
             print(f"  {eid:>6}  {summary}")
         return 0
+    if args.executor is not None:
+        from repro.engine.parallel import get_executor
+        from repro.evaluation.runner import set_default_executor
+
+        try:
+            get_executor(args.executor)  # validate the spec before any work
+        except ValueError as err:
+            raise SystemExit(f"error: {err}") from None
+        set_default_executor(args.executor)
     mode = "colocated" if args.experiment in _COLOCATED_EXPERIMENTS else "dispersed"
     dataset = _workload(args.workload, args.scale, mode)
     result = _dispatch(

@@ -32,7 +32,29 @@ from repro.evaluation.analytic import DrawContext, make_context
 from repro.ranks.assignments import get_rank_method
 from repro.ranks.families import RankFamily, get_rank_family
 
-__all__ = ["EstimatorTask", "VarianceResult", "run_sigma_v", "run_sharing_index"]
+__all__ = [
+    "EstimatorTask",
+    "VarianceResult",
+    "run_sigma_v",
+    "run_sharing_index",
+    "set_default_executor",
+]
+
+#: executor used by :func:`run_sigma_v` when no explicit one is passed;
+#: set from the CLI's ``--executor`` flag (``None`` = serial).
+_default_executor: "str | None | object" = None
+
+
+def set_default_executor(spec: "str | None | object") -> None:
+    """Set the runner-wide default executor (see :mod:`repro.engine.parallel`).
+
+    Experiment entry points (:mod:`repro.evaluation.experiments`) call
+    :func:`run_sigma_v` without an executor argument; this default lets
+    the CLI parallelize them without threading a parameter through every
+    experiment signature.
+    """
+    global _default_executor
+    _default_executor = spec
 
 
 @dataclass
@@ -108,6 +130,62 @@ class VarianceResult:
         ]
 
 
+def _sigma_v_one_run(payload: tuple) -> tuple[dict, dict]:
+    """One run's ΣV and union-size contributions (executor map unit).
+
+    The run is fully determined by ``(seed, run)`` — draws come from
+    ``default_rng([seed, run])`` exactly as in the serial loop — so runs
+    may execute on any worker in any order; the caller reduces the
+    returned per-run dicts in run-index order, keeping float accumulation
+    order (and therefore results) bit-identical to the serial path.
+    """
+    (dataset, tasks, k_values, methods, family, seed, run, metric) = payload
+    weights = dataset.weights
+    run_totals: dict[str, dict[int, float]] = {
+        task.name: {} for task in tasks
+    }
+    run_sizes: dict[str, dict[int, float]] = {name: {} for name in methods}
+    rng = np.random.default_rng([seed, run])
+    draws = {
+        name: get_rank_method(name).draw(family, weights, rng)
+        for name in methods
+    }
+    for k in k_values:
+        if metric == "analytic":
+            contexts = {
+                name: make_context(weights, draws[name], k, family)
+                for name in methods
+            }
+            for name in methods:
+                run_sizes[name][k] = contexts[name].union_size()
+            for task in tasks:
+                assert task.sigma_v is not None
+                run_totals[task.name][k] = task.sigma_v(
+                    contexts[task.rank_method]
+                )
+        else:
+            combos = sorted({(t.rank_method, t.mode) for t in tasks})
+            summaries = {
+                (method, mode): build_bottomk_summary(
+                    weights, draws[method], k, dataset.assignments,
+                    family, mode=mode,
+                )
+                for method, mode in combos
+            }
+            seen_methods = set()
+            for (method, mode), summary in summaries.items():
+                if method not in seen_methods:
+                    run_sizes[method][k] = summary.n_union
+                    seen_methods.add(method)
+            for task in tasks:
+                summary = summaries[(task.rank_method, task.mode)]
+                adjusted = task.estimate(summary)
+                run_totals[task.name][k] = adjusted.squared_error_sum(
+                    task.f_values
+                )
+    return run_totals, run_sizes
+
+
 def run_sigma_v(
     dataset: MultiAssignmentDataset,
     tasks: Sequence[EstimatorTask],
@@ -116,8 +194,21 @@ def run_sigma_v(
     family: RankFamily | str = "ipps",
     seed: int = 0,
     metric: str = "analytic",
+    executor: "str | None | object" = None,
 ) -> VarianceResult:
-    """ΣV of every task at every k over ``runs`` repeated draws."""
+    """ΣV of every task at every k over ``runs`` repeated draws.
+
+    ``executor`` (``None``/spec string/:class:`repro.engine.parallel.
+    Executor`) distributes the independent runs across workers; per-run
+    contributions are reduced in run-index order, so every mode returns
+    bit-identical results.  Thread mode suits the stock experiment tasks
+    (their estimator callables are closures, which processes cannot
+    pickle); process mode additionally requires picklable tasks.
+    """
+    from repro.engine.parallel import executor_scope
+
+    if executor is None:
+        executor = _default_executor
     if metric not in ("analytic", "empirical"):
         raise ValueError(f"metric must be 'analytic' or 'empirical', got {metric!r}")
     if isinstance(family, str):
@@ -138,46 +229,22 @@ def run_sigma_v(
     size_totals: dict[str, dict[int, float]] = {
         name: {k: 0.0 for k in k_values} for name in methods
     }
-    weights = dataset.weights
-    for run in range(runs):
-        rng = np.random.default_rng([seed, run])
-        draws = {
-            name: get_rank_method(name).draw(family, weights, rng)
-            for name in methods
-        }
-        for k in k_values:
-            if metric == "analytic":
-                contexts = {
-                    name: make_context(weights, draws[name], k, family)
-                    for name in methods
-                }
-                for name in methods:
-                    size_totals[name][k] += contexts[name].union_size()
-                for task in tasks:
-                    assert task.sigma_v is not None
-                    totals[task.name][k] += task.sigma_v(
-                        contexts[task.rank_method]
-                    )
-            else:
-                combos = sorted({(t.rank_method, t.mode) for t in tasks})
-                summaries = {
-                    (method, mode): build_bottomk_summary(
-                        weights, draws[method], k, dataset.assignments,
-                        family, mode=mode,
-                    )
-                    for method, mode in combos
-                }
-                seen_methods = set()
-                for (method, mode), summary in summaries.items():
-                    if method not in seen_methods:
-                        size_totals[method][k] += summary.n_union
-                        seen_methods.add(method)
-                for task in tasks:
-                    summary = summaries[(task.rank_method, task.mode)]
-                    adjusted = task.estimate(summary)
-                    totals[task.name][k] += adjusted.squared_error_sum(
-                        task.f_values
-                    )
+    tasks = list(tasks)
+    with executor_scope(executor) as ex:
+        per_run = ex.map(
+            _sigma_v_one_run,
+            (
+                (dataset, tasks, k_values, methods, family, seed, run, metric)
+                for run in range(runs)
+            ),
+        )
+    for run_totals, run_sizes in per_run:
+        for name, by_k in run_totals.items():
+            for k, value in by_k.items():
+                totals[name][k] += value
+        for name, by_k in run_sizes.items():
+            for k, value in by_k.items():
+                size_totals[name][k] += value
     for task in tasks:
         result.sigma_v[task.name] = {
             k: totals[task.name][k] / runs for k in k_values

@@ -290,29 +290,20 @@ class BottomKStreamSampler:
 
         Keys must be aggregated upstream (each key seen once); feed
         unaggregated streams through :func:`aggregate_stream` first.
+
+        A single-element view onto :meth:`process_batch`: the scalar and
+        batch paths share one implementation, so they cannot drift (the
+        object-dtype wrapper routes key hashing through the same per-key
+        fallback the scalar path always used, keeping ranks bit-identical).
         """
         if isinstance(key, float) and key != key:
             raise ValueError(
                 "NaN key; NaN is never equal to itself, so it cannot serve "
                 "as a key identity"
             )
-        if not math.isfinite(weight):
-            raise ValueError(f"non-finite weight {weight!r} for key {key!r}")
-        if key in self._seen:
-            raise ValueError(
-                f"key {key!r} seen twice; bottom-k sampling requires "
-                "aggregated keys (see aggregate_stream)"
-            )
-        self._seen.add(key)
-        if weight <= 0.0:
-            return
-        seed = self.hasher(key)
-        rank = self.family.rank(weight, seed)
-        entry = (-rank, key, rank, weight, seed)
-        if len(self._heap) <= self.k:
-            heapq.heappush(self._heap, entry)
-        elif rank < -self._heap[0][0]:
-            heapq.heapreplace(self._heap, entry)
+        keys = np.empty(1, dtype=object)
+        keys[0] = key
+        self.process_batch(keys, np.array([weight], dtype=float))
 
     def process_stream(self, items: Iterable[tuple[Hashable, float]]) -> None:
         """Feed an iterable of aggregated (key, weight) items."""
@@ -376,33 +367,45 @@ class BottomKStreamSampler:
             return
         seeds = self.hasher.hash_array(keys_arr[candidates])
         ranks = self.family.ranks_array(weights[candidates], seeds)
+        # Hoist attribute and global lookups out of the fold below: the
+        # loop body runs up to k + 1 times per batch, and dotted lookups
+        # are a measurable fraction of it for small batches.
         heap = self._heap
-        if len(heap) > self.k:
+        k = self.k
+        heappush = heapq.heappush
+        heapreplace = heapq.heapreplace
+        if len(heap) > k:
             below = np.flatnonzero(ranks < -heap[0][0])
             candidates, ranks, seeds = candidates[below], ranks[below], seeds[below]
-        limit = self.k + 1
+        limit = k + 1
         if ranks.size > limit:
             part = np.argpartition(ranks, limit - 1)[:limit]
         else:
             part = np.arange(ranks.size)
         # Ascending fold: once a candidate fails to beat the heap bound,
-        # no later (larger-rank) candidate can succeed either.
+        # no later (larger-rank) candidate can succeed either.  The k + 1
+        # surviving entries are gathered to Python scalars in one pass
+        # instead of per-iteration numpy scalar indexing.
         part = part[np.argsort(ranks[part], kind="stable")]
-        for j in part:
-            rank = float(ranks[j])
-            if len(heap) <= self.k:
-                pos = candidates[j]
-                heapq.heappush(
+        positions = candidates[part]
+        fold_ranks = ranks[part].tolist()
+        fold_seeds = seeds[part].tolist()
+        fold_weights = weights[positions].tolist()
+        fold_positions = positions.tolist()
+        for j, rank in enumerate(fold_ranks):
+            if len(heap) <= k:
+                pos = fold_positions[j]
+                heappush(
                     heap,
-                    (-rank, key_list[pos], rank, float(weights[pos]),
-                     float(seeds[j])),
+                    (-rank, key_list[pos], rank, fold_weights[j],
+                     fold_seeds[j]),
                 )
             elif rank < -heap[0][0]:
-                pos = candidates[j]
-                heapq.heapreplace(
+                pos = fold_positions[j]
+                heapreplace(
                     heap,
-                    (-rank, key_list[pos], rank, float(weights[pos]),
-                     float(seeds[j])),
+                    (-rank, key_list[pos], rank, fold_weights[j],
+                     fold_seeds[j]),
                 )
             else:
                 break

@@ -40,8 +40,13 @@ def save_checkpoint(path, summarizer) -> int:
     return write_file(path, state)
 
 
-def load_checkpoint(path):
-    """Restore a :class:`~repro.engine.ShardedSummarizer` from a checkpoint file."""
+def load_checkpoint(path, executor=None):
+    """Restore a :class:`~repro.engine.ShardedSummarizer` from a checkpoint file.
+
+    ``executor`` configures the restored summarizer's finalization mode
+    (see :mod:`repro.engine.parallel`); it is runtime configuration, never
+    part of the checkpoint, and does not affect the produced summaries.
+    """
     from repro.store.codec import read_file
 
     state = read_file(path)
@@ -50,4 +55,6 @@ def load_checkpoint(path):
             f"{path!s} holds a {type(state).__name__}, not a "
             "SummarizerCheckpoint"
         )
-    return state.restore()
+    from repro.engine.sharded import ShardedSummarizer
+
+    return ShardedSummarizer.from_checkpoint(state, executor=executor)

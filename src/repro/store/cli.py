@@ -12,7 +12,11 @@ buckets up, and answer aggregate queries from disk:
 
 ``write`` reads ``key,weight`` CSV lines (events may repeat keys; they are
 pre-aggregated before sampling), or generates a synthetic stream with
-``--demo N``.  Also installed as the ``repro-store`` console script.
+``--demo N``.  ``compact`` and ``query`` accept ``--executor SPEC``
+(``thread:4``, ``process:4``, ...; see :mod:`repro.engine.parallel`) to
+roll buckets up — or serve several ``--namespace`` values — concurrently,
+with identical results to serial mode.  Also installed as the
+``repro-store`` console script.
 """
 
 from __future__ import annotations
@@ -116,7 +120,7 @@ def _cmd_ls(args: argparse.Namespace) -> int:
 
 def _cmd_compact(args: argparse.Namespace) -> int:
     store = SummaryStore(args.root, create=False)
-    written = store.compact(args.namespace, to=args.to)
+    written = store.compact(args.namespace, to=args.to, executor=args.executor)
     if not written:
         print(f"nothing to compact for namespace {args.namespace!r}")
         return 0
@@ -129,16 +133,39 @@ def _cmd_compact(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    from repro.engine.queries import QueryEngine
+    from repro.engine.parallel import get_executor
+    from repro.engine.queries import Query, QueryEngine
 
+    get_executor(args.executor)  # validate even on the serial 1-namespace path
     store = SummaryStore(args.root, create=False)
-    engine = QueryEngine.from_store(store, args.namespace, buckets=args.buckets)
     spec = AggregationSpec(
         args.function, tuple(args.assignments), ell=args.ell
     )
-    estimate = engine.estimate(spec, estimator=args.estimator)
     names = ",".join(args.assignments)
-    print(f"{args.function}({names}) ~= {estimate:.6g}")
+    namespaces = args.namespace
+    if len(namespaces) == 1:
+        engine = QueryEngine.from_store(
+            store, namespaces[0], buckets=args.buckets
+        )
+        estimate = engine.estimate(spec, estimator=args.estimator)
+        print(f"{args.function}({names}) ~= {estimate:.6g}")
+        return 0
+    # Multi-namespace serving: one worker per namespace, each sharing its
+    # decoded summary views across the batch (QueryEngine.serve_many).
+    query = Query(spec, estimator=args.estimator)
+    answers = QueryEngine.serve_many(
+        store,
+        {namespace: [query] for namespace in namespaces},
+        executor=args.executor,
+        buckets=(
+            None
+            if args.buckets is None
+            else {namespace: args.buckets for namespace in namespaces}
+        ),
+    )
+    for namespace in namespaces:
+        estimate = answers[namespace][0].estimate
+        print(f"{namespace}: {args.function}({names}) ~= {estimate:.6g}")
     return 0
 
 
@@ -183,19 +210,31 @@ def build_parser() -> argparse.ArgumentParser:
     ls.add_argument("--namespace", default=None)
     ls.set_defaults(func=_cmd_ls)
 
+    executor_help = (
+        "execution mode: 'serial' (default), 'thread[:workers[:depth]]', "
+        "or 'process[:workers[:depth]]'; results are identical across "
+        "modes"
+    )
+
     compact = commands.add_parser(
         "compact", help="roll fine buckets up into coarser ones (exact merge)"
     )
     compact.add_argument("--root", required=True)
     compact.add_argument("--namespace", required=True)
     compact.add_argument("--to", default="hour", choices=list(GRANULARITIES))
+    compact.add_argument("--executor", default=None, metavar="SPEC",
+                         help=f"{executor_help} (buckets roll up "
+                              "concurrently)")
     compact.set_defaults(func=_cmd_compact)
 
     query = commands.add_parser(
         "query", help="estimate an aggregate from the stored summaries"
     )
     query.add_argument("--root", required=True)
-    query.add_argument("--namespace", required=True)
+    query.add_argument("--namespace", required=True, nargs="+",
+                       help="namespace(s) to answer from; several "
+                            "namespaces are served concurrently under "
+                            "--executor")
     query.add_argument("--function", required=True,
                        choices=["single", "min", "max", "l1", "lth_largest"])
     query.add_argument("--assignments", required=True, nargs="+")
@@ -204,6 +243,8 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--estimator", default="auto")
     query.add_argument("--ell", type=int, default=None,
                        help="ℓ for lth_largest")
+    query.add_argument("--executor", default=None, metavar="SPEC",
+                       help=executor_help)
     query.set_defaults(func=_cmd_query)
 
     return parser

@@ -508,7 +508,7 @@ class SummaryStore:
     # -- compaction -----------------------------------------------------------
 
     def compact(
-        self, namespace: str, to: str = "hour"
+        self, namespace: str, to: str = "hour", executor=None
     ) -> list[StoreEntry]:
         """Roll sketch bundles up to coarser time buckets, exactly.
 
@@ -520,10 +520,19 @@ class SummaryStore:
         granularity are left untouched.  Summary and checkpoint artifacts
         never participate.
 
+        ``executor`` (``None``/spec string/:class:`~repro.engine.parallel.
+        Executor`) parallelizes the per-group load + merge + encode work —
+        coarse buckets are independent, so they roll up concurrently.
+        Manifest mutations always stay in the calling process under the
+        store lock, and because the merge and the codec are deterministic,
+        every executor mode produces byte-identical artifacts and an
+        identical manifest.
+
         Crash safety: the new artifact is published first, then the
         manifest is rewritten (old entries out, new entry in), then old
-        files are unlinked — a crash can strand orphaned ``.cws`` files but
-        the manifest never references missing or double-counted data.
+        files are unlinked — a crash (or a failed worker) can strand
+        orphaned ``.cws`` files but the manifest never references missing
+        or double-counted data.
 
         Returns the newly written entries.
         """
@@ -531,11 +540,18 @@ class SummaryStore:
             raise ValueError(
                 f"unknown granularity {to!r}; known: {', '.join(GRANULARITIES)}"
             )
+        from repro.engine.parallel import get_executor
+
+        get_executor(executor)  # validate the spec even when nothing rolls up
         with self._mutation_lock():
             self.refresh()
-            return self._compact_locked(namespace, to)
+            return self._compact_locked(namespace, to, executor)
 
-    def _compact_locked(self, namespace: str, to: str) -> list[StoreEntry]:
+    def _compact_locked(
+        self, namespace: str, to: str, executor=None
+    ) -> list[StoreEntry]:
+        from repro.engine.parallel import compact_group_task, executor_scope
+
         groups: dict[str, list[StoreEntry]] = {}
         for entry in self.entries(namespace):
             if entry.kind not in _BUNDLE_KINDS:
@@ -543,24 +559,39 @@ class SummaryStore:
             if GRANULARITIES.index(entry.granularity) > GRANULARITIES.index(to):
                 continue  # already coarser than the target
             groups.setdefault(coarsen_bucket(entry.bucket, to), []).append(entry)
-        written: list[StoreEntry] = []
+        plan: list[tuple[str, list[StoreEntry], str, str]] = []
         for coarse_bucket, group in sorted(groups.items()):
             if len(group) == 1 and group[0].bucket == coarse_bucket:
                 continue  # nothing to roll up
-            bundles = [self.load(entry) for entry in group]
-            merged = bundles[0].merge(*bundles[1:])
-            blob = encode(merged)
             part = self._free_part(namespace, coarse_bucket, "rollup")
             rel_path = f"data/{namespace}/{coarse_bucket}/{part}.cws"
-            atomic_write_bytes(self.root / rel_path, blob)
+            plan.append((coarse_bucket, group, part, rel_path))
+        if not plan:
+            return []
+        root = str(self.root)
+        with executor_scope(executor) as ex:
+            merged = ex.map(
+                compact_group_task,
+                (
+                    {
+                        "root": root,
+                        "bucket": coarse_bucket,
+                        "paths": [entry.path for entry in group],
+                        "target": rel_path,
+                    }
+                    for coarse_bucket, group, _part, rel_path in plan
+                ),
+            )
+        written: list[StoreEntry] = []
+        for (coarse_bucket, group, part, rel_path), result in zip(plan, merged):
             new_entry = StoreEntry(
                 namespace=namespace,
                 bucket=coarse_bucket,
                 part=part,
-                kind=merged.kind,
-                assignments=tuple(merged.assignments),
+                kind=result["kind"],
+                assignments=tuple(result["assignments"]),
                 path=rel_path,
-                nbytes=len(blob),
+                nbytes=result["nbytes"],
             )
             retired = set(group)
             self._entries = [e for e in self._entries if e not in retired]
