@@ -9,11 +9,12 @@ writes ``benchmarks/results/BENCH_<name>.json`` with a fixed envelope::
       "name": "engine_throughput",
       "config": {...},      # workload shape: sizes, k, workers, ...
       "metrics": {...},     # ops/sec, seconds, speedups, gates
-      "host": {"cpus": 4, "python": "3.11.7"}
+      "host": {"cpus": 4, "python": "3.11.7"},
+      "provenance": {"git_sha": "...", "repro_version": "1.0.0"}
     }
 
-so runs are comparable across commits and machines.  CI uploads the
-``BENCH_*.json`` files as workflow artifacts.
+so runs are comparable — and attributable — across commits and machines.
+CI uploads the ``BENCH_*.json`` files as workflow artifacts.
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ import json
 import pathlib
 import platform
 import re
+import subprocess
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -34,6 +36,33 @@ def _host() -> dict:
         "python": platform.python_version(),
         "machine": platform.machine(),
     }
+
+
+def _provenance() -> dict:
+    """Which code produced this run: git SHA + package version.
+
+    Best-effort: outside a git checkout (or without a git binary) the SHA
+    is ``None`` rather than an error — a bench run must never fail over
+    attribution metadata.
+    """
+    sha = None
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(pathlib.Path(__file__).parent), "rev-parse",
+             "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+        if proc.returncode == 0:
+            sha = proc.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        pass
+    try:
+        import repro
+
+        version = getattr(repro, "__version__", None)
+    except Exception:
+        version = None
+    return {"git_sha": sha, "repro_version": version}
 
 
 def write_bench_json(name: str, config: dict, metrics: dict) -> pathlib.Path:
@@ -52,6 +81,7 @@ def write_bench_json(name: str, config: dict, metrics: dict) -> pathlib.Path:
         "config": config,
         "metrics": metrics,
         "host": _host(),
+        "provenance": _provenance(),
     }
     path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
     return path

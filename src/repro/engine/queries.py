@@ -155,6 +155,29 @@ class QueryEngine:
         """
         return cls(store.summary(namespace, buckets), dataset)
 
+    @classmethod
+    def from_bundles(
+        cls,
+        bundles,
+        dataset: MultiAssignmentDataset | None = None,
+    ) -> "QueryEngine":
+        """Engine over the exact merge of several sketch bundles.
+
+        The merged-view hook of the always-on service: a live in-memory
+        window bundle and any number of stored bucket bundles merge with
+        the exact :meth:`~repro.store.codec.SketchBundle.merge` primitive
+        into one summary, so the engine's answers are bit-identical to an
+        offline run over the equivalently merged artifacts.  Raises
+        ``ValueError`` on an empty bundle list, on incompatible
+        coordination metadata, and on duplicate keys (not a key-disjoint
+        partition).
+        """
+        bundles = list(bundles)
+        if not bundles:
+            raise ValueError("need at least one sketch bundle")
+        merged = bundles[0].merge(*bundles[1:])
+        return cls(merged.summary(), dataset)
+
     @staticmethod
     def serve_many(
         store,

@@ -509,15 +509,25 @@ class ShardedSummarizer:
 
         return load_checkpoint(path, executor=executor)
 
-    def __repr__(self) -> str:
-        buffered = sum(
+    @property
+    def buffered_events(self) -> int:
+        """Raw events currently buffered, summed over all assignments.
+
+        A diagnostics counter (service status endpoints, ``__repr__``):
+        zero means finalization would produce empty sketches, which is the
+        signal the live-window layer uses to skip writing empty bundles.
+        """
+        return sum(
             len(chunk_keys)
             for buffers in self._buffers.values()
             for buffer in buffers
             for chunk_keys, _ in buffer.chunks
         )
+
+    def __repr__(self) -> str:
         return (
             f"ShardedSummarizer(k={self.k}, "
             f"assignments={self.assignments!r}, n_shards={self.n_shards}, "
-            f"family={self.family.name!r}, buffered_events={buffered})"
+            f"family={self.family.name!r}, "
+            f"buffered_events={self.buffered_events})"
         )

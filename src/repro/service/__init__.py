@@ -1,0 +1,45 @@
+"""Always-on summarization service: live windows, HTTP API, client, CLI.
+
+The fifth layer of the system — a long-running daemon that ties the
+sampling core, the vectorized query engine, the persistent store, and the
+multicore execution layer together behind an asyncio HTTP JSON API:
+
+* :mod:`repro.service.config` — :class:`ServiceConfig` /
+  :class:`NamespaceConfig`, JSON round-trippable;
+* :mod:`repro.service.windows` — :class:`LiveWindowManager`, per-namespace
+  in-memory summarizers rotating into store buckets on time boundaries,
+  with checkpoint-on-shutdown / resume-on-start;
+* :mod:`repro.service.planner` — :class:`QueryPlanner`, merged
+  live + stored query answering with a version-keyed result cache;
+* :mod:`repro.service.server` — :class:`SummaryService`, the asyncio
+  daemon (bounded-queue ingest backpressure, JSON endpoints, graceful
+  shutdown) and :class:`ServiceThread` for embedding it in tests and
+  benchmarks;
+* :mod:`repro.service.client` — :class:`ServiceClient`, a thin stdlib
+  HTTP client;
+* :mod:`repro.service.cli` — the ``repro-serve`` command
+  (serve / status / ingest / query / shutdown).
+
+Service answers are *exact* relative to the offline path: a query served
+over (live window + stored buckets) returns bit-identical estimates to a
+:class:`~repro.engine.queries.QueryEngine` run over the equivalently
+merged summaries.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.config import NamespaceConfig, ServiceConfig
+from repro.service.planner import QueryPlanner
+from repro.service.server import ServiceThread, SummaryService
+from repro.service.windows import CHECKPOINT_PART, LiveWindowManager
+
+__all__ = [
+    "CHECKPOINT_PART",
+    "LiveWindowManager",
+    "NamespaceConfig",
+    "QueryPlanner",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceThread",
+    "SummaryService",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.service`` — the service CLI entry point."""
+
+import sys
+
+from repro.service.cli import main
+
+sys.exit(main())

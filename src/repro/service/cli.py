@@ -1,0 +1,260 @@
+"""Command-line interface for the always-on summarization service.
+
+Run the daemon, check it, and talk to it:
+
+    repro-serve serve --root /tmp/flows --namespace web \\
+        --assignments bytes packets --k 256 --port 8765
+    repro-serve serve --config service.json
+    repro-serve status --port 8765
+    repro-serve ingest --port 8765 --namespace web --assignment bytes \\
+        --input events.csv --sync
+    repro-serve query --port 8765 --namespace web --function max \\
+        --assignments bytes packets
+
+``serve`` runs in the foreground until SIGTERM/SIGINT (or a client's
+``POST /shutdown``), then drains the ingest queue and checkpoints every
+live window into the store, so the next ``serve`` resumes the stream
+bit-identically.  Also installed as the ``repro-serve`` console script;
+``python -m repro.service`` is equivalent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import signal
+import sys
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.config import NamespaceConfig, ServiceConfig
+from repro.store.store import GRANULARITIES
+
+__all__ = ["main", "build_parser"]
+
+
+def _config_from_args(args: argparse.Namespace) -> ServiceConfig:
+    if (args.config is None) == (args.root is None):
+        raise SystemExit(
+            "pass exactly one of --config FILE or --root DIR (with "
+            "--namespace/--assignments)"
+        )
+    if args.config is not None:
+        config = ServiceConfig.from_file(args.config)
+        if args.port is not None:
+            config = config.with_port(args.port)
+        return config
+    if not args.namespace or not args.assignments:
+        raise SystemExit(
+            "--root needs --namespace and --assignments to describe the "
+            "served namespace"
+        )
+    namespace = NamespaceConfig(
+        name=args.namespace,
+        assignments=tuple(args.assignments),
+        k=args.k,
+        n_shards=args.n_shards,
+        family=args.family,
+        salt=args.salt,
+    )
+    return ServiceConfig(
+        store_root=args.root,
+        namespaces=(namespace,),
+        host=args.host,
+        port=args.port if args.port is not None else 8765,
+        granularity=args.granularity,
+        compact_to=None if args.compact_to == "off" else args.compact_to,
+        compact_every_s=args.compact_every,
+        tick_s=args.tick,
+        executor=args.executor,
+    )
+
+
+async def _serve(config: ServiceConfig) -> None:
+    from repro.service.server import SummaryService
+
+    service = SummaryService(config)
+    await service.start()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(signum, service.request_shutdown)
+    print(
+        f"repro-serve listening on http://{config.host}:{service.port} "
+        f"(store {config.store_root}, namespaces: "
+        f"{', '.join(ns.name for ns in config.namespaces)})",
+        flush=True,
+    )
+    await service.run()
+    print("repro-serve stopped (live windows checkpointed)", flush=True)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    asyncio.run(_serve(_config_from_args(args)))
+    return 0
+
+
+def _client(args: argparse.Namespace) -> ServiceClient:
+    return ServiceClient(args.host, args.port, timeout=args.timeout)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        print(json.dumps(client.status(), indent=1, sort_keys=True))
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.store.cli import _read_events
+
+    events = _read_events(args.input)
+    keys = [key for key, _weight in events]
+    weights = [weight for _key, weight in events]
+    with _client(args) as client:
+        result = client.ingest(
+            args.namespace, keys, {args.assignment: weights}, sync=args.sync
+        )
+    print(
+        f"ingested {result['queued']} events into {args.namespace} "
+        f"({'applied' if result.get('applied') else 'queued'})"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        if args.jaccard:
+            result = client.jaccard(
+                args.namespace, args.assignments, variant=args.variant,
+                since=args.since, until=args.until,
+            )
+        else:
+            result = client.estimate(
+                args.namespace, args.function, args.assignments,
+                estimator=args.estimator, ell=args.ell, keys=args.keys,
+                since=args.since, until=args.until,
+            )
+    names = ",".join(args.assignments)
+    label = "jaccard" if args.jaccard else args.function
+    print(
+        f"{args.namespace}: {label}({names}) ~= {result['estimate']:.6g} "
+        f"[{result['estimator']}, version {result['version']}, "
+        f"{'cached' if result['cached'] else 'computed'}]"
+    )
+    return 0
+
+
+def _cmd_shutdown(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        client.shutdown()
+    print("shutdown requested (live windows will be checkpointed)")
+    return 0
+
+
+def _add_client_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8765)
+    parser.add_argument("--timeout", type=float, default=30.0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Always-on summarization service: live windowed summaries "
+            "over an HTTP JSON API."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser(
+        "serve", help="run the daemon in the foreground"
+    )
+    serve.add_argument("--config", default=None,
+                       help="service config JSON (see ServiceConfig)")
+    serve.add_argument("--root", default=None, help="store root directory")
+    serve.add_argument("--namespace", default=None)
+    serve.add_argument("--assignments", nargs="+", default=None)
+    serve.add_argument("--k", type=int, default=256)
+    serve.add_argument("--n-shards", type=int, default=4)
+    serve.add_argument("--family", default="ipps", choices=["ipps", "exp"])
+    serve.add_argument("--salt", type=int, default=0)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=None,
+                       help="bind port (default 8765; 0 = ephemeral); "
+                            "overrides the config file")
+    serve.add_argument("--granularity", default="minute",
+                       choices=list(GRANULARITIES),
+                       help="live-window rotation granularity")
+    serve.add_argument("--compact-to", default="hour",
+                       choices=[*GRANULARITIES, "off"],
+                       help="background compaction target ('off' disables)")
+    serve.add_argument("--compact-every", type=float, default=300.0,
+                       metavar="SECONDS")
+    serve.add_argument("--tick", type=float, default=1.0, metavar="SECONDS",
+                       help="rotation check interval")
+    serve.add_argument("--executor", default=None, metavar="SPEC",
+                       help="finalization/compaction executor spec "
+                            "(see repro.engine.parallel)")
+    serve.set_defaults(func=_cmd_serve)
+
+    status = commands.add_parser("status", help="print the daemon's status")
+    _add_client_args(status)
+    status.set_defaults(func=_cmd_status)
+
+    ingest = commands.add_parser(
+        "ingest", help="POST a key,weight CSV as one ingest batch"
+    )
+    _add_client_args(ingest)
+    ingest.add_argument("--namespace", required=True)
+    ingest.add_argument("--assignment", required=True,
+                        help="assignment the CSV weights belong to")
+    ingest.add_argument("--input", required=True,
+                        help="CSV of key,weight events")
+    ingest.add_argument("--sync", action="store_true",
+                        help="wait until the batch is applied")
+    ingest.set_defaults(func=_cmd_ingest)
+
+    query = commands.add_parser("query", help="one-shot estimate query")
+    _add_client_args(query)
+    query.add_argument("--namespace", required=True)
+    query.add_argument("--function", default="max",
+                       choices=["single", "min", "max", "l1", "lth_largest"])
+    query.add_argument("--assignments", required=True, nargs="+")
+    query.add_argument("--estimator", default="auto")
+    query.add_argument("--ell", type=int, default=None)
+    query.add_argument("--keys", nargs="+", default=None,
+                       help="restrict to these keys (subpopulation query)")
+    query.add_argument("--since", default=None, metavar="BUCKET",
+                       help="inclusive start bucket id")
+    query.add_argument("--until", default=None, metavar="BUCKET",
+                       help="inclusive end bucket id")
+    query.add_argument("--jaccard", action="store_true",
+                       help="weighted Jaccard between two assignments")
+    query.add_argument("--variant", default="l", choices=["s", "l"],
+                       help="Jaccard min-estimator variant")
+    query.set_defaults(func=_cmd_query)
+
+    shutdown = commands.add_parser(
+        "shutdown", help="gracefully stop a running daemon"
+    )
+    _add_client_args(shutdown)
+    shutdown.set_defaults(func=_cmd_shutdown)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ServiceError as err:
+        raise SystemExit(f"error: {err}") from err
+    except (ValueError, KeyError, FileNotFoundError, ConnectionError) as err:
+        message = err.args[0] if isinstance(err, KeyError) and err.args else err
+        raise SystemExit(f"error: {message}") from err
+
+
+if __name__ == "__main__":
+    sys.exit(main())

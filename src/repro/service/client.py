@@ -1,0 +1,207 @@
+"""Thin Python client for the ``repro-serve`` HTTP JSON API.
+
+:class:`ServiceClient` wraps the daemon's endpoints in typed methods over
+a keep-alive :class:`http.client.HTTPConnection` (stdlib only).  Weights
+travel as JSON doubles, which round-trip IEEE-754 exactly — so an
+estimate fetched through the client is bit-identical to one computed
+in-process over the same data.
+
+>>> client = ServiceClient("127.0.0.1", 8765)      # doctest: +SKIP
+>>> client.ingest("web", ["k1", "k2"],             # doctest: +SKIP
+...               {"h1": [3.0, 1.5]}, sync=True)
+>>> client.estimate("web", "max", ["h1", "h2"])    # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Sequence
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the service, with its status and payload."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        message = (
+            payload.get("error", payload)
+            if isinstance(payload, dict)
+            else payload
+        )
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Synchronous client for one ``repro-serve`` daemon."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8765,
+        timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict:
+        payload = (
+            None if body is None else json.dumps(body).encode("utf-8")
+        )
+        headers = {"Content-Type": "application/json"} if payload else {}
+        # Only idempotent GETs are retried on a dropped keep-alive
+        # connection: re-sending a POST (e.g. /ingest) could apply a
+        # batch twice and silently break the exactness contract.
+        attempts = (0, 1) if method == "GET" else (1,)
+        for attempt in attempts:
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except (
+                http.client.HTTPException, ConnectionError, socket.timeout,
+                OSError,
+            ):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            decoded = json.loads(data) if data else {}
+        except json.JSONDecodeError:
+            decoded = {"error": data.decode("utf-8", "replace")}
+        if response.status >= 400:
+            raise ServiceError(response.status, decoded)
+        return decoded
+
+    def wait_ready(self, timeout: float = 10.0) -> dict:
+        """Poll ``/healthz`` until the daemon answers (or raise)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.health()
+            except (ServiceError, OSError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    # -- endpoints ------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def status(self) -> dict:
+        return self._request("GET", "/status")
+
+    def ingest(
+        self,
+        namespace: str,
+        keys: Sequence,
+        weights: dict,
+        sync: bool = False,
+    ) -> dict:
+        """POST one event batch; ``sync=True`` waits until it is applied."""
+        return self._request("POST", "/ingest", {
+            "namespace": namespace,
+            "keys": list(keys),
+            "weights": {
+                name: [float(w) for w in values]
+                for name, values in weights.items()
+            },
+            "sync": sync,
+        })
+
+    def estimate(
+        self,
+        namespace: str,
+        function: str,
+        assignments: Sequence[str],
+        estimator: str = "auto",
+        ell: int | None = None,
+        keys: Sequence | None = None,
+        since: str | None = None,
+        until: str | None = None,
+    ) -> dict:
+        """One aggregate estimate over the merged live + stored view."""
+        body = {
+            "kind": "estimate",
+            "namespace": namespace,
+            "function": function,
+            "assignments": list(assignments),
+            "estimator": estimator,
+        }
+        if ell is not None:
+            body["ell"] = ell
+        if keys is not None:
+            body["keys"] = list(keys)
+        if since is not None:
+            body["since"] = since
+        if until is not None:
+            body["until"] = until
+        return self._request("POST", "/query", body)
+
+    def jaccard(
+        self,
+        namespace: str,
+        assignments: Sequence[str],
+        variant: str = "l",
+        since: str | None = None,
+        until: str | None = None,
+    ) -> dict:
+        """Weighted Jaccard ratio estimate between assignments."""
+        body = {
+            "kind": "jaccard",
+            "namespace": namespace,
+            "assignments": list(assignments),
+            "variant": variant,
+        }
+        if since is not None:
+            body["since"] = since
+        if until is not None:
+            body["until"] = until
+        return self._request("POST", "/query", body)
+
+    def rotate(self) -> dict:
+        """Flush every live window's current state into the store.
+
+        A durability aid, not a reset: windows keep accumulating, and the
+        flush artifact is overwritten at the natural bucket boundary.
+        """
+        return self._request("POST", "/rotate")
+
+    def shutdown(self) -> dict:
+        """Request a graceful stop (drain + checkpoint)."""
+        result = self._request("POST", "/shutdown")
+        self.close()
+        return result
+
+    def __repr__(self) -> str:
+        return f"ServiceClient(host={self.host!r}, port={self.port})"

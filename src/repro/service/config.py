@@ -1,0 +1,209 @@
+"""Configuration for the always-on summarization service.
+
+A :class:`ServiceConfig` describes one ``repro-serve`` daemon: where the
+:class:`~repro.store.SummaryStore` lives, which namespaces it summarizes
+(each a :class:`NamespaceConfig` naming the bottom-k size, weight
+assignments, and coordination salts of that namespace's live
+:class:`~repro.engine.ShardedSummarizer`), the HTTP bind address, and the
+runtime knobs — live-window granularity, background compaction cadence,
+ingest-queue depth, executor spec.
+
+Configs round-trip through JSON (:meth:`ServiceConfig.to_json` /
+:meth:`ServiceConfig.from_json`), so ``repro-serve serve --config
+service.json`` and programmatic construction describe identical daemons.
+The coordination fields (``k``, ``salt``, ``family``) must stay fixed for
+the life of a namespace: they are what keeps the live window, the stored
+buckets, and any coordinated remote writers exactly mergeable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+
+from repro.store.store import GRANULARITIES
+
+__all__ = ["NamespaceConfig", "ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class NamespaceConfig:
+    """Summarization parameters of one service namespace."""
+
+    name: str
+    assignments: tuple[str, ...]
+    k: int = 256
+    n_shards: int = 4
+    family: str = "ipps"
+    salt: int = 0
+    partition_salt: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "assignments", tuple(self.assignments))
+        if not self.name:
+            raise ValueError("namespace name must be non-empty")
+        if not self.assignments:
+            raise ValueError(
+                f"namespace {self.name!r} needs at least one assignment"
+            )
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+
+    def make_summarizer(self, executor=None):
+        """A fresh live-window summarizer with this namespace's coordination."""
+        from repro.engine.sharded import ShardedSummarizer
+        from repro.ranks.families import get_rank_family
+        from repro.ranks.hashing import KeyHasher
+
+        return ShardedSummarizer(
+            k=self.k,
+            assignments=list(self.assignments),
+            n_shards=self.n_shards,
+            family=get_rank_family(self.family),
+            hasher=KeyHasher(self.salt),
+            partition_salt=self.partition_salt,
+            executor=executor,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "assignments": list(self.assignments),
+            "k": self.k,
+            "n_shards": self.n_shards,
+            "family": self.family,
+            "salt": self.salt,
+            "partition_salt": self.partition_salt,
+        }
+
+    @classmethod
+    def from_json(cls, row: dict) -> "NamespaceConfig":
+        return cls(
+            name=row["name"],
+            assignments=tuple(row["assignments"]),
+            k=int(row.get("k", 256)),
+            n_shards=int(row.get("n_shards", 4)),
+            family=row.get("family", "ipps"),
+            salt=int(row.get("salt", 0)),
+            partition_salt=int(row.get("partition_salt", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """One ``repro-serve`` daemon: store, namespaces, bind, runtime knobs."""
+
+    store_root: str
+    namespaces: tuple[NamespaceConfig, ...]
+    host: str = "127.0.0.1"
+    port: int = 8765
+    #: live-window bucket granularity; windows rotate on these boundaries
+    granularity: str = "minute"
+    #: coarse granularity background compaction rolls buckets up to
+    #: (``None`` disables compaction)
+    compact_to: str | None = "hour"
+    #: seconds between background compaction runs
+    compact_every_s: float = 300.0
+    #: seconds between rotation checks
+    tick_s: float = 1.0
+    #: max ingest batches queued before the server answers 429
+    ingest_queue_batches: int = 64
+    #: max events accepted in one ingest batch
+    max_batch_events: int = 100_000
+    #: max HTTP request body bytes
+    max_body_bytes: int = 32 << 20
+    #: planner result-cache capacity (entries)
+    result_cache_size: int = 1024
+    #: executor spec for finalization/compaction (see repro.engine.parallel)
+    executor: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "namespaces",
+            tuple(
+                ns if isinstance(ns, NamespaceConfig)
+                else NamespaceConfig.from_json(ns)
+                for ns in self.namespaces
+            ),
+        )
+        names = [ns.name for ns in self.namespaces]
+        if not names:
+            raise ValueError("a service needs at least one namespace")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate namespace names in {names!r}")
+        if self.granularity not in GRANULARITIES:
+            raise ValueError(
+                f"unknown granularity {self.granularity!r}; known: "
+                f"{', '.join(GRANULARITIES)}"
+            )
+        if self.compact_to is not None and self.compact_to not in GRANULARITIES:
+            raise ValueError(
+                f"unknown compaction granularity {self.compact_to!r}; "
+                f"known: {', '.join(GRANULARITIES)}"
+            )
+        if self.tick_s <= 0 or self.compact_every_s <= 0:
+            raise ValueError("tick_s and compact_every_s must be positive")
+        if self.ingest_queue_batches < 1:
+            raise ValueError(
+                f"ingest_queue_batches must be >= 1, got "
+                f"{self.ingest_queue_batches}"
+            )
+
+    def namespace(self, name: str) -> NamespaceConfig:
+        for ns in self.namespaces:
+            if ns.name == name:
+                return ns
+        known = ", ".join(ns.name for ns in self.namespaces)
+        raise KeyError(f"unknown namespace {name!r}; known: {known}")
+
+    def with_port(self, port: int) -> "ServiceConfig":
+        return replace(self, port=port)
+
+    def to_json(self) -> dict:
+        return {
+            "store_root": self.store_root,
+            "namespaces": [ns.to_json() for ns in self.namespaces],
+            "host": self.host,
+            "port": self.port,
+            "granularity": self.granularity,
+            "compact_to": self.compact_to,
+            "compact_every_s": self.compact_every_s,
+            "tick_s": self.tick_s,
+            "ingest_queue_batches": self.ingest_queue_batches,
+            "max_batch_events": self.max_batch_events,
+            "max_body_bytes": self.max_body_bytes,
+            "result_cache_size": self.result_cache_size,
+            "executor": self.executor,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ServiceConfig":
+        known = {
+            "store_root", "namespaces", "host", "port", "granularity",
+            "compact_to", "compact_every_s", "tick_s",
+            "ingest_queue_batches", "max_batch_events", "max_body_bytes",
+            "result_cache_size", "executor",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown service config keys: {', '.join(sorted(unknown))}"
+            )
+        if "store_root" not in payload or "namespaces" not in payload:
+            raise ValueError(
+                "service config needs 'store_root' and 'namespaces'"
+            )
+        return cls(**payload)
+
+    @classmethod
+    def from_file(cls, path) -> "ServiceConfig":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(json.load(handle))
+
+    def dump(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=1, sort_keys=True)
+            handle.write("\n")

@@ -1,0 +1,270 @@
+"""Query planning over live windows merged with stored buckets.
+
+:class:`QueryPlanner` answers service queries as **merge live view +
+stored buckets**: it selects the namespace's sketch-bundle artifacts
+(optionally restricted to an inclusive ``since``/``until`` bucket window),
+adds the in-memory live-window bundle when the window is non-empty and in
+range, merges everything with the exact bundle-merge primitive, and routes
+the request through the vectorized
+:class:`~repro.engine.queries.QueryEngine` — so a service answer is
+bit-identical to an offline engine run over the equivalently merged
+summaries.
+
+Two version-keyed LRU caches sit in front of the work:
+
+* **engines** — one merged :class:`QueryEngine` per
+  ``(namespace, version, window)``; repeated queries against an unchanged
+  namespace share decoded summary views and kernel caches;
+* **results** — final estimates keyed by the full request signature plus
+  the version token, so a hot query costs a dictionary lookup.
+
+Both keys embed :meth:`LiveWindowManager.version`, which moves on every
+ingest, rotation, resume, and store mutation — cache invalidation is
+automatic and exact (a stale entry can never be served, because its key
+names a version that no longer exists).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Sequence
+
+from repro.core.aggregates import AggregationSpec
+from repro.core.predicates import key_in
+from repro.engine.queries import ESTIMATORS, QueryEngine, jaccard_from_summary
+from repro.service.windows import LIVE_PART, LiveWindowManager
+from repro.store.store import bucket_bounds
+
+__all__ = ["QueryPlanner"]
+
+#: aggregate functions the service exposes
+FUNCTIONS = ("single", "min", "max", "l1", "lth_largest")
+
+
+class QueryPlanner:
+    """Merged live + stored query answering with version-keyed caching."""
+
+    def __init__(
+        self,
+        manager: LiveWindowManager,
+        max_cached_engines: int = 8,
+        max_cached_results: int = 1024,
+    ) -> None:
+        self.manager = manager
+        self.max_cached_engines = max(1, max_cached_engines)
+        self.max_cached_results = max(1, max_cached_results)
+        self._engines: OrderedDict[tuple, tuple[QueryEngine, dict]] = (
+            OrderedDict()
+        )
+        self._results: OrderedDict[tuple, dict] = OrderedDict()
+        # Serializes planner cache mutation and engine kernel runs among
+        # query threads.  Deliberately NOT the manager's lock: ingestion
+        # only contends with the short plan() snapshot, never with kernel
+        # computation.
+        self._lock = threading.RLock()
+        self.stats = {"hits": 0, "misses": 0, "engine_builds": 0}
+
+    # -- planning -------------------------------------------------------------
+
+    def _live_in_window(
+        self, bucket: str, since: str | None, until: str | None
+    ) -> bool:
+        if since is None and until is None:
+            return True
+        lo, hi = bucket_bounds(bucket)
+        if since is not None and hi <= bucket_bounds(since)[0]:
+            return False
+        if until is not None and lo >= bucket_bounds(until)[1]:
+            return False
+        return True
+
+    def plan(
+        self,
+        namespace: str,
+        since: str | None = None,
+        until: str | None = None,
+    ) -> tuple[QueryEngine, str, dict]:
+        """Merged engine for a namespace and time window, version-cached.
+
+        Returns ``(engine, version, sources)`` where ``sources`` counts the
+        stored entries and live events the merged view covers.  Raises
+        ``KeyError`` for an unknown namespace and ``LookupError`` when the
+        selection holds no data at all.
+        """
+        with self.manager.lock, self._lock:
+            return self._plan_locked(namespace, since, until)
+
+    def _plan_locked(
+        self, namespace: str, since: str | None, until: str | None
+    ) -> tuple[QueryEngine, str, dict]:
+        manager = self.manager
+        version = manager.version(namespace)  # KeyError on unknown namespace
+        key = (namespace, version, since, until)
+        cached = self._engines.get(key)
+        if cached is not None:
+            self._engines.move_to_end(key)
+            engine, sources = cached
+            return engine, version, sources
+        entries = manager.store.bundle_entries(
+            namespace, since=since, until=until
+        )
+        live_events = 0
+        window = manager._window(namespace)
+        if window.events:
+            # The live view supersedes the window's own flush artifact
+            # (same events, published for crash durability): serving both
+            # would double-count every key.
+            entries = [
+                entry
+                for entry in entries
+                if not (
+                    entry.bucket == window.bucket and entry.part == LIVE_PART
+                )
+            ]
+        bundles = [manager.store.load(entry) for entry in entries]
+        if self._live_in_window(window.bucket, since, until):
+            live = manager.live_bundle(namespace)
+            if live is not None:
+                bundles.append(live)
+                live_events = window.events
+        if not bundles:
+            raise LookupError(
+                f"no data for namespace {namespace!r}"
+                + (
+                    f" in window [{since or '-'}, {until or '-'}]"
+                    if since or until
+                    else ""
+                )
+            )
+        engine = QueryEngine.from_bundles(bundles)
+        sources = {
+            "stored_entries": len(entries),
+            "live_events": live_events,
+            "union_keys": engine.summary.n_union,
+        }
+        self._engines[key] = (engine, sources)
+        self.stats["engine_builds"] += 1
+        while len(self._engines) > self.max_cached_engines:
+            self._engines.popitem(last=False)
+        return engine, version, sources
+
+    # -- answering ------------------------------------------------------------
+
+    def _cached(self, key: tuple, compute) -> dict:
+        hit = self._results.get(key)
+        if hit is not None:
+            self._results.move_to_end(key)
+            self.stats["hits"] += 1
+            return {**hit, "cached": True}
+        result = compute()
+        self._results[key] = result
+        self.stats["misses"] += 1
+        while len(self._results) > self.max_cached_results:
+            self._results.popitem(last=False)
+        return {**result, "cached": False}
+
+    def estimate(
+        self,
+        namespace: str,
+        function: str,
+        assignments: Sequence[str],
+        estimator: str = "auto",
+        ell: int | None = None,
+        keys: Sequence | None = None,
+        since: str | None = None,
+        until: str | None = None,
+    ) -> dict:
+        """One aggregate estimate over the merged live + stored view.
+
+        ``keys`` (optional) restricts the subpopulation with a
+        :func:`~repro.core.predicates.key_in` predicate, evaluated on the
+        summary's union keys only (predicate pushdown).
+        """
+        if function not in FUNCTIONS:
+            raise ValueError(
+                f"unknown function {function!r}; known: "
+                f"{', '.join(FUNCTIONS)}"
+            )
+        if estimator not in ESTIMATORS:
+            raise ValueError(
+                f"unknown estimator {estimator!r}; known: {ESTIMATORS}"
+            )
+        names = tuple(assignments)
+        key_sel = None if keys is None else tuple(sorted(map(repr, keys)))
+        engine, version, sources = self.plan(namespace, since, until)
+        with self._lock:
+            return self._answer_estimate(
+                engine, version, sources, namespace, function, names,
+                estimator, ell, keys, key_sel, since, until,
+            )
+
+    def _answer_estimate(
+        self, engine, version, sources, namespace, function, names,
+        estimator, ell, keys, key_sel, since, until,
+    ) -> dict:
+        cache_key = (
+            "estimate", namespace, version, since, until,
+            function, names, estimator, ell, key_sel,
+        )
+
+        def compute() -> dict:
+            spec = AggregationSpec(function, names, ell=ell)
+            predicate = None if keys is None else key_in(keys)
+            value = engine.estimate(
+                spec, estimator=estimator, predicate=predicate
+            )
+            resolved = (
+                engine.default_estimator(spec)
+                if estimator == "auto"
+                else estimator
+            )
+            return {
+                "estimate": value,
+                "estimator": resolved,
+                "function": function,
+                "assignments": list(names),
+                "namespace": namespace,
+                "version": version,
+                "sources": sources,
+            }
+
+        return self._cached(cache_key, compute)
+
+    def jaccard(
+        self,
+        namespace: str,
+        assignments: Sequence[str],
+        variant: str = "l",
+        since: str | None = None,
+        until: str | None = None,
+    ) -> dict:
+        """Weighted Jaccard ratio over the merged live + stored view."""
+        names = tuple(assignments)
+        engine, version, sources = self.plan(namespace, since, until)
+        with self._lock:
+            return self._answer_jaccard(
+                engine, version, sources, namespace, names, variant,
+                since, until,
+            )
+
+    def _answer_jaccard(
+        self, engine, version, sources, namespace, names, variant,
+        since, until,
+    ) -> dict:
+        cache_key = (
+            "jaccard", namespace, version, since, until, names, variant,
+        )
+
+        def compute() -> dict:
+            value = jaccard_from_summary(engine.summary, names, variant)
+            return {
+                "estimate": value,
+                "estimator": f"jaccard-{variant}",
+                "assignments": list(names),
+                "namespace": namespace,
+                "version": version,
+                "sources": sources,
+            }
+
+        return self._cached(cache_key, compute)

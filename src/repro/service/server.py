@@ -1,0 +1,665 @@
+"""Always-on summarization daemon: asyncio HTTP JSON API, stdlib only.
+
+:class:`SummaryService` ties every layer of the repo together into one
+long-running process:
+
+* the **ingest path** accepts batched events over HTTP, applies
+  *backpressure* through a bounded queue (an overfull queue answers
+  ``429`` instead of buffering without limit), and feeds a single worker
+  that drives :meth:`LiveWindowManager.ingest` — the engine's exact
+  partition-once batch path — off the event loop's thread;
+* the **query path** answers estimate/jaccard requests through the
+  :class:`~repro.service.planner.QueryPlanner`'s merged live + stored
+  view, bit-identical to an offline :class:`~repro.engine.queries.
+  QueryEngine` run over the same artifacts;
+* a **background ticker** rotates live windows on bucket boundaries and
+  periodically compacts stored buckets (minute → hour/day) on the
+  multicore executor layer;
+* **shutdown** (signal or ``POST /shutdown``) stops accepting, drains the
+  ingest queue, and checkpoints every live window into the store, so the
+  next start resumes the stream bit-identically.
+
+Endpoints (all JSON)::
+
+    GET  /healthz            liveness probe
+    GET  /status             live windows + store manifest + counters
+    POST /ingest             {"namespace", "keys": [...],
+                              "weights": {assignment: [...]}, "sync": bool}
+    POST /query              {"namespace", "kind": "estimate"|"jaccard", ...}
+    GET  /query?...          the same, query-string encoded (curl-able)
+    POST /rotate             flush live windows to the store (durability;
+                             windows keep accumulating, the flush artifact
+                             is overwritten at the bucket boundary)
+    POST /shutdown           graceful stop (checkpoints, then exits)
+
+The HTTP layer is a deliberately small HTTP/1.1 subset on
+:func:`asyncio.start_server` — request line, headers, Content-Length
+bodies, keep-alive — because the stdlib-only constraint rules out real
+frameworks and the API is JSON-in/JSON-out.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+import time
+import urllib.parse
+from typing import Callable
+
+import numpy as np
+
+from repro.service.config import ServiceConfig
+from repro.service.planner import QueryPlanner
+from repro.service.windows import LiveWindowManager
+from repro.store.store import SummaryStore
+
+__all__ = ["SummaryService", "ServiceThread"]
+
+_MAX_LINE = 16 * 1024
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _HttpError(Exception):
+    """An error with a status code, rendered as a JSON error body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class SummaryService:
+    """The ``repro-serve`` daemon (see module docstring)."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        self.store = SummaryStore(config.store_root)
+        self.manager = LiveWindowManager(
+            self.store,
+            config.namespaces,
+            granularity=config.granularity,
+            executor=config.executor,
+            clock=clock,
+        )
+        self.planner = QueryPlanner(
+            self.manager, max_cached_results=config.result_cache_size
+        )
+        self.stats = {
+            "requests": 0,
+            "ingest_batches": 0,
+            "ingested_events": 0,
+            "ingest_rejected": 0,
+            "ingest_errors": 0,
+            "queries": 0,
+            "rotations": 0,
+            "compactions": 0,
+            "last_error": None,
+        }
+        self._queue: asyncio.Queue | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._tasks: list[asyncio.Task] = []
+        self._connections: set = set()
+        self._started_monotonic: float | None = None
+        self._stopping = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (useful with ``port=0``)."""
+        if self._server is None:
+            raise RuntimeError("service is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind the listener and launch the worker + ticker tasks."""
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self._queue = asyncio.Queue(maxsize=self.config.ingest_queue_batches)
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._started_monotonic = time.monotonic()
+        self._tasks = [
+            asyncio.create_task(self._ingest_worker(), name="ingest-worker"),
+            asyncio.create_task(self._ticker(), name="ticker"),
+        ]
+
+    def request_shutdown(self) -> None:
+        """Ask the service to stop (safe from the event-loop thread only;
+        other threads go through ``loop.call_soon_threadsafe``)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def run(self) -> None:
+        """Serve until a shutdown request, then drain and checkpoint."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain queued ingests, checkpoint live windows."""
+        if self._server is None:
+            return
+        # Refuse new ingests first (including on established keep-alive
+        # connections): a batch enqueued behind the drain sentinel would
+        # be acknowledged but never applied.
+        self._stopping = True
+        server, self._server = self._server, None
+        server.close()
+        await server.wait_closed()
+        # Drain: everything already queued still lands in the live windows
+        # (and therefore in the shutdown checkpoint) before the sentinel
+        # stops the worker.
+        await self._queue.put(None)
+        for task in self._tasks:
+            if task.get_name() == "ticker":
+                task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.manager.checkpoint)
+        # Drop idle keep-alive connections so their handler tasks exit
+        # before the event loop is torn down.
+        for writer in list(self._connections):
+            writer.close()
+        await asyncio.sleep(0)
+
+    # -- background tasks -----------------------------------------------------
+
+    async def _ingest_worker(self) -> None:
+        """Apply queued batches in arrival order, off the event loop."""
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            try:
+                if item is None:
+                    return
+                batch, future = item
+                try:
+                    result = await loop.run_in_executor(
+                        None, self._apply_batch, batch
+                    )
+                except Exception as err:
+                    self.stats["ingest_errors"] += 1
+                    self.stats["last_error"] = f"ingest: {err}"
+                    if future is not None and not future.done():
+                        future.set_exception(
+                            _HttpError(400, f"ingest failed: {err}")
+                        )
+                else:
+                    self.stats["ingest_batches"] += 1
+                    self.stats["ingested_events"] += result["events"]
+                    if future is not None and not future.done():
+                        future.set_result(result)
+            finally:
+                self._queue.task_done()
+
+    def _apply_batch(self, batch: dict) -> dict:
+        # weights were converted and validated at accept time
+        return self.manager.ingest(
+            batch["namespace"], batch["keys"], batch["weights"]
+        )
+
+    async def _ticker(self) -> None:
+        """Rotate on bucket boundaries; compact on the configured cadence."""
+        loop = asyncio.get_running_loop()
+        last_compact = time.monotonic()
+        while True:
+            await asyncio.sleep(self.config.tick_s)
+            try:
+                written = await loop.run_in_executor(
+                    None, self.manager.rotate
+                )
+                self.stats["rotations"] += len(written)
+                if (
+                    self.config.compact_to is not None
+                    and time.monotonic() - last_compact
+                    >= self.config.compact_every_s
+                ):
+                    last_compact = time.monotonic()
+                    compacted = await loop.run_in_executor(
+                        None, self.manager.compact, self.config.compact_to
+                    )
+                    self.stats["compactions"] += len(compacted)
+            except asyncio.CancelledError:
+                raise
+            except Exception as err:  # keep ticking; surface via /status
+                self.stats["last_error"] = f"ticker: {err}"
+
+    # -- HTTP plumbing --------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as err:
+                    # e.g. an over-limit Content-Length: answer, then drop
+                    # the connection (its body was never read).
+                    self._write_response(
+                        writer, err.status, {"error": str(err)}, False
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, path, params, headers, body = request
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                )
+                self.stats["requests"] += 1
+                try:
+                    status, payload = await self._dispatch(
+                        method, path, params, body
+                    )
+                except _HttpError as err:
+                    status, payload = err.status, {"error": str(err)}
+                except (ValueError, TypeError) as err:
+                    status, payload = 400, {"error": str(err)}
+                except (KeyError, LookupError) as err:
+                    message = err.args[0] if err.args else str(err)
+                    status, payload = 404, {"error": str(message)}
+                except Exception as err:  # never kill the connection loop
+                    self.stats["last_error"] = f"{path}: {err}"
+                    status, payload = 500, {"error": str(err)}
+                self._write_response(writer, status, payload, keep_alive)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError, ConnectionError, asyncio.LimitOverrunError,
+        ):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _read_request(self, reader):
+        """Parse one request; ``None`` on a cleanly closed connection."""
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("ascii").split()
+        except ValueError:
+            raise asyncio.IncompleteReadError(line, None) from None
+        parsed = urllib.parse.urlsplit(target)
+        params = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(parsed.query).items()
+        }
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            if len(raw) > _MAX_LINE:
+                raise asyncio.IncompleteReadError(raw, None)
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _HttpError(
+                400, f"invalid Content-Length {raw_length!r}"
+            ) from None
+        if length < 0:
+            raise _HttpError(
+                400, f"invalid Content-Length {raw_length!r}"
+            )
+        if length > self.config.max_body_bytes:
+            raise _HttpError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{self.config.max_body_bytes}-byte limit",
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), parsed.path, params, headers, body
+
+    def _write_response(
+        self, writer, status: int, payload: dict, keep_alive: bool
+    ) -> None:
+        data = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("ascii")
+        writer.write(head + data)
+
+    # -- routing --------------------------------------------------------------
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict:
+        if not body:
+            raise _HttpError(400, "expected a JSON request body")
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as err:
+            raise _HttpError(400, f"invalid JSON body: {err}") from None
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "JSON body must be an object")
+        return payload
+
+    async def _dispatch(self, method, path, params, body):
+        if path == "/healthz" and method == "GET":
+            return 200, {"ok": True, "namespaces": list(self.manager.configs)}
+        if path == "/status" and method == "GET":
+            return await self._handle_status()
+        if path == "/ingest" and method == "POST":
+            return await self._handle_ingest(self._json_body(body))
+        if path == "/query" and method in ("GET", "POST"):
+            request = (
+                self._query_from_params(params)
+                if method == "GET"
+                else self._json_body(body)
+            )
+            return await self._handle_query(request)
+        if path == "/rotate" and method == "POST":
+            return await self._handle_rotate()
+        if path == "/shutdown" and method == "POST":
+            # Respond first, stop right after: the event is only *set*
+            # here; run() does the drain + checkpoint.
+            asyncio.get_running_loop().call_soon(self.request_shutdown)
+            return 200, {"ok": True, "stopping": True}
+        known = "/healthz /status /ingest /query /rotate /shutdown"
+        raise _HttpError(
+            405 if path in known.split() else 404,
+            f"no route for {method} {path} (endpoints: {known})",
+        )
+
+    async def _handle_status(self):
+        loop = asyncio.get_running_loop()
+
+        def snapshot() -> dict:
+            with self.manager.lock:
+                return {
+                    "ok": True,
+                    "uptime_s": round(
+                        time.monotonic() - self._started_monotonic, 3
+                    ),
+                    "namespaces": {
+                        name: self.manager.live_info(name)
+                        for name in self.manager.configs
+                    },
+                    "store": self.store.ls_json(),
+                    "queue": {
+                        "depth": self._queue.qsize(),
+                        "capacity": self.config.ingest_queue_batches,
+                    },
+                    "planner": dict(self.planner.stats),
+                    "stats": dict(self.stats),
+                }
+
+        return 200, await loop.run_in_executor(None, snapshot)
+
+    async def _handle_ingest(self, payload: dict):
+        namespace = payload.get("namespace")
+        if namespace not in self.manager.configs:
+            raise _HttpError(
+                404,
+                f"unknown namespace {namespace!r}; known: "
+                f"{', '.join(self.manager.configs)}",
+            )
+        keys = payload.get("keys")
+        weights = payload.get("weights")
+        if not isinstance(keys, list) or not isinstance(weights, dict):
+            raise _HttpError(
+                400,
+                "ingest body needs 'keys' (list) and 'weights' "
+                "(assignment -> list of numbers)",
+            )
+        if len(keys) > self.config.max_batch_events:
+            raise _HttpError(
+                413,
+                f"batch of {len(keys)} events exceeds max_batch_events="
+                f"{self.config.max_batch_events}; split the batch",
+            )
+        known = set(self.manager.configs[namespace].assignments)
+        unknown = set(weights) - known
+        if unknown:
+            raise _HttpError(
+                400,
+                f"unknown assignments {sorted(unknown)} for namespace "
+                f"{namespace!r}; known: {sorted(known)}",
+            )
+        # Validate fully before acknowledging: an async batch that is
+        # queued and later fails to apply would be a 200 for data that
+        # silently never lands, breaking the accepted => applied contract.
+        if not all(isinstance(key, (str, int, float)) for key in keys):
+            raise _HttpError(
+                400, "keys must be strings or numbers (no null/objects)"
+            )
+        checked = {}
+        for name, values in weights.items():
+            if not isinstance(values, list) or len(values) != len(keys):
+                raise _HttpError(
+                    400,
+                    f"weights[{name!r}] must be a list of {len(keys)} "
+                    "numbers (one per key)",
+                )
+            try:
+                arr = np.asarray(values, dtype=float)
+            except (ValueError, TypeError):
+                raise _HttpError(
+                    400, f"weights[{name!r}] must be numbers"
+                ) from None
+            if not bool(np.all(np.isfinite(arr) & (arr >= 0.0))):
+                raise _HttpError(
+                    400,
+                    f"weights[{name!r}] must be finite and non-negative",
+                )
+            checked[name] = arr
+        batch = {"namespace": namespace, "keys": keys, "weights": checked}
+        sync = bool(payload.get("sync", False))
+        future = (
+            asyncio.get_running_loop().create_future() if sync else None
+        )
+        if self._stopping:
+            raise _HttpError(
+                503, "service is shutting down; batch not accepted"
+            )
+        try:
+            self._queue.put_nowait((batch, future))
+        except asyncio.QueueFull:
+            self.stats["ingest_rejected"] += 1
+            raise _HttpError(
+                429,
+                f"ingest queue full ({self.config.ingest_queue_batches} "
+                "batches queued); retry with backoff",
+            ) from None
+        if future is None:
+            return 200, {"ok": True, "queued": len(keys), "applied": False}
+        result = await future
+        return 200, {
+            "ok": True,
+            "queued": len(keys),
+            "applied": True,
+            **result,
+        }
+
+    @staticmethod
+    def _coerce_key(raw: str):
+        """Best-effort typing for query-string keys.
+
+        JSON bodies carry key types exactly; a query string cannot, so
+        numeric-looking keys are folded to numbers — matching how JSON
+        ingest delivers them.  Keys that are digit *strings* in the data
+        must use POST /query.
+        """
+        try:
+            return int(raw)
+        except ValueError:
+            try:
+                return float(raw)
+            except ValueError:
+                return raw
+
+    @classmethod
+    def _query_from_params(cls, params: dict) -> dict:
+        request = dict(params)
+        if "assignments" in request:
+            request["assignments"] = [
+                part for part in request["assignments"].split(",") if part
+            ]
+        if "keys" in request:
+            request["keys"] = [
+                cls._coerce_key(part)
+                for part in request["keys"].split(",")
+                if part
+            ]
+        if "ell" in request:
+            request["ell"] = int(request["ell"])
+        return request
+
+    async def _handle_query(self, request: dict):
+        namespace = request.get("namespace")
+        if not namespace:
+            raise _HttpError(400, "query needs a 'namespace'")
+        kind = request.get("kind", "estimate")
+        assignments = request.get("assignments") or []
+        since = request.get("since")
+        until = request.get("until")
+        loop = asyncio.get_running_loop()
+        self.stats["queries"] += 1
+        if kind == "estimate":
+            function = request.get("function")
+            if not function:
+                raise _HttpError(400, "estimate query needs a 'function'")
+            work = lambda: self.planner.estimate(  # noqa: E731
+                namespace,
+                function,
+                assignments,
+                estimator=request.get("estimator", "auto"),
+                ell=request.get("ell"),
+                keys=request.get("keys"),
+                since=since,
+                until=until,
+            )
+        elif kind == "jaccard":
+            work = lambda: self.planner.jaccard(  # noqa: E731
+                namespace,
+                assignments,
+                variant=request.get("variant", "l"),
+                since=since,
+                until=until,
+            )
+        else:
+            raise _HttpError(
+                400, f"unknown query kind {kind!r} (estimate, jaccard)"
+            )
+        result = await loop.run_in_executor(None, work)
+        return 200, {"ok": True, **result}
+
+    async def _handle_rotate(self):
+        loop = asyncio.get_running_loop()
+        written = await loop.run_in_executor(
+            None, lambda: self.manager.rotate(force=True)
+        )
+        self.stats["rotations"] += len(written)
+        return 200, {
+            "ok": True,
+            "written": [
+                {"namespace": e.namespace, "bucket": e.bucket, "part": e.part}
+                for e in written
+            ],
+        }
+
+
+class ServiceThread:
+    """Run a :class:`SummaryService` on a background thread (tests, benches).
+
+    ``start()`` blocks until the listener is bound and returns the actual
+    port; ``stop()`` requests a graceful shutdown (drain + checkpoint) and
+    joins the thread.  The service object is exposed as ``.service`` for
+    white-box assertions.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        self.service: SummaryService | None = None
+        self._thread = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._started = None
+        self._error: BaseException | None = None
+
+    def start(self, timeout: float = 30.0) -> int:
+        self._started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise TimeoutError("service failed to start in time")
+        if self._error is not None:
+            raise RuntimeError(
+                f"service failed to start: {self._error}"
+            ) from self._error
+        return self.service.port
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as err:  # pragma: no cover - defensive
+            if self._error is None:
+                self._error = err
+            self._started.set()
+
+    async def _amain(self) -> None:
+        try:
+            self.service = SummaryService(self.config, clock=self.clock)
+            await self.service.start()
+        except BaseException as err:
+            self._error = err
+            self._started.set()
+            return
+        self._loop = asyncio.get_running_loop()
+        self._started.set()
+        await self.service.run()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self.service is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.service.request_shutdown)
+            except RuntimeError:  # loop already closed
+                pass
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError("service thread did not stop in time")
+        self._thread = None
+
+    def __enter__(self) -> "ServiceThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

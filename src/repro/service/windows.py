@@ -1,0 +1,395 @@
+"""Live windowed summaries: in-memory windows rotating into the store.
+
+:class:`LiveWindowManager` is the stateful heart of the always-on service.
+Per namespace it keeps one **live window** — an in-memory
+:class:`~repro.engine.ShardedSummarizer` covering the current time bucket
+— and moves data through the persistence layers:
+
+* **ingest** — event batches feed the live window's exact partition-once
+  :meth:`~repro.engine.ShardedSummarizer.ingest_multi` path;
+* **rotation** — when the clock crosses a bucket boundary (minute by
+  default), the window's sketches are published into the
+  :class:`~repro.store.SummaryStore` as one
+  :class:`~repro.store.codec.SketchBundle` for the closed bucket and a
+  fresh window opens; because the bundle merge is exact, queries spanning
+  live + stored data never change answers across a rotation;
+* **compaction** — stored minute buckets roll up to hour/day through
+  :meth:`~repro.store.SummaryStore.compact`, optionally on the PR-4
+  executor layer (independent coarse buckets merge concurrently);
+* **checkpoint / resume** — a clean shutdown freezes each non-empty live
+  window as a :class:`~repro.store.codec.SummarizerCheckpoint` artifact in
+  its namespace/bucket slot; the next start restores it (consuming the
+  artifact) and continues the stream bit-identically to never having
+  stopped.
+
+Exactness contract: summaries merge exactly over *key-disjoint* data, so
+a key must not recur across different time buckets of one namespace
+(repeats within a bucket are fine — they aggregate in the live window).
+This is the store's documented rollup contract; violating it makes query
+merges raise rather than silently double-count.
+
+Every public method takes the manager's re-entrant lock, so one manager
+may be shared by the asyncio server's ingest worker, query handlers, and
+background ticker without interleaving mutations.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.service.config import NamespaceConfig
+from repro.store.store import (
+    LIVE_CHECKPOINT_PART,
+    StoreEntry,
+    SummaryStore,
+    bucket_for,
+)
+
+__all__ = ["LiveWindow", "LiveWindowManager", "CHECKPOINT_PART", "LIVE_PART"]
+
+#: part name of a namespace's live-window checkpoint artifact.  Defined
+#: by the store layer (it gates compaction on it); re-exported here as
+#: the service's name for it.
+CHECKPOINT_PART = LIVE_CHECKPOINT_PART
+
+#: part name a live window publishes its bucket bundle under.  One part
+#: per (namespace, bucket), written with ``overwrite=True``: a mid-bucket
+#: flush and the final boundary rotation replace the same artifact, so
+#: the store can never hold two bundles with overlapping keys for one
+#: window.
+LIVE_PART = "live"
+
+
+@dataclass
+class LiveWindow:
+    """One namespace's in-memory summarizer plus its current bucket.
+
+    ``events`` mirrors the summarizer's ``buffered_events`` (raw buffered
+    rows summed over assignments); zero means rotation has nothing to
+    publish.
+    """
+
+    summarizer: object
+    bucket: str
+    events: int = 0
+
+
+class LiveWindowManager:
+    """Per-namespace live windows over one summary store.
+
+    Parameters
+    ----------
+    store:
+        the :class:`~repro.store.SummaryStore` rotated bundles and
+        checkpoints are published into.
+    namespaces:
+        the :class:`~repro.service.config.NamespaceConfig` of every served
+        namespace.
+    granularity:
+        live-window bucket granularity (rotation boundary).
+    executor:
+        executor spec for summarizer finalization and compaction.
+    clock:
+        injectable UTC-seconds source (tests drive rotation
+        deterministically through it).
+
+    Construction *resumes*: any ``live-window`` checkpoint artifact left by
+    a previous clean shutdown is restored into the live window — and
+    consumed, so a later rotation cannot double-publish its events.
+    """
+
+    def __init__(
+        self,
+        store: SummaryStore,
+        namespaces: Sequence[NamespaceConfig],
+        granularity: str = "minute",
+        executor: "str | None | object" = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.store = store
+        self.granularity = granularity
+        self.executor = executor
+        self.clock = clock
+        self.configs = {config.name: config for config in namespaces}
+        if len(self.configs) != len(list(namespaces)):
+            raise ValueError("namespace names must be distinct")
+        if not self.configs:
+            raise ValueError("need at least one namespace")
+        self._lock = threading.RLock()
+        self._live_versions = {name: 0 for name in self.configs}
+        self._windows: dict[str, LiveWindow] = {}
+        now_bucket = bucket_for(self.clock(), self.granularity)
+        for name, config in self.configs.items():
+            window = self._resume(config)
+            if window is None:
+                window = self._fresh_window(config, now_bucket)
+            self._windows[name] = window
+
+    # -- construction helpers -------------------------------------------------
+
+    def _fresh_window(
+        self, config: NamespaceConfig, bucket: str
+    ) -> LiveWindow:
+        return LiveWindow(
+            summarizer=config.make_summarizer(executor=self.executor),
+            bucket=bucket,
+        )
+
+    def _resume(self, config: NamespaceConfig) -> LiveWindow | None:
+        """Restore a previous shutdown's checkpoint, if any.
+
+        The checkpoint artifact stays on disk: it is only retired when a
+        boundary rotation publishes the window's bundle (which supersedes
+        it), so a crash right after a restart cannot lose events that were
+        already durable.
+        """
+        from repro.engine.sharded import ShardedSummarizer
+
+        entries = [
+            entry
+            for entry in self.store.entries(config.name, kind="checkpoint")
+            if entry.part == CHECKPOINT_PART
+        ]
+        if not entries:
+            return None
+        # At most one should exist (shutdown overwrites, rotation retires);
+        # after an unclean history keep the most recent bucket's state.
+        entries.sort(key=lambda entry: entry.bucket)
+        state = self.store.load(entries[-1])
+        if (
+            state.k != config.k
+            or list(state.assignments) != list(config.assignments)
+            or state.hasher_salt != config.salt
+        ):
+            raise ValueError(
+                f"checkpoint for namespace {config.name!r} was written "
+                f"under a different configuration (k={state.k}, "
+                f"assignments={list(state.assignments)}, "
+                f"salt={state.hasher_salt}); coordination parameters must "
+                "not change across restarts"
+            )
+        summarizer = ShardedSummarizer.from_checkpoint(
+            state, executor=self.executor
+        )
+        for entry in entries[:-1]:  # retire stale extras, keep the newest
+            self.store.remove(
+                entry.namespace, entry.bucket, entry.part, missing_ok=True
+            )
+        return LiveWindow(
+            summarizer=summarizer,
+            bucket=entries[-1].bucket,
+            events=summarizer.buffered_events,
+        )
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The manager's re-entrant lock.
+
+        Callers composing several calls into one atomic read — the query
+        planner snapshotting (version, stored entries, live bundle)
+        together — hold it across the sequence; individual methods acquire
+        it on their own.
+        """
+        return self._lock
+
+    def _window(self, namespace: str) -> LiveWindow:
+        try:
+            return self._windows[namespace]
+        except KeyError:
+            known = ", ".join(self.configs)
+            raise KeyError(
+                f"unknown namespace {namespace!r}; known: {known}"
+            ) from None
+
+    def version(self, namespace: str) -> str:
+        """Version token covering the live window *and* the stored buckets.
+
+        Changes on every ingest, rotation, resume, and store mutation of
+        the namespace — the key the planner's result cache is invalidated
+        by.
+        """
+        with self._lock:
+            self._window(namespace)  # validates the name
+            return (
+                f"{self._live_versions[namespace]}:"
+                f"{self.store.version(namespace)}"
+            )
+
+    def live_info(self, namespace: str) -> dict:
+        """Status snapshot of one live window (for ``/status``)."""
+        with self._lock:
+            window = self._window(namespace)
+            config = self.configs[namespace]
+            return {
+                "namespace": namespace,
+                "bucket": window.bucket,
+                "buffered_events": window.events,
+                "version": self.version(namespace),
+                "k": config.k,
+                "assignments": list(config.assignments),
+            }
+
+    def live_bundle(self, namespace: str):
+        """The live window's sketch bundle, or ``None`` when it is empty."""
+        with self._lock:
+            window = self._window(namespace)
+            if window.events == 0:
+                return None
+            return window.summarizer.sketch_bundle()
+
+    # -- mutation -------------------------------------------------------------
+
+    def ingest(
+        self,
+        namespace: str,
+        keys,
+        weights_by_assignment,
+        when: float | None = None,
+    ) -> dict:
+        """Feed one event batch into a namespace's live window.
+
+        Rotates first when the clock has crossed a bucket boundary, so the
+        batch always lands in the bucket of its arrival time.  Unknown
+        assignment names and malformed weights raise ``ValueError`` before
+        any state changes (the summarizer validates up front).
+        """
+        with self._lock:
+            window = self._window(namespace)
+            self.rotate(when=when)
+            window = self._windows[namespace]  # rotation may have replaced it
+            window.summarizer.ingest_multi(keys, weights_by_assignment)
+            count = len(keys)
+            # Derived, not accumulated: stays consistent with what a
+            # checkpoint/resume cycle reconstructs (raw buffered rows,
+            # summed over assignments).
+            window.events = window.summarizer.buffered_events
+            self._live_versions[namespace] += 1
+            return {
+                "events": count,
+                "bucket": window.bucket,
+                "version": self.version(namespace),
+            }
+
+    def rotate(
+        self, when: float | None = None, force: bool = False
+    ) -> list[StoreEntry]:
+        """Publish closed live windows into the store; open fresh ones.
+
+        A window's bundle is always published under the same
+        :data:`LIVE_PART` name with ``overwrite=True``.  Two cases:
+
+        * **boundary rotation** — the clock (or ``when``) has moved to a
+          different bucket: the window's final state replaces any earlier
+          flush of its bucket, the window's checkpoint (now superseded by
+          the published bundle) is retired, and a fresh window opens;
+        * **flush** (``force`` inside the current bucket) — the window's
+          state so far is published for crash durability, but the window
+          keeps accumulating; because the next publish *overwrites* the
+          same part, keys repeating later in the bucket can never produce
+          two store artifacts with overlapping keys.  While the window is
+          non-empty the query planner serves the live view and ignores
+          the window's own flush artifact, so nothing is double-counted.
+
+        Empty windows never publish; they just follow the clock.  Returns
+        the newly written store entries.
+        """
+        with self._lock:
+            now = self.clock() if when is None else when
+            now_bucket = bucket_for(now, self.granularity)
+            written: list[StoreEntry] = []
+            for name, window in list(self._windows.items()):
+                closing = window.bucket != now_bucket
+                if not closing and not (force and window.events):
+                    continue
+                if window.events:
+                    written.append(
+                        self.store.write(
+                            name, window.bucket,
+                            window.summarizer.sketch_bundle(),
+                            part=LIVE_PART, overwrite=True,
+                        )
+                    )
+                if closing:
+                    if window.events:
+                        # The published bundle supersedes this window's
+                        # checkpoint; leaving it would make the next
+                        # resume double-publish these events.
+                        self.store.remove(
+                            name, window.bucket, CHECKPOINT_PART,
+                            missing_ok=True,
+                        )
+                    self._windows[name] = self._fresh_window(
+                        self.configs[name], now_bucket
+                    )
+                self._live_versions[name] += 1
+            return written
+
+    def compact(self, to: str = "hour") -> list[StoreEntry]:
+        """Roll stored buckets up to coarser granularity (exact merge).
+
+        The coarse group a *non-empty* live window is still feeding is
+        skipped: its :data:`LIVE_PART` artifact will be overwritten again
+        (flush, boundary rotation), which must not race a rollup that
+        folded the stale revision in.  Once the window has moved on, the
+        group compacts on the next pass.  Exactness makes compaction
+        invisible to queries: the version token still changes (the
+        manifest moved), so cached results rebuild, but the rebuilt
+        answers are bit-identical.
+        """
+        from repro.store.store import (
+            GRANULARITIES,
+            bucket_granularity,
+            coarsen_bucket,
+        )
+
+        with self._lock:
+            written: list[StoreEntry] = []
+            for name, window in self._windows.items():
+                exclude = None
+                if window.events and (
+                    GRANULARITIES.index(bucket_granularity(window.bucket))
+                    <= GRANULARITIES.index(to)
+                ):
+                    exclude = [coarsen_bucket(window.bucket, to)]
+                written.extend(
+                    self.store.compact(
+                        name, to=to, executor=self.executor,
+                        exclude_buckets=exclude,
+                    )
+                )
+            return written
+
+    def checkpoint(self) -> list[StoreEntry]:
+        """Freeze every non-empty live window into the store (shutdown).
+
+        Each window's :class:`~repro.store.codec.SummarizerCheckpoint`
+        lands at ``<namespace>/<bucket>/live-window`` (overwriting any
+        stale one), so the next :class:`LiveWindowManager` resumes the
+        stream bit-identically.  Windows stay usable after checkpointing.
+        """
+        with self._lock:
+            written: list[StoreEntry] = []
+            for name, window in self._windows.items():
+                if window.events == 0:
+                    continue
+                written.append(
+                    self.store.write(
+                        name,
+                        window.bucket,
+                        window.summarizer.checkpoint_state(),
+                        part=CHECKPOINT_PART,
+                        overwrite=True,
+                    )
+                )
+            return written
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveWindowManager(namespaces={list(self.configs)!r}, "
+            f"granularity={self.granularity!r})"
+        )

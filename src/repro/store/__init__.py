@@ -22,9 +22,11 @@ from repro.store.codec import (
     write_file,
 )
 from repro.store.store import (
+    BUNDLE_KINDS,
     GRANULARITIES,
     StoreEntry,
     SummaryStore,
+    bucket_bounds,
     bucket_for,
     bucket_granularity,
     coarsen_bucket,
@@ -41,9 +43,11 @@ __all__ = [
     "read_file",
     "save_checkpoint",
     "load_checkpoint",
+    "BUNDLE_KINDS",
     "GRANULARITIES",
     "StoreEntry",
     "SummaryStore",
+    "bucket_bounds",
     "bucket_for",
     "bucket_granularity",
     "coarsen_bucket",

@@ -5,14 +5,17 @@ buckets up, and answer aggregate queries from disk:
 
     python -m repro.store write --root /tmp/flows --namespace web \\
         --bucket 20260728T1201 --assignment hour12 --k 256 --input events.csv
-    python -m repro.store ls --root /tmp/flows
+    python -m repro.store ls --root /tmp/flows [--json]
     python -m repro.store compact --root /tmp/flows --namespace web --to hour
+    python -m repro.store prune --root /tmp/flows
     python -m repro.store query --root /tmp/flows --namespace web \\
         --function max --assignments hour12 hour13
 
 ``write`` reads ``key,weight`` CSV lines (events may repeat keys; they are
 pre-aggregated before sampling), or generates a synthetic stream with
-``--demo N``.  ``compact`` and ``query`` accept ``--executor SPEC``
+``--demo N``.  ``ls --json`` prints the machine-readable listing the
+service's ``/status`` endpoint embeds; ``prune`` garbage-collects data
+files retired by overwrites, compactions, and removals.  ``compact`` and ``query`` accept ``--executor SPEC``
 (``thread:4``, ``process:4``, ...; see :mod:`repro.engine.parallel`) to
 roll buckets up — or serve several ``--namespace`` values — concurrently,
 with identical results to serial mode.  Also installed as the
@@ -113,8 +116,28 @@ def _cmd_write(args: argparse.Namespace) -> int:
 
 
 def _cmd_ls(args: argparse.Namespace) -> int:
+    import json
+
     store = SummaryStore(args.root, create=False)
-    print(store.ls(args.namespace))
+    if args.json:
+        # One machine-readable format shared with the service's /status
+        # endpoint (SummaryStore.ls_json), so scripts parse either.
+        print(json.dumps(store.ls_json(args.namespace), indent=1,
+                         sort_keys=True))
+    else:
+        print(store.ls(args.namespace))
+    return 0
+
+
+def _cmd_prune(args: argparse.Namespace) -> int:
+    store = SummaryStore(args.root, create=False)
+    removed = store.prune()
+    if not removed:
+        print("nothing to prune (no unreferenced files)")
+        return 0
+    for path in removed:
+        print(f"pruned {path}")
+    print(f"pruned {len(removed)} file(s)")
     return 0
 
 
@@ -208,7 +231,17 @@ def build_parser() -> argparse.ArgumentParser:
     ls = commands.add_parser("ls", help="list the store manifest")
     ls.add_argument("--root", required=True)
     ls.add_argument("--namespace", default=None)
+    ls.add_argument("--json", action="store_true",
+                    help="machine-readable listing (namespaces, buckets, "
+                         "versions, byte sizes)")
     ls.set_defaults(func=_cmd_ls)
+
+    prune = commands.add_parser(
+        "prune",
+        help="garbage-collect data files the manifest no longer references",
+    )
+    prune.add_argument("--root", required=True)
+    prune.set_defaults(func=_cmd_prune)
 
     executor_help = (
         "execution mode: 'serial' (default), 'thread[:workers[:depth]]', "

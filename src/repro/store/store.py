@@ -35,12 +35,13 @@ stored as-is), and :class:`~repro.store.codec.SummarizerCheckpoint`
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import re
 import time
 from dataclasses import dataclass
-from datetime import datetime, timezone
+from datetime import datetime, timedelta, timezone
 from pathlib import Path
 from typing import Sequence
 
@@ -56,9 +57,11 @@ from repro.store.codec import (
 
 __all__ = [
     "GRANULARITIES",
+    "BUNDLE_KINDS",
     "bucket_granularity",
     "coarsen_bucket",
     "bucket_for",
+    "bucket_bounds",
     "StoreEntry",
     "SummaryStore",
 ]
@@ -137,6 +140,28 @@ def bucket_for(when: datetime | float, granularity: str = "minute") -> str:
     return when.strftime(_BUCKET_FORMATS[granularity][0])
 
 
+def bucket_bounds(bucket: str) -> tuple[datetime, datetime]:
+    """UTC half-open time span ``[start, end)`` a bucket id covers.
+
+    Lets callers intersect buckets of *different* granularities — a minute
+    bucket, the hour rollup that absorbed it, and a day bucket all report
+    overlapping spans, so time-range selection keeps working across
+    compaction.
+
+    >>> lo, hi = bucket_bounds("20260728T12")
+    >>> (hi - lo).total_seconds()
+    3600.0
+    """
+    granularity = bucket_granularity(bucket)
+    fmt, _ = _BUCKET_FORMATS[granularity]
+    start = datetime.strptime(bucket, fmt).replace(tzinfo=timezone.utc)
+    if granularity == "minute":
+        return start, start + timedelta(minutes=1)
+    if granularity == "hour":
+        return start, start + timedelta(hours=1)
+    return start, start + timedelta(days=1)
+
+
 @dataclass(frozen=True)
 class StoreEntry:
     """One manifest row: where an artifact lives and what it holds."""
@@ -178,7 +203,16 @@ class StoreEntry:
 
 
 #: entry kinds that participate in rollups and query serving
-_BUNDLE_KINDS = ("bottomk", "poisson")
+BUNDLE_KINDS = ("bottomk", "poisson")
+_BUNDLE_KINDS = BUNDLE_KINDS  # backwards-compatible alias
+
+#: part name of a service live-window checkpoint.  Its presence marks a
+#: bucket whose bundle may still be *re-published* (the stopped service
+#: resumes the checkpoint and overwrites the bucket's flush artifact on
+#: rotation), so compaction refuses to fold that bucket's group into a
+#: rollup until the checkpoint is consumed.  Other checkpoint artifacts
+#: (arbitrary mid-ingestion snapshots) do not block compaction.
+LIVE_CHECKPOINT_PART = "live-window"
 
 
 class _StoreLock:
@@ -348,6 +382,87 @@ class SummaryStore:
             for row in rows
         )
 
+    def version(self, namespace: str | None = None) -> str:
+        """Content fingerprint of the manifest (optionally one namespace).
+
+        Changes exactly when the covered entries change — a write, remove,
+        overwrite, or compaction — which is what lets callers *watch* the
+        store: the service's query planner keys its result cache on this
+        value, so cached answers are invalidated the moment the backing
+        artifacts move.  Computed from the in-memory manifest; call
+        :meth:`refresh` first to observe other processes' mutations.
+        """
+        blob = json.dumps(
+            [entry.to_json() for entry in self.entries(namespace)],
+            sort_keys=True,
+        ).encode("utf-8")
+        return hashlib.sha1(blob).hexdigest()[:16]
+
+    def ls_json(self, namespace: str | None = None) -> dict:
+        """Machine-readable manifest listing (``repro-store ls --json``).
+
+        One format shared by the CLI and the service's ``/status``
+        endpoint: per namespace its version fingerprint, bucket ids, total
+        bytes, and the full entry rows.
+        """
+        namespaces = []
+        for name in self.namespaces():
+            if namespace is not None and name != namespace:
+                continue
+            rows = self.entries(name)
+            namespaces.append({
+                "namespace": name,
+                "version": self.version(name),
+                "nbytes": sum(entry.nbytes for entry in rows),
+                "buckets": sorted({entry.bucket for entry in rows}),
+                "entries": [
+                    {**entry.to_json(), "granularity": entry.granularity}
+                    for entry in rows
+                ],
+            })
+        return {
+            "root": str(self.root),
+            "version": self.version(),
+            "namespaces": namespaces,
+        }
+
+    def bundle_entries(
+        self,
+        namespace: str,
+        buckets: Sequence[str] | None = None,
+        since: str | None = None,
+        until: str | None = None,
+    ) -> list[StoreEntry]:
+        """Sketch-bundle entries of a namespace, optionally time-windowed.
+
+        ``since`` / ``until`` are bucket ids of *any* granularity naming an
+        inclusive time window (the span of ``since`` up to the end of the
+        span of ``until``); an entry is selected when its own bucket span
+        intersects the window, so the selection is stable across
+        minute→hour→day compaction.  ``buckets`` restricts to exact bucket
+        ids instead (mutually exclusive with the window).
+        """
+        if buckets is not None and (since is not None or until is not None):
+            raise ValueError("pass either buckets or a since/until window")
+        selected = [
+            entry
+            for entry in self.entries(namespace, buckets)
+            if entry.kind in BUNDLE_KINDS
+        ]
+        if since is None and until is None:
+            return selected
+        window_lo = bucket_bounds(since)[0] if since is not None else None
+        window_hi = bucket_bounds(until)[1] if until is not None else None
+        windowed = []
+        for entry in selected:
+            lo, hi = bucket_bounds(entry.bucket)
+            if window_lo is not None and hi <= window_lo:
+                continue
+            if window_hi is not None and lo >= window_hi:
+                continue
+            windowed.append(entry)
+        return windowed
+
     # -- writing --------------------------------------------------------------
 
     @staticmethod
@@ -454,6 +569,69 @@ class SummaryStore:
                     old_path.unlink()
         return entry
 
+    def remove(
+        self, namespace: str, bucket: str, part: str, missing_ok: bool = False
+    ) -> StoreEntry | None:
+        """Drop one artifact: manifest row first, then its data file.
+
+        Manifest-first ordering keeps the crash contract of :meth:`write`:
+        an interruption can strand an orphaned ``.cws`` file (reclaimed by
+        :meth:`prune`) but the manifest never references missing data.
+        Returns the removed entry, or ``None`` when ``missing_ok`` and no
+        such artifact exists.
+        """
+        with self._mutation_lock():
+            self.refresh()
+            try:
+                entry = self._resolve(namespace, bucket, part)
+            except KeyError:
+                if missing_ok:
+                    return None
+                raise
+            self._entries = [e for e in self._entries if e is not entry]
+            self._persist_manifest()
+            path = self.root / entry.path
+            if path.exists():
+                path.unlink()
+        return entry
+
+    def prune(self) -> list[str]:
+        """Garbage-collect data files the manifest no longer references.
+
+        Overwrites, compactions, and removals publish the manifest first
+        and unlink retired blobs afterwards, so a crash between the two
+        steps — or a killed worker that already staged its output — leaves
+        orphaned ``.cws`` revisions and ``.*.tmp.*`` staging files on disk.
+        ``prune`` walks ``data/`` under the store lock, deletes every file
+        the manifest does not claim (plus stale manifest staging files at
+        the root), drops now-empty bucket directories, and returns the
+        root-relative paths it removed.  Artifacts named by the manifest
+        are never touched.
+        """
+        removed: list[str] = []
+        with self._mutation_lock():
+            self.refresh()
+            referenced = {entry.path for entry in self._entries}
+            data_dir = self.root / "data"
+            if data_dir.is_dir():
+                for path in sorted(data_dir.rglob("*")):
+                    if not path.is_file():
+                        continue
+                    rel = path.relative_to(self.root).as_posix()
+                    if rel not in referenced:
+                        path.unlink()
+                        removed.append(rel)
+                for directory in sorted(
+                    (p for p in data_dir.rglob("*") if p.is_dir()),
+                    reverse=True,
+                ):
+                    if not any(directory.iterdir()):
+                        directory.rmdir()
+            for stale in self.root.glob(f".{self.MANIFEST}.tmp.*"):
+                stale.unlink()
+                removed.append(stale.name)
+        return removed
+
     # -- reading --------------------------------------------------------------
 
     def _resolve(
@@ -486,11 +664,7 @@ class SummaryStore:
         underlying primitives raise on duplicate keys (not a key-disjoint
         partition) and on mismatched coordination metadata.
         """
-        selected = [
-            entry
-            for entry in self.entries(namespace, buckets)
-            if entry.kind in _BUNDLE_KINDS
-        ]
+        selected = self.bundle_entries(namespace, buckets)
         if not selected:
             raise KeyError(
                 f"no sketch bundles for namespace {namespace!r}"
@@ -508,7 +682,11 @@ class SummaryStore:
     # -- compaction -----------------------------------------------------------
 
     def compact(
-        self, namespace: str, to: str = "hour", executor=None
+        self,
+        namespace: str,
+        to: str = "hour",
+        executor=None,
+        exclude_buckets: Sequence[str] | None = None,
     ) -> list[StoreEntry]:
         """Roll sketch bundles up to coarser time buckets, exactly.
 
@@ -534,6 +712,11 @@ class SummaryStore:
         orphaned ``.cws`` files but the manifest never references missing
         or double-counted data.
 
+        ``exclude_buckets`` names coarse (target-granularity) bucket ids
+        to leave alone — the service uses it to skip the group its live
+        window is still feeding, so an artifact a non-empty window will
+        overwrite again never gets folded into a rollup.
+
         Returns the newly written entries.
         """
         if to not in GRANULARITIES:
@@ -545,20 +728,36 @@ class SummaryStore:
         get_executor(executor)  # validate the spec even when nothing rolls up
         with self._mutation_lock():
             self.refresh()
-            return self._compact_locked(namespace, to, executor)
+            return self._compact_locked(namespace, to, executor, exclude_buckets)
 
     def _compact_locked(
-        self, namespace: str, to: str, executor=None
+        self, namespace: str, to: str, executor=None, exclude_buckets=None
     ) -> list[StoreEntry]:
         from repro.engine.parallel import compact_group_task, executor_scope
 
+        excluded = set() if exclude_buckets is None else set(exclude_buckets)
+        # A live-window checkpoint marks a bucket whose bundle may still
+        # be re-published (the stopped service resumes from it and
+        # overwrites its flush on rotation).  Folding such a bucket into
+        # a rollup would leave the rollup and the re-published bundle
+        # holding the same keys — an unmergeable store.  Skip those
+        # groups; they compact once the checkpoint is consumed.
+        target_index = GRANULARITIES.index(to)
+        for entry in self.entries(namespace, kind="checkpoint"):
+            if entry.part != LIVE_CHECKPOINT_PART:
+                continue
+            if GRANULARITIES.index(entry.granularity) <= target_index:
+                excluded.add(coarsen_bucket(entry.bucket, to))
         groups: dict[str, list[StoreEntry]] = {}
         for entry in self.entries(namespace):
             if entry.kind not in _BUNDLE_KINDS:
                 continue
             if GRANULARITIES.index(entry.granularity) > GRANULARITIES.index(to):
                 continue  # already coarser than the target
-            groups.setdefault(coarsen_bucket(entry.bucket, to), []).append(entry)
+            coarse = coarsen_bucket(entry.bucket, to)
+            if coarse in excluded:
+                continue
+            groups.setdefault(coarse, []).append(entry)
         plan: list[tuple[str, list[StoreEntry], str, str]] = []
         for coarse_bucket, group in sorted(groups.items()):
             if len(group) == 1 and group[0].bucket == coarse_bucket:

@@ -1,0 +1,55 @@
+"""The bench JSON envelope carries provenance (git SHA + repro version).
+
+Satellite of the service PR: every ``BENCH_<name>.json`` must be
+attributable to the commit and package version that produced it, so the
+perf trajectory is comparable across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+BENCHMARKS = pathlib.Path(__file__).parent.parent / "benchmarks"
+
+
+def load_emit():
+    sys.path.insert(0, str(BENCHMARKS))
+    try:
+        import emit
+    finally:
+        sys.path.pop(0)
+    return emit
+
+
+def test_bench_json_includes_provenance(tmp_path, monkeypatch):
+    emit = load_emit()
+    monkeypatch.setattr(emit, "RESULTS_DIR", tmp_path)
+    path = emit.write_bench_json(
+        "unit_test", {"events": 1}, {"ops_per_s": 2.0}
+    )
+    payload = json.loads(path.read_text())
+    assert payload["name"] == "unit_test"
+    assert set(payload) == {"name", "config", "metrics", "host", "provenance"}
+    provenance = payload["provenance"]
+    assert set(provenance) == {"git_sha", "repro_version"}
+    import repro
+
+    assert provenance["repro_version"] == repro.__version__
+    # inside this git checkout the SHA must resolve to a real commit hash
+    sha = provenance["git_sha"]
+    assert sha is None or (len(sha) == 40 and all(
+        ch in "0123456789abcdef" for ch in sha
+    ))
+
+
+def test_provenance_survives_missing_git(monkeypatch):
+    emit = load_emit()
+    monkeypatch.setattr(
+        emit.subprocess, "run",
+        lambda *args, **kwargs: (_ for _ in ()).throw(OSError("no git")),
+    )
+    provenance = emit._provenance()
+    assert provenance["git_sha"] is None
+    assert provenance["repro_version"] is not None

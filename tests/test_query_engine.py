@@ -403,3 +403,96 @@ class TestTableTotalsIntegration:
         (row,) = rows
         exact_min, est_min = row[1], row[4]
         assert est_min == pytest.approx(exact_min, rel=0.5)
+
+
+class TestServeManyEdgeCases:
+    """serve_many failure and degenerate paths (store-backed batches)."""
+
+    def fill_store(self, root):
+        from repro.engine.sharded import ShardedSummarizer
+        from repro.store import SummaryStore
+
+        store = SummaryStore(root)
+        for namespace, lo in [("web", 0), ("api", 1000)]:
+            engine = ShardedSummarizer(
+                k=8, assignments=["h1", "h2"], n_shards=2,
+                hasher=KeyHasher(3),
+            )
+            keys = np.arange(lo, lo + 50)
+            weights = np.linspace(1.0, 5.0, 50)
+            engine.ingest_multi(keys, {"h1": weights, "h2": weights * 2})
+            store.write(namespace, "20260728T1201", engine.sketch_bundle())
+        return store
+
+    def test_unknown_namespace_raises_keyerror(self, tmp_path):
+        store = self.fill_store(tmp_path / "store")
+        spec = AggregationSpec("max", ("h1", "h2"))
+        with pytest.raises(KeyError, match="no sketch bundles.*ghost"):
+            QueryEngine.serve_many(store, {"ghost": [spec]})
+
+    def test_empty_summary_namespace_estimates_zero(self, tmp_path):
+        # A namespace whose only artifact holds empty sketches (a sampler
+        # that saw no events) is servable: every estimate is exactly 0.
+        from repro.store import SketchBundle, SummaryStore
+
+        store = SummaryStore(tmp_path / "store")
+        sketches = {
+            name: BottomKStreamSampler(
+                4, get_rank_family("ipps"), KeyHasher(3)
+            ).sketch()
+            for name in ("h1", "h2")
+        }
+        store.write(
+            "hollow", "20260728T1201",
+            SketchBundle("bottomk", sketches, get_rank_family("ipps"),
+                         hasher_salt=3),
+        )
+        answers = QueryEngine.serve_many(
+            store,
+            {"hollow": [AggregationSpec("max", ("h1", "h2")),
+                        AggregationSpec("single", ("h1",))]},
+        )
+        assert [result.estimate for result in answers["hollow"]] == [0.0, 0.0]
+        assert [result.n_selected for result in answers["hollow"]] == [0, 0]
+
+    def test_failure_mid_batch_propagates_and_pool_survives(self, tmp_path):
+        # One namespace of the batch fails (unknown) while others are in
+        # flight: the error must propagate — not a partial dict — and a
+        # caller-owned executor must stay usable for the next call.
+        from repro.engine.parallel import ThreadExecutor
+
+        store = self.fill_store(tmp_path / "store")
+        spec = AggregationSpec("max", ("h1", "h2"))
+        requests = {"web": [spec], "ghost": [spec], "api": [spec]}
+        with ThreadExecutor(workers=2) as executor:
+            with pytest.raises(KeyError, match="ghost"):
+                QueryEngine.serve_many(store, requests, executor=executor)
+            retry = QueryEngine.serve_many(
+                store, {"web": [spec], "api": [spec]}, executor=executor
+            )
+            assert set(retry) == {"web", "api"}
+            expected = {
+                namespace: QueryEngine.from_store(
+                    store, namespace
+                ).estimate(spec)
+                for namespace in ("web", "api")
+            }
+            assert {
+                namespace: results[0].estimate
+                for namespace, results in retry.items()
+            } == expected
+
+    def test_corrupt_artifact_mid_batch_propagates(self, tmp_path):
+        # Executor failure caused by the worker itself (decode error), not
+        # by request validation: still an exception, never a silent skip.
+        from repro.store import CodecError
+
+        store = self.fill_store(tmp_path / "store")
+        entry = store.entries("api")[0]
+        blob_path = tmp_path / "store" / entry.path
+        blob_path.write_bytes(b"garbage" + blob_path.read_bytes()[7:])
+        spec = AggregationSpec("max", ("h1", "h2"))
+        with pytest.raises(CodecError):
+            QueryEngine.serve_many(
+                store, {"web": [spec], "api": [spec]}
+            )

@@ -1,0 +1,113 @@
+"""Tests for the repro-serve CLI (serve / status / ingest / query / shutdown)."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.service.cli import build_parser, main
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "--root", "r", "--namespace", "web",
+             "--assignments", "h1"]
+        )
+        assert args.k == 256 and args.granularity == "minute"
+        assert args.compact_to == "hour" and args.port is None
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(
+            ["query", "--namespace", "web", "--assignments", "h1", "h2"]
+        )
+        assert args.function == "max" and args.port == 8765
+
+    def test_serve_requires_exactly_one_config_source(self, tmp_path):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["serve"])
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["serve", "--config", "cfg.json", "--root", "r"])
+        with pytest.raises(SystemExit, match="needs --namespace"):
+            main(["serve", "--root", str(tmp_path)])
+
+    def test_serve_config_file_port_override(self, tmp_path):
+        from repro.service.cli import _config_from_args
+        from repro.service.config import NamespaceConfig, ServiceConfig
+
+        config = ServiceConfig(
+            store_root=str(tmp_path / "store"),
+            namespaces=(NamespaceConfig("web", ("h1",)),),
+            port=1234,
+        )
+        path = tmp_path / "service.json"
+        config.dump(path)
+        args = build_parser().parse_args(
+            ["serve", "--config", str(path), "--port", "4321"]
+        )
+        assert _config_from_args(args) == config.with_port(4321)
+
+
+class TestRoundTrip:
+    def test_serve_ingest_query_status_shutdown(self, tmp_path, capsys):
+        port = free_port()
+        root = tmp_path / "store"
+        serve_argv = [
+            "serve", "--root", str(root), "--namespace", "web",
+            "--assignments", "h1", "--k", "16", "--port", str(port),
+            "--compact-to", "off", "--tick", "0.05",
+        ]
+        rc: list[int] = []
+        thread = threading.Thread(
+            target=lambda: rc.append(main(serve_argv)), daemon=True
+        )
+        thread.start()
+
+        from repro.service.client import ServiceClient
+
+        ServiceClient(port=port).wait_ready()
+
+        csv = tmp_path / "events.csv"
+        csv.write_text("alice,3.5\nbob,1.25\nalice,0.5\n")
+        assert main([
+            "ingest", "--port", str(port), "--namespace", "web",
+            "--assignment", "h1", "--input", str(csv), "--sync",
+        ]) == 0
+        assert "ingested 3 events" in capsys.readouterr().out
+
+        assert main([
+            "query", "--port", str(port), "--namespace", "web",
+            "--function", "single", "--assignments", "h1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "web: single(h1) ~= 5.25" in out  # 3.5 + 0.5 + 1.25, exact
+
+        assert main(["status", "--port", str(port)]) == 0
+        status_out = capsys.readouterr().out
+        assert '"web"' in status_out and '"buffered_events"' in status_out
+
+        assert main(["shutdown", "--port", str(port)]) == 0
+        thread.join(10.0)
+        assert not thread.is_alive() and rc == [0]
+        # the daemon checkpointed on the way out
+        from repro.store import SummaryStore
+
+        assert SummaryStore(root, create=False).entries(
+            "web", kind="checkpoint"
+        )
+
+    def test_client_error_is_clean_exit(self, tmp_path):
+        with pytest.raises(SystemExit, match="error:"):
+            main(["status", "--port", str(free_port()), "--timeout", "0.2"])

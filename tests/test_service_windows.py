@@ -1,0 +1,479 @@
+"""LiveWindowManager + QueryPlanner behavior (fake-clock unit tests).
+
+The service's bit-exactness property is pinned by hypothesis in
+test_service_exactness.py; this file checks the mechanics: rotation on
+bucket boundaries, checkpoint/resume consumption, version tokens, the
+planner's merged live+stored view, and its version-keyed result cache.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+import numpy as np
+import pytest
+
+from repro.core.aggregates import AggregationSpec
+from repro.engine.queries import QueryEngine
+from repro.service.config import NamespaceConfig, ServiceConfig
+from repro.service.planner import QueryPlanner
+from repro.service.windows import CHECKPOINT_PART, LiveWindowManager
+from repro.store import SummaryStore
+
+T0 = datetime(2026, 7, 28, 12, 0, 30, tzinfo=timezone.utc).timestamp()
+NS = NamespaceConfig("web", ("h1", "h2"), k=16, n_shards=2, salt=9)
+
+
+class FakeClock:
+    def __init__(self, now: float = T0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_manager(root, clock, configs=(NS,)):
+    return LiveWindowManager(SummaryStore(root), configs, clock=clock)
+
+
+def batch(lo: int, n: int = 20, scale: float = 1.0):
+    keys = [f"k{i}" for i in range(lo, lo + n)]
+    w1 = (np.linspace(1.0, 3.0, n) * scale).tolist()
+    return keys, {"h1": np.asarray(w1), "h2": np.asarray(w1) * 2.0}
+
+
+def offline_engine(event_batches, config=NS) -> QueryEngine:
+    summarizer = config.make_summarizer()
+    for keys, weights in event_batches:
+        summarizer.ingest_multi(keys, weights)
+    return QueryEngine(summarizer.summary())
+
+
+class TestNamespaceConfig:
+    def test_round_trip(self):
+        assert NamespaceConfig.from_json(NS.to_json()) == NS
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one assignment"):
+            NamespaceConfig("web", ())
+        with pytest.raises(ValueError, match="k must be"):
+            NamespaceConfig("web", ("h1",), k=0)
+        with pytest.raises(ValueError, match="non-empty"):
+            NamespaceConfig("", ("h1",))
+
+    def test_make_summarizer_carries_coordination(self):
+        summarizer = NS.make_summarizer()
+        assert summarizer.k == NS.k
+        assert summarizer.hasher.salt == NS.salt
+        assert summarizer.assignments == list(NS.assignments)
+
+
+class TestServiceConfig:
+    def make(self, **overrides):
+        base = dict(store_root="/tmp/x", namespaces=(NS,))
+        base.update(overrides)
+        return ServiceConfig(**base)
+
+    def test_json_round_trip(self, tmp_path):
+        config = self.make(port=9999, executor="thread:2")
+        path = tmp_path / "service.json"
+        config.dump(path)
+        assert ServiceConfig.from_file(path) == config
+
+    def test_namespaces_from_plain_dicts(self):
+        config = ServiceConfig(
+            store_root="/tmp/x", namespaces=[NS.to_json()]
+        )
+        assert config.namespaces == (NS,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="duplicate namespace"):
+            self.make(namespaces=(NS, NS))
+        with pytest.raises(ValueError, match="at least one namespace"):
+            self.make(namespaces=())
+        with pytest.raises(ValueError, match="granularity"):
+            self.make(granularity="fortnight")
+        with pytest.raises(ValueError, match="compaction granularity"):
+            self.make(compact_to="fortnight")
+        with pytest.raises(ValueError, match="unknown service config keys"):
+            ServiceConfig.from_json(
+                {"store_root": "x", "namespaces": [NS.to_json()],
+                 "portt": 80}
+            )
+        with pytest.raises(ValueError, match="needs 'store_root'"):
+            ServiceConfig.from_json({"namespaces": [NS.to_json()]})
+
+    def test_namespace_lookup(self):
+        config = self.make()
+        assert config.namespace("web") == NS
+        with pytest.raises(KeyError, match="unknown namespace"):
+            config.namespace("ghost")
+
+
+class TestRotation:
+    def test_window_follows_the_clock(self, tmp_path):
+        clock = FakeClock()
+        manager = make_manager(tmp_path, clock)
+        assert manager.live_info("web")["bucket"] == "20260728T1200"
+        keys, weights = batch(0)
+        manager.ingest("web", keys, weights)
+        assert manager.live_info("web")["buffered_events"] == 40
+
+        clock.advance(60.0)
+        written = manager.rotate()
+        assert [entry.bucket for entry in written] == ["20260728T1200"]
+        info = manager.live_info("web")
+        assert info["bucket"] == "20260728T1201"
+        assert info["buffered_events"] == 0
+
+    def test_ingest_rotates_first(self, tmp_path):
+        clock = FakeClock()
+        manager = make_manager(tmp_path, clock)
+        manager.ingest("web", *batch(0))
+        clock.advance(60.0)
+        # no explicit rotate(): the batch's arrival time drives it
+        result = manager.ingest("web", *batch(100))
+        assert result["bucket"] == "20260728T1201"
+        assert [
+            entry.bucket for entry in manager.store.entries("web")
+        ] == ["20260728T1200"]
+
+    def test_empty_window_never_publishes(self, tmp_path):
+        clock = FakeClock()
+        manager = make_manager(tmp_path, clock)
+        clock.advance(60.0)
+        assert manager.rotate() == []
+        assert manager.store.entries("web") == []
+        assert manager.rotate(force=True) == []  # nothing buffered either
+
+    def test_mid_bucket_flush_publishes_without_reset(self, tmp_path):
+        from repro.service.windows import LIVE_PART
+
+        clock = FakeClock()
+        manager = make_manager(tmp_path, clock)
+        manager.ingest("web", *batch(0))
+        written = manager.rotate(force=True)
+        assert [(e.bucket, e.part) for e in written] == [
+            ("20260728T1200", LIVE_PART)
+        ]
+        info = manager.live_info("web")
+        assert info["bucket"] == "20260728T1200"
+        assert info["buffered_events"] == 40  # flush does not reset
+
+    def test_flush_then_repeated_keys_stays_exact(self, tmp_path):
+        # Regression: a mid-bucket flush followed by more events for the
+        # SAME keys must not brick the namespace (the flush artifact is
+        # overwritten, never joined by a second overlapping part).
+        clock = FakeClock()
+        manager = make_manager(tmp_path, clock)
+        planner = QueryPlanner(manager)
+        keys, weights = batch(0)
+        manager.ingest("web", keys, weights)
+        manager.rotate(force=True)
+        manager.ingest("web", keys, weights)  # same keys, same bucket
+        offline = offline_engine([(keys, weights), (keys, weights)])
+        spec = AggregationSpec("max", ("h1", "h2"))
+        assert (
+            planner.estimate("web", "max", ("h1", "h2"))["estimate"]
+            == offline.estimate(spec)
+        )
+        # the boundary rotation replaces the flush with the full bucket
+        clock.advance(60.0)
+        manager.rotate()
+        assert len(manager.store.bundle_entries("web")) == 1
+        assert (
+            planner.estimate("web", "max", ("h1", "h2"))["estimate"]
+            == offline.estimate(spec)
+        )
+
+    def test_flush_survives_a_crash(self, tmp_path):
+        # Flush is crash durability: a manager that dies WITHOUT a clean
+        # checkpoint still serves the flushed prefix after restart.
+        clock = FakeClock()
+        manager = make_manager(tmp_path, clock)
+        manager.ingest("web", *batch(0))
+        manager.rotate(force=True)
+        del manager  # crash: no checkpoint()
+        revived = make_manager(tmp_path, clock)
+        assert revived.live_info("web")["buffered_events"] == 0
+        offline = offline_engine([batch(0)])
+        assert (
+            QueryPlanner(revived).estimate("web", "max", ("h1", "h2"))[
+                "estimate"
+            ]
+            == offline.estimate(AggregationSpec("max", ("h1", "h2")))
+        )
+
+    def test_unknown_namespace(self, tmp_path):
+        manager = make_manager(tmp_path, FakeClock())
+        with pytest.raises(KeyError, match="unknown namespace"):
+            manager.ingest("ghost", *batch(0))
+        with pytest.raises(KeyError, match="unknown namespace"):
+            manager.version("ghost")
+
+    def test_version_moves_on_ingest_and_rotation(self, tmp_path):
+        clock = FakeClock()
+        manager = make_manager(tmp_path, clock)
+        seen = {manager.version("web")}
+        manager.ingest("web", *batch(0))
+        seen.add(manager.version("web"))
+        clock.advance(60.0)
+        manager.rotate()
+        seen.add(manager.version("web"))
+        assert len(seen) == 3
+
+
+class TestCheckpointResume:
+    def test_clean_shutdown_round_trip(self, tmp_path):
+        clock = FakeClock()
+        manager = make_manager(tmp_path, clock)
+        manager.ingest("web", *batch(0))
+        clock.advance(60.0)
+        manager.rotate()
+        manager.ingest("web", *batch(100))
+        written = manager.checkpoint()
+        assert [entry.part for entry in written] == [CHECKPOINT_PART]
+
+        resumed = make_manager(tmp_path, clock)
+        info = resumed.live_info("web")
+        assert info["bucket"] == "20260728T1201"
+        assert info["buffered_events"] == 40
+        # the checkpoint stays durable until a rotation supersedes it
+        # (a crash right after restart must not lose persisted events)
+        assert len(resumed.store.entries("web", kind="checkpoint")) == 1
+        clock.advance(60.0)
+        resumed.rotate()
+        assert resumed.store.entries("web", kind="checkpoint") == []
+        # and the restored stream continues bit-identically
+        spec = AggregationSpec("max", ("h1", "h2"))
+        offline = offline_engine([batch(0), batch(100)])
+        planner = QueryPlanner(resumed)
+        assert (
+            planner.estimate("web", "max", ("h1", "h2"))["estimate"]
+            == offline.estimate(spec)
+        )
+
+    def test_empty_windows_are_not_checkpointed(self, tmp_path):
+        manager = make_manager(tmp_path, FakeClock())
+        assert manager.checkpoint() == []
+
+    def test_resume_rejects_changed_coordination(self, tmp_path):
+        clock = FakeClock()
+        manager = make_manager(tmp_path, clock)
+        manager.ingest("web", *batch(0))
+        manager.checkpoint()
+        changed = NamespaceConfig("web", ("h1", "h2"), k=8, n_shards=2,
+                                  salt=9)
+        with pytest.raises(ValueError, match="different configuration"):
+            make_manager(tmp_path, clock, configs=(changed,))
+
+    def test_rotation_supersedes_a_stale_checkpoint(self, tmp_path):
+        # checkpoint() on a live service, then a rotation: the published
+        # bundle must retire the checkpoint, or the next resume would
+        # double-publish the same events.
+        clock = FakeClock()
+        manager = make_manager(tmp_path, clock)
+        manager.ingest("web", *batch(0))
+        manager.checkpoint()
+        clock.advance(60.0)
+        manager.rotate()
+        assert manager.store.entries("web", kind="checkpoint") == []
+        resumed = make_manager(tmp_path, clock)
+        assert resumed.live_info("web")["buffered_events"] == 0
+        offline = offline_engine([batch(0)])
+        spec = AggregationSpec("max", ("h1", "h2"))
+        planner = QueryPlanner(resumed)
+        assert (
+            planner.estimate("web", "max", ("h1", "h2"))["estimate"]
+            == offline.estimate(spec)
+        )
+
+
+class TestPlanner:
+    def test_merged_live_plus_stored_is_exact(self, tmp_path):
+        clock = FakeClock()
+        manager = make_manager(tmp_path, clock)
+        planner = QueryPlanner(manager)
+        manager.ingest("web", *batch(0))
+        clock.advance(60.0)
+        manager.rotate()
+        manager.ingest("web", *batch(100))
+
+        offline = offline_engine([batch(0), batch(100)])
+        for function in ("max", "min"):
+            spec = AggregationSpec(function, ("h1", "h2"))
+            got = planner.estimate("web", function, ("h1", "h2"))
+            assert got["estimate"] == offline.estimate(spec)
+            assert got["sources"] == {
+                "stored_entries": 1,
+                "live_events": 40,
+                "union_keys": got["sources"]["union_keys"],
+            }
+
+    def test_result_cache_hit_and_invalidation(self, tmp_path):
+        manager = make_manager(tmp_path, FakeClock())
+        planner = QueryPlanner(manager)
+        manager.ingest("web", *batch(0))
+        first = planner.estimate("web", "max", ("h1", "h2"))
+        again = planner.estimate("web", "max", ("h1", "h2"))
+        assert not first["cached"] and again["cached"]
+        assert again["estimate"] == first["estimate"]
+
+        manager.ingest("web", *batch(100))  # version moves -> cache miss
+        after = planner.estimate("web", "max", ("h1", "h2"))
+        assert not after["cached"]
+        assert after["version"] != first["version"]
+        assert planner.stats["hits"] == 1 and planner.stats["misses"] == 2
+
+    def test_compaction_changes_version_not_answers(self, tmp_path):
+        clock = FakeClock()
+        manager = make_manager(tmp_path, clock)
+        planner = QueryPlanner(manager)
+        for lo in (0, 100):
+            manager.ingest("web", *batch(lo))
+            clock.advance(60.0)
+            manager.rotate()
+        before = planner.estimate("web", "max", ("h1", "h2"))
+        manager.compact(to="hour")
+        after = planner.estimate("web", "max", ("h1", "h2"))
+        assert not after["cached"]  # manifest moved, cache invalidated
+        assert after["estimate"] == before["estimate"]  # but exactly equal
+
+    def test_compaction_skips_the_active_group(self, tmp_path):
+        # The coarse bucket a non-empty window still feeds (it holds a
+        # flush artifact that will be overwritten) must not roll up; it
+        # compacts on the next pass, once the window has moved on.
+        clock = FakeClock()
+        manager = make_manager(tmp_path, clock)
+        planner = QueryPlanner(manager)
+        manager.ingest("web", *batch(0))
+        clock.advance(60.0)
+        manager.ingest("web", *batch(100))
+        manager.rotate(force=True)  # flush the active minute too
+        offline = offline_engine([batch(0), batch(100)])
+        spec = AggregationSpec("max", ("h1", "h2"))
+        assert manager.compact(to="hour") == []  # active hour: skipped
+        assert (
+            planner.estimate("web", "max", ("h1", "h2"))["estimate"]
+            == offline.estimate(spec)
+        )
+        clock.advance(3600.0)
+        manager.rotate()
+        written = manager.compact(to="hour")  # window moved on: rolls up
+        assert [entry.bucket for entry in written] == ["20260728T12"]
+        assert (
+            planner.estimate("web", "max", ("h1", "h2"))["estimate"]
+            == offline.estimate(spec)
+        )
+
+    def test_offline_compaction_skips_checkpointed_buckets(self, tmp_path):
+        # Regression: with the daemon down, the store holds both a flush
+        # bundle and a checkpoint for the same bucket.  An operator's
+        # `repro-store compact` must not fold that bundle into a rollup —
+        # the resumed window would re-publish the same keys and poison
+        # the store with an unmergeable duplicate.
+        clock = FakeClock()
+        manager = make_manager(tmp_path, clock)
+        # hour 12: complete (window moved on), safe to roll up
+        manager.ingest("web", *batch(0))
+        clock.advance(3600.0)
+        # hour 13: flushed AND checkpointed (clean shutdown mid-bucket)
+        manager.ingest("web", *batch(100))
+        manager.rotate(force=True)
+        manager.checkpoint()
+        del manager  # daemon down
+
+        store = SummaryStore(tmp_path, create=False)
+        written = store.compact("web", to="hour")  # plain offline CLI path
+        assert [entry.bucket for entry in written] == ["20260728T12"]
+        buckets = {entry.bucket for entry in store.bundle_entries("web")}
+        assert buckets == {"20260728T12", "20260728T1300"}  # 13: untouched
+
+        resumed = make_manager(tmp_path, clock)
+        offline = offline_engine([batch(0), batch(100)])
+        spec = AggregationSpec("max", ("h1", "h2"))
+        assert (
+            QueryPlanner(resumed).estimate("web", "max", ("h1", "h2"))[
+                "estimate"
+            ]
+            == offline.estimate(spec)
+        )
+        # once the checkpoint is consumed by a rotation, hour 13 rolls up
+        clock.advance(3600.0)
+        resumed.rotate()
+        fresh = SummaryStore(tmp_path, create=False)
+        assert [entry.bucket for entry in fresh.compact("web", to="hour")] == [
+            "20260728T13"
+        ]
+
+    def test_time_window_selection(self, tmp_path):
+        clock = FakeClock()
+        manager = make_manager(tmp_path, clock)
+        planner = QueryPlanner(manager)
+        manager.ingest("web", *batch(0))
+        clock.advance(60.0)
+        manager.rotate()
+        manager.ingest("web", *batch(100))
+
+        spec = AggregationSpec("max", ("h1", "h2"))
+        stored_only = planner.estimate(
+            "web", "max", ("h1", "h2"), until="20260728T1200"
+        )
+        assert stored_only["estimate"] == offline_engine(
+            [batch(0)]
+        ).estimate(spec)
+        live_only = planner.estimate(
+            "web", "max", ("h1", "h2"), since="20260728T1201"
+        )
+        assert live_only["estimate"] == offline_engine(
+            [batch(100)]
+        ).estimate(spec)
+
+    def test_key_subpopulation(self, tmp_path):
+        manager = make_manager(tmp_path, FakeClock())
+        planner = QueryPlanner(manager)
+        keys, weights = batch(0, n=40)
+        manager.ingest("web", keys, weights)
+        subset = keys[:10]
+        offline = offline_engine([(keys, weights)])
+        from repro.core.predicates import key_in
+
+        spec = AggregationSpec("max", ("h1", "h2"))
+        got = planner.estimate("web", "max", ("h1", "h2"), keys=subset)
+        assert got["estimate"] == offline.estimate(
+            spec, predicate=key_in(subset)
+        )
+
+    def test_jaccard(self, tmp_path):
+        from repro.engine.queries import jaccard_from_summary
+
+        manager = make_manager(tmp_path, FakeClock())
+        planner = QueryPlanner(manager)
+        keys, weights = batch(0, n=40)
+        manager.ingest("web", keys, weights)
+        offline = offline_engine([(keys, weights)])
+        got = planner.jaccard("web", ("h1", "h2"))
+        assert got["estimate"] == jaccard_from_summary(
+            offline.summary, ("h1", "h2"), "l"
+        )
+        assert planner.jaccard("web", ("h1", "h2"))["cached"]
+
+    def test_no_data_raises_lookup(self, tmp_path):
+        planner = QueryPlanner(make_manager(tmp_path, FakeClock()))
+        with pytest.raises(LookupError, match="no data for namespace"):
+            planner.estimate("web", "max", ("h1", "h2"))
+
+    def test_unknown_namespace_raises_keyerror(self, tmp_path):
+        planner = QueryPlanner(make_manager(tmp_path, FakeClock()))
+        with pytest.raises(KeyError, match="unknown namespace"):
+            planner.estimate("ghost", "max", ("h1", "h2"))
+
+    def test_invalid_function_and_estimator(self, tmp_path):
+        planner = QueryPlanner(make_manager(tmp_path, FakeClock()))
+        with pytest.raises(ValueError, match="unknown function"):
+            planner.estimate("web", "median", ("h1",))
+        with pytest.raises(ValueError, match="unknown estimator"):
+            planner.estimate("web", "max", ("h1",), estimator="magic")

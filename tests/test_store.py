@@ -377,3 +377,220 @@ class TestFromStore:
         )
         total = engine.estimate(spec)
         assert 0.0 <= subset <= total
+
+
+class TestBucketBounds:
+    def test_spans(self):
+        from datetime import timedelta
+
+        from repro.store import bucket_bounds
+
+        for bucket, span in [
+            ("20260728T1201", timedelta(minutes=1)),
+            ("20260728T12", timedelta(hours=1)),
+            ("20260728", timedelta(days=1)),
+        ]:
+            lo, hi = bucket_bounds(bucket)
+            assert hi - lo == span
+            assert lo.tzinfo == timezone.utc
+
+    def test_minute_nested_in_its_hour_and_day(self):
+        from repro.store import bucket_bounds
+
+        minute = bucket_bounds("20260728T1201")
+        hour = bucket_bounds("20260728T12")
+        day = bucket_bounds("20260728")
+        assert hour[0] <= minute[0] and minute[1] <= hour[1]
+        assert day[0] <= hour[0] and hour[1] <= day[1]
+
+    def test_invalid_bucket_rejected(self):
+        from repro.store import bucket_bounds
+
+        with pytest.raises(ValueError, match="invalid bucket id"):
+            bucket_bounds("not-a-bucket")
+
+
+class TestVersionWatch:
+    def test_version_moves_on_every_mutation(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        seen = {store.version()}
+        entry = store.write("flows", "20260728T1201", make_bundle((0, 50)))
+        seen.add(store.version())
+        store.write("flows", "20260728T1202", make_bundle((50, 100), seed=1))
+        seen.add(store.version())
+        store.compact("flows", to="hour")
+        seen.add(store.version())
+        assert len(seen) == 4  # all distinct: each mutation is observable
+
+    def test_version_is_per_namespace(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        store.write("web", "20260728T1201", make_bundle((0, 50)))
+        before = store.version("web")
+        store.write("api", "20260728T1201", make_bundle((50, 100), seed=1))
+        assert store.version("web") == before  # other namespaces invisible
+        assert store.version("api") != before
+
+    def test_version_stable_across_reopen(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        store.write("web", "20260728T1201", make_bundle((0, 50)))
+        assert SummaryStore(tmp_path).version("web") == store.version("web")
+
+
+class TestRemove:
+    def test_remove_drops_entry_and_file(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        entry = store.write("flows", "20260728T1201", make_bundle((0, 50)))
+        assert (tmp_path / entry.path).exists()
+        removed = store.remove("flows", "20260728T1201", entry.part)
+        assert removed == entry
+        assert store.entries("flows") == []
+        assert not (tmp_path / entry.path).exists()
+        assert SummaryStore(tmp_path).entries("flows") == []
+
+    def test_remove_missing(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        with pytest.raises(KeyError, match="no artifact"):
+            store.remove("flows", "20260728T1201", "part-0000")
+        assert store.remove(
+            "flows", "20260728T1201", "part-0000", missing_ok=True
+        ) is None
+
+
+class TestPrune:
+    def test_prune_removes_only_unreferenced_files(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        entry = store.write("flows", "20260728T1201", make_bundle((0, 50)))
+        blob_dir = (tmp_path / entry.path).parent
+        # Simulate the crash windows prune exists for: a retired revision
+        # whose unlink never ran, and a staging file a killed writer left.
+        orphan = blob_dir / "part-0000.r1.cws"
+        orphan.write_bytes(b"retired revision")
+        staging = blob_dir / ".part-0001.cws.tmp.12345"
+        staging.write_bytes(b"staged then killed")
+        stale_manifest = tmp_path / ".manifest.json.tmp.999"
+        stale_manifest.write_bytes(b"{}")
+        removed = store.prune()
+        assert sorted(removed) == sorted([
+            ".manifest.json.tmp.999",
+            f"data/flows/20260728T1201/{orphan.name}",
+            f"data/flows/20260728T1201/{staging.name}",
+        ])
+        assert not orphan.exists() and not staging.exists()
+        assert not stale_manifest.exists()
+        assert (tmp_path / entry.path).exists()  # live artifact untouched
+        assert store.load(entry) is not None
+
+    def test_prune_drops_empty_bucket_directories(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        entry = store.write("flows", "20260728T1201", make_bundle((0, 50)))
+        store.remove("flows", "20260728T1201", entry.part)
+        # remove() already unlinked the blob; only the empty dirs remain.
+        assert (tmp_path / entry.path).parent.exists()
+        assert store.prune() == []
+        assert not (tmp_path / entry.path).parent.exists()
+
+    def test_prune_empty_store(self, tmp_path):
+        assert SummaryStore(tmp_path).prune() == []
+
+    def test_staged_but_retired_compaction_files_removed(self, tmp_path):
+        # A compaction whose manifest rewrite never happened: the rollup
+        # blob exists on disk but no entry references it.
+        store = SummaryStore(tmp_path)
+        store.write("flows", "20260728T1201", make_bundle((0, 50)))
+        ghost = tmp_path / "data" / "flows" / "20260728T12" / "rollup-0000.cws"
+        ghost.parent.mkdir(parents=True)
+        ghost.write_bytes(b"staged rollup, manifest never swapped")
+        removed = store.prune()
+        assert removed == ["data/flows/20260728T12/rollup-0000.cws"]
+        assert not ghost.exists()
+
+
+class TestLsJson:
+    def test_shared_machine_readable_format(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        store.write("web", "20260728T1201", make_bundle((0, 50)))
+        store.write("web", "20260728T1202", make_bundle((50, 100), seed=1))
+        store.write("api", "20260728", make_bundle((100, 150), seed=2))
+        listing = store.ls_json()
+        assert listing["root"] == str(tmp_path)
+        assert listing["version"] == store.version()
+        by_name = {row["namespace"]: row for row in listing["namespaces"]}
+        assert set(by_name) == {"web", "api"}
+        web = by_name["web"]
+        assert web["version"] == store.version("web")
+        assert web["buckets"] == ["20260728T1201", "20260728T1202"]
+        assert web["nbytes"] == sum(
+            entry.nbytes for entry in store.entries("web")
+        )
+        assert [row["granularity"] for row in web["entries"]] == [
+            "minute", "minute",
+        ]
+        # round-trips through JSON (the CLI prints exactly this)
+        assert json.loads(json.dumps(listing)) == listing
+
+    def test_namespace_filter(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        store.write("web", "20260728T1201", make_bundle((0, 50)))
+        store.write("api", "20260728T1201", make_bundle((50, 100), seed=1))
+        listing = store.ls_json("api")
+        assert [row["namespace"] for row in listing["namespaces"]] == ["api"]
+
+
+class TestBundleEntries:
+    def fill(self, store):
+        store.write("web", "20260728T1259", make_bundle((0, 50)))
+        store.write("web", "20260728T1301", make_bundle((50, 100), seed=1))
+        store.write("web", "20260729", make_bundle((100, 150), seed=2))
+
+    def test_window_selection_spans_granularities(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        self.fill(store)
+        buckets = lambda rows: [entry.bucket for entry in rows]  # noqa: E731
+        assert buckets(store.bundle_entries("web")) == [
+            "20260728T1259", "20260728T1301", "20260729",
+        ]
+        assert buckets(
+            store.bundle_entries("web", since="20260728T13")
+        ) == ["20260728T1301", "20260729"]
+        assert buckets(
+            store.bundle_entries("web", until="20260728T1259")
+        ) == ["20260728T1259"]
+        assert buckets(
+            store.bundle_entries(
+                "web", since="20260728T1301", until="20260728T1301"
+            )
+        ) == ["20260728T1301"]
+        # a day window catches everything inside the day
+        assert buckets(
+            store.bundle_entries("web", since="20260728", until="20260728")
+        ) == ["20260728T1259", "20260728T1301"]
+
+    def test_selection_stable_across_compaction(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        self.fill(store)
+        before = {
+            entry.bucket
+            for entry in store.bundle_entries("web", until="20260728T12")
+        }
+        store.compact("web", to="hour")
+        after = {
+            entry.bucket
+            for entry in store.bundle_entries("web", until="20260728T12")
+        }
+        assert before == {"20260728T1259"} and after == {"20260728T12"}
+
+    def test_buckets_and_window_are_exclusive(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        with pytest.raises(ValueError, match="either buckets or"):
+            store.bundle_entries(
+                "web", buckets=["20260728"], since="20260728"
+            )
+
+    def test_checkpoints_never_selected(self, tmp_path):
+        store = SummaryStore(tmp_path)
+        engine = ShardedSummarizer(
+            k=4, assignments=ASSIGNMENTS, hasher=KeyHasher(SALT)
+        )
+        engine.ingest("h1", np.arange(5), np.ones(5))
+        store.write("web", "20260728T1201", engine.checkpoint_state())
+        assert store.bundle_entries("web") == []

@@ -170,3 +170,52 @@ class TestErrors:
             main(["write", "--root", str(root), "--namespace", "n",
                   "--bucket", "20260728", "--assignment", "h1",
                   "--demo", "5"])
+
+class TestLsJsonAndPrune:
+    def test_ls_json_machine_readable(self, tmp_path, capsys):
+        import json
+
+        from repro.store import SummaryStore
+
+        root = tmp_path / "store"
+        write_bucket(root, "20260728T1201", "h1", "a-")
+        write_bucket(root, "20260728T1202", "h1", "b-", seed=1)
+        capsys.readouterr()
+        assert main(["ls", "--root", str(root), "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        store = SummaryStore(root, create=False)
+        assert listing == store.ls_json()  # CLI and API share one format
+        web = listing["namespaces"][0]
+        assert web["namespace"] == "web"
+        assert web["buckets"] == ["20260728T1201", "20260728T1202"]
+        assert web["version"] == store.version("web")
+        assert all(row["nbytes"] > 0 for row in web["entries"])
+
+    def test_ls_json_namespace_filter(self, tmp_path, capsys):
+        import json
+
+        root = tmp_path / "store"
+        write_bucket(root, "20260728T1201", "h1", "a-")
+        capsys.readouterr()
+        assert main(["ls", "--root", str(root), "--json",
+                     "--namespace", "nope"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert listing["namespaces"] == []
+
+    def test_prune_removes_retired_files(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        write_bucket(root, "20260728T1201", "h1", "a-")
+        orphan = root / "data" / "web" / "20260728T1201" / "part-0000.r3.cws"
+        orphan.write_bytes(b"retired")
+        capsys.readouterr()
+        assert main(["prune", "--root", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "part-0000.r3.cws" in out and "pruned 1 file(s)" in out
+        assert not orphan.exists()
+
+        assert main(["prune", "--root", str(root)]) == 0
+        assert "nothing to prune" in capsys.readouterr().out
+
+    def test_prune_requires_existing_store(self, tmp_path):
+        with pytest.raises(SystemExit, match="no store at"):
+            main(["prune", "--root", str(tmp_path / "missing")])
