@@ -67,6 +67,27 @@ class QueryPlanner:
 
     # -- planning -------------------------------------------------------------
 
+    def _engine_cache_get(self, key: tuple) -> "tuple | None":
+        """Locked LRU probe: the cached ``(engine, sources)`` or ``None``."""
+        with self._lock:
+            cached = self._engines.get(key)
+            if cached is not None:
+                self._engines.move_to_end(key)
+            return cached
+
+    def _engine_cache_put(self, key: tuple, engine, sources) -> tuple:
+        """Insert unless a concurrent build won; returns the cached pair."""
+        with self._lock:
+            cached = self._engines.get(key)
+            if cached is not None:
+                self._engines.move_to_end(key)
+                return cached
+            self._engines[key] = (engine, sources)
+            self.stats["engine_builds"] += 1
+            while len(self._engines) > self.max_cached_engines:
+                self._engines.popitem(last=False)
+            return engine, sources
+
     def _live_in_window(
         self, bucket: str, since: str | None, until: str | None
     ) -> bool:
@@ -91,63 +112,91 @@ class QueryPlanner:
         stored entries and live events the merged view covers.  Raises
         ``KeyError`` for an unknown namespace and ``LookupError`` when the
         selection holds no data at all.
-        """
-        with self.manager.lock, self._lock:
-            return self._plan_locked(namespace, since, until)
 
-    def _plan_locked(
-        self, namespace: str, since: str | None, until: str | None
-    ) -> tuple[QueryEngine, str, dict]:
+        The manager lock is held only for short sections — a version
+        read on the cache-hit path, and the snapshot (version, entry
+        selection, live-window bundle as a defensive copy) on a miss —
+        never across the disk loads and the engine build, so an
+        engine-cache miss cannot stall ingestion or rotation.  The
+        manager and planner locks are never held together either, so a
+        query thread stuck behind a long kernel run under the planner
+        lock cannot transitively block ingestion.  The snapshot reads
+        its own fresh version (the probe's version is only a cache key,
+        not a consistency claim), so no version re-check loop is needed;
+        only a mid-build FileNotFoundError — the store mutated the
+        snapshotted artifacts away, moving the version with them —
+        triggers a re-snapshot and retry.
+        """
         manager = self.manager
-        version = manager.version(namespace)  # KeyError on unknown namespace
-        key = (namespace, version, since, until)
-        cached = self._engines.get(key)
-        if cached is not None:
-            self._engines.move_to_end(key)
-            engine, sources = cached
-            return engine, version, sources
-        entries = manager.store.bundle_entries(
-            namespace, since=since, until=until
-        )
-        live_events = 0
-        window = manager._window(namespace)
-        if window.events:
-            # The live view supersedes the window's own flush artifact
-            # (same events, published for crash durability): serving both
-            # would double-count every key.
-            entries = [
-                entry
-                for entry in entries
-                if not (
-                    entry.bucket == window.bucket and entry.part == LIVE_PART
+        for _attempt in range(8):
+            with manager.lock:
+                version = manager.version(namespace)  # KeyError when unknown
+            key = (namespace, version, since, until)
+            cached = self._engine_cache_get(key)
+            if cached is not None:
+                engine, sources = cached
+                return engine, version, sources
+            with manager.lock:
+                # Snapshot keyed to a fresh version: everything below is
+                # consistent with THIS read, whatever moved since the
+                # probe above.
+                version = manager.version(namespace)
+                entries = manager.store.bundle_entries(
+                    namespace, since=since, until=until
                 )
-            ]
-        bundles = [manager.store.load(entry) for entry in entries]
-        if self._live_in_window(window.bucket, since, until):
-            live = manager.live_bundle(namespace)
+                window = manager._window(namespace)
+                if window.events:
+                    # The live view supersedes the window's own flush
+                    # artifact (same events, published for crash
+                    # durability): serving both would double-count every
+                    # key.
+                    entries = [
+                        entry
+                        for entry in entries
+                        if not (
+                            entry.bucket == window.bucket
+                            and entry.part == LIVE_PART
+                        )
+                    ]
+                live = None
+                live_events = 0
+                if self._live_in_window(window.bucket, since, until):
+                    live = manager.live_bundle(namespace)
+                    if live is not None:
+                        live_events = window.events
+            key = (namespace, version, since, until)
+            cached = self._engine_cache_get(key)
+            if cached is not None:
+                engine, sources = cached
+                return engine, version, sources
+            try:
+                bundles = [manager.store.load(entry) for entry in entries]
+            except FileNotFoundError:
+                continue  # store moved under us; version changed with it
             if live is not None:
                 bundles.append(live)
-                live_events = window.events
-        if not bundles:
-            raise LookupError(
-                f"no data for namespace {namespace!r}"
-                + (
-                    f" in window [{since or '-'}, {until or '-'}]"
-                    if since or until
-                    else ""
+            if not bundles:
+                raise LookupError(
+                    f"no data for namespace {namespace!r}"
+                    + (
+                        f" in window [{since or '-'}, {until or '-'}]"
+                        if since or until
+                        else ""
+                    )
                 )
-            )
-        engine = QueryEngine.from_bundles(bundles)
-        sources = {
-            "stored_entries": len(entries),
-            "live_events": live_events,
-            "union_keys": engine.summary.n_union,
-        }
-        self._engines[key] = (engine, sources)
-        self.stats["engine_builds"] += 1
-        while len(self._engines) > self.max_cached_engines:
-            self._engines.popitem(last=False)
-        return engine, version, sources
+            engine = QueryEngine.from_bundles(bundles)
+            sources = {
+                "stored_entries": len(entries),
+                "live_events": live_events,
+                "union_keys": engine.summary.n_union,
+            }
+            engine, sources = self._engine_cache_put(key, engine, sources)
+            return engine, version, sources
+        raise RuntimeError(
+            f"could not plan a stable view of namespace {namespace!r}: the "
+            "store kept mutating the selected artifacts away between "
+            "snapshot and load"
+        )
 
     # -- answering ------------------------------------------------------------
 

@@ -58,11 +58,12 @@ from repro.store.store import SummaryStore
 __all__ = ["SummaryService", "ServiceThread"]
 
 _MAX_LINE = 16 * 1024
+_MAX_HEADERS = 100
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
-    429: "Too Many Requests", 500: "Internal Server Error",
-    503: "Service Unavailable",
+    429: "Too Many Requests", 431: "Request Header Fields Too Large",
+    500: "Internal Server Error", 503: "Service Unavailable",
 }
 
 
@@ -111,6 +112,7 @@ class SummaryService:
         self._stop_event: asyncio.Event | None = None
         self._tasks: list[asyncio.Task] = []
         self._connections: set = set()
+        self._busy: set = set()  # connections with a request in flight
         self._started_monotonic: float | None = None
         self._stopping = False
 
@@ -163,6 +165,16 @@ class SummaryService:
         self._stopping = True
         server, self._server = self._server, None
         server.close()
+        # Close IDLE connections BEFORE wait_closed(): on Python 3.12+
+        # wait_closed() also waits for active client handlers, so one
+        # idle keep-alive client would hang the shutdown forever.  A
+        # connection with a request in flight is left alone — its batch
+        # is applied during the drain below, so its ack must still be
+        # delivered (the handler breaks out of keep-alive on its own
+        # once it sees _stopping).
+        for writer in list(self._connections):
+            if writer not in self._busy:
+                writer.close()
         await server.wait_closed()
         # Drain: everything already queued still lands in the live windows
         # (and therefore in the shutdown checkpoint) before the sentinel
@@ -174,11 +186,7 @@ class SummaryService:
         await asyncio.gather(*self._tasks, return_exceptions=True)
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, self.manager.checkpoint)
-        # Drop idle keep-alive connections so their handler tasks exit
-        # before the event loop is torn down.
-        for writer in list(self._connections):
-            writer.close()
-        await asyncio.sleep(0)
+        await asyncio.sleep(0)  # let closed handlers unwind
 
     # -- background tasks -----------------------------------------------------
 
@@ -265,26 +273,33 @@ class SummaryService:
                     headers.get("connection", "keep-alive").lower() != "close"
                 )
                 self.stats["requests"] += 1
+                self._busy.add(writer)  # shutdown leaves us to finish
                 try:
-                    status, payload = await self._dispatch(
-                        method, path, params, body
-                    )
-                except _HttpError as err:
-                    status, payload = err.status, {"error": str(err)}
-                except (ValueError, TypeError) as err:
-                    status, payload = 400, {"error": str(err)}
-                except (KeyError, LookupError) as err:
-                    message = err.args[0] if err.args else str(err)
-                    status, payload = 404, {"error": str(message)}
-                except Exception as err:  # never kill the connection loop
-                    self.stats["last_error"] = f"{path}: {err}"
-                    status, payload = 500, {"error": str(err)}
-                self._write_response(writer, status, payload, keep_alive)
-                await writer.drain()
-                if not keep_alive:
+                    try:
+                        status, payload = await self._dispatch(
+                            method, path, params, body
+                        )
+                    except _HttpError as err:
+                        status, payload = err.status, {"error": str(err)}
+                    except (ValueError, TypeError) as err:
+                        status, payload = 400, {"error": str(err)}
+                    except (KeyError, LookupError) as err:
+                        message = err.args[0] if err.args else str(err)
+                        status, payload = 404, {"error": str(message)}
+                    except Exception as err:  # never kill the connection loop
+                        self.stats["last_error"] = f"{path}: {err}"
+                        status, payload = 500, {"error": str(err)}
+                    self._write_response(writer, status, payload, keep_alive)
+                    await writer.drain()
+                finally:
+                    self._busy.discard(writer)
+                if not keep_alive or self._stopping:
                     break
         except (
-            asyncio.IncompleteReadError, ConnectionError, asyncio.LimitOverrunError,
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            asyncio.LimitOverrunError,
+            ValueError,  # residual parse errors: drop, don't kill the task
         ):
             pass
         finally:
@@ -295,25 +310,47 @@ class SummaryService:
 
     async def _read_request(self, reader):
         """Parse one request; ``None`` on a cleanly closed connection."""
-        line = await reader.readline()
+        # A line exceeding the StreamReader's buffer limit makes readline
+        # raise ValueError (it folds LimitOverrunError internally); left
+        # uncaught it would kill the handler task with no response sent.
+        try:
+            line = await reader.readline()
+        except ValueError:
+            raise _HttpError(400, "request line too long") from None
         if not line:
             return None
         try:
             method, target, _version = line.decode("ascii").split()
         except ValueError:
             raise asyncio.IncompleteReadError(line, None) from None
-        parsed = urllib.parse.urlsplit(target)
-        params = {
-            key: values[-1]
-            for key, values in urllib.parse.parse_qs(parsed.query).items()
-        }
+        try:
+            parsed = urllib.parse.urlsplit(target)
+            params = {
+                key: values[-1]
+                for key, values in urllib.parse.parse_qs(parsed.query).items()
+            }
+        except ValueError as err:
+            raise _HttpError(400, f"malformed request target: {err}") from None
         headers: dict[str, str] = {}
+        header_lines = 0
         while True:
-            raw = await reader.readline()
+            try:
+                raw = await reader.readline()
+            except ValueError:
+                raise _HttpError(431, "header line too long") from None
             if raw in (b"\r\n", b"\n", b""):
                 break
             if len(raw) > _MAX_LINE:
-                raise asyncio.IncompleteReadError(raw, None)
+                raise _HttpError(
+                    431,
+                    f"header line of {len(raw)} bytes exceeds the "
+                    f"{_MAX_LINE}-byte limit",
+                )
+            header_lines += 1  # count lines, not dict size: names may repeat
+            if header_lines > _MAX_HEADERS:
+                raise _HttpError(
+                    431, f"more than {_MAX_HEADERS} header lines"
+                )
             name, _, value = raw.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
         raw_length = headers.get("content-length", "0") or "0"

@@ -16,11 +16,12 @@ Per namespace it keeps one **live window** — an in-memory
 * **compaction** — stored minute buckets roll up to hour/day through
   :meth:`~repro.store.SummaryStore.compact`, optionally on the PR-4
   executor layer (independent coarse buckets merge concurrently);
-* **checkpoint / resume** — a clean shutdown freezes each non-empty live
-  window as a :class:`~repro.store.codec.SummarizerCheckpoint` artifact in
-  its namespace/bucket slot; the next start restores it (consuming the
-  artifact) and continues the stream bit-identically to never having
-  stopped.
+* **checkpoint / resume** — a clean shutdown (and every mid-bucket
+  flush) freezes each non-empty live window as a
+  :class:`~repro.store.codec.SummarizerCheckpoint` artifact in its
+  namespace/bucket slot; the next start restores it and continues the
+  stream bit-identically to never having stopped, and a boundary
+  rotation retires it once the published bundle supersedes it.
 
 Exactness contract: summaries merge exactly over *key-disjoint* data, so
 a key must not recur across different time buckets of one namespace
@@ -42,6 +43,7 @@ from typing import Callable, Sequence
 
 from repro.service.config import NamespaceConfig
 from repro.store.store import (
+    BUNDLE_KINDS,
     LIVE_CHECKPOINT_PART,
     StoreEntry,
     SummaryStore,
@@ -96,9 +98,11 @@ class LiveWindowManager:
         injectable UTC-seconds source (tests drive rotation
         deterministically through it).
 
-    Construction *resumes*: any ``live-window`` checkpoint artifact left by
-    a previous clean shutdown is restored into the live window — and
-    consumed, so a later rotation cannot double-publish its events.
+    Construction *resumes*: any ``live-window`` checkpoint artifact left
+    by a previous shutdown or flush is restored into the live window.
+    The artifact stays on disk until a boundary rotation publishes the
+    bundle that supersedes it; the resumed window masks and overwrites
+    its bucket's flush artifact, so its events are never double-counted.
     """
 
     def __init__(
@@ -125,6 +129,7 @@ class LiveWindowManager:
         for name, config in self.configs.items():
             window = self._resume(config)
             if window is None:
+                self._rescue_orphan_flush(name, now_bucket)
                 window = self._fresh_window(config, now_bucket)
             self._windows[name] = window
 
@@ -138,13 +143,55 @@ class LiveWindowManager:
             bucket=bucket,
         )
 
+    def _rescue_orphan_flush(self, name: str, bucket: str) -> None:
+        """Re-home a flush artifact a crashed window left in ``bucket``.
+
+        With no checkpoint to resume, a fresh window is about to open over
+        this bucket.  Left at :data:`LIVE_PART`, the artifact would be
+        treated as the *new* window's own flush: masked by the query
+        planner as soon as one event arrives, then overwritten by the next
+        publish — silently destroying data an earlier flush made durable.
+        Renaming it to a ``recovered-NNNN`` part turns it into a plain
+        stored bundle that queries serve and rotation never touches.  (If
+        keys recur across the crash boundary within the bucket, the merge
+        raises — the store's documented contract — rather than losing or
+        double-counting them.)
+        """
+        listing = self.store.entries(name, buckets=[bucket])
+        orphans = [
+            entry
+            for entry in listing
+            if entry.part == LIVE_PART and entry.kind in BUNDLE_KINDS
+        ]
+        if not orphans:
+            return
+        bundle = self.store.load(orphans[0])
+        for entry in listing:
+            if (
+                entry.part.startswith("recovered-")
+                and entry.kind in BUNDLE_KINDS
+                and self.store.load(entry).equals(bundle)
+            ):
+                # A previous rescue crashed between its write and this
+                # remove; writing again would pair two overlapping-key
+                # bundles and make every merge raise.  Just finish it.
+                self.store.remove(name, bucket, LIVE_PART)
+                return
+        part = self.store._free_part(name, bucket, "recovered")
+        self.store.write(name, bucket, bundle, part=part)
+        self.store.remove(name, bucket, LIVE_PART)
+
     def _resume(self, config: NamespaceConfig) -> LiveWindow | None:
-        """Restore a previous shutdown's checkpoint, if any.
+        """Restore a previous shutdown's or flush's checkpoint, if any.
 
         The checkpoint artifact stays on disk: it is only retired when a
         boundary rotation publishes the window's bundle (which supersedes
         it), so a crash right after a restart cannot lose events that were
-        already durable.
+        already durable.  Because a mid-bucket flush re-writes the
+        checkpoint alongside its bundle (see :meth:`rotate`), the resumed
+        state is never staler than the bucket's flush artifact — masking
+        and later overwriting that artifact with the resumed window's
+        state is always exact.
         """
         from repro.engine.sharded import ShardedSummarizer
 
@@ -288,15 +335,26 @@ class LiveWindowManager:
           flush of its bucket, the window's checkpoint (now superseded by
           the published bundle) is retired, and a fresh window opens;
         * **flush** (``force`` inside the current bucket) — the window's
-          state so far is published for crash durability, but the window
-          keeps accumulating; because the next publish *overwrites* the
-          same part, keys repeating later in the bucket can never produce
-          two store artifacts with overlapping keys.  While the window is
+          full state is published for crash durability as *checkpoint
+          first, then bundle* (both overwriting), and the window keeps
+          accumulating; because the next publish *overwrites* the same
+          parts, keys repeating later in the bucket can never produce two
+          store artifacts with overlapping keys.  While the window is
           non-empty the query planner serves the live view and ignores
           the window's own flush artifact, so nothing is double-counted.
 
+        Both cases uphold one durability invariant: an on-disk checkpoint
+        is never staler than its bucket's :data:`LIVE_PART` artifact —
+        the checkpoint is (re)written *before* the bundle, and a closing
+        window refreshes an existing checkpoint before publishing its
+        final bundle and only then retires it.  Whatever instant a crash
+        lands on, the state a restart resumes — which masks and later
+        overwrites the bucket's bundle — covers everything the bundle
+        held, so published events are never lost.
+
         Empty windows never publish; they just follow the clock.  Returns
-        the newly written store entries.
+        the newly written sketch-bundle entries (checkpoint artifacts are
+        plumbing, not query-servable data).
         """
         with self._lock:
             now = self.clock() if when is None else when
@@ -307,6 +365,24 @@ class LiveWindowManager:
                 if not closing and not (force and window.events):
                     continue
                 if window.events:
+                    # Checkpoint before bundle (see the invariant in the
+                    # docstring).  A closing window only refreshes an
+                    # EXISTING checkpoint (the short-circuit skips the
+                    # store listing on the flush path): with none on
+                    # disk there is nothing stale a restart could
+                    # resume, and a crash before the bundle write only
+                    # loses never-published in-memory events.
+                    if not closing or any(
+                        entry.part == CHECKPOINT_PART
+                        for entry in self.store.entries(
+                            name, buckets=[window.bucket], kind="checkpoint"
+                        )
+                    ):
+                        self.store.write(
+                            name, window.bucket,
+                            window.summarizer.checkpoint_state(),
+                            part=CHECKPOINT_PART, overwrite=True,
+                        )
                     written.append(
                         self.store.write(
                             name, window.bucket,

@@ -11,7 +11,9 @@ Hypothesis drives arbitrary interleavings of the service lifecycle:
 multi-batch ingestion, mid-bucket durability flushes (followed by more
 events for the *same* keys), minute-boundary rotations, checkpoint +
 restart (a fresh :class:`LiveWindowManager` resuming from the store),
-and hour/day compactions, in any order.  Keys never recur across time
+crashes right after a flush (restart with no clean checkpoint — the
+flush's own checkpoint must resume the full window state), and hour/day
+compactions, in any order.  Keys never recur across time
 buckets (the store's documented key-disjointness contract for exact
 merges); within a bucket they repeat freely.
 """
@@ -64,6 +66,11 @@ def lifecycle_plans(draw):
                 # repeat the same keys in the same bucket and must stay
                 # exact (the flush artifact is overwritten, not joined)
                 ops.append(("flush",))
+                if draw(st.booleans()):
+                    # crash right after the flush: restart WITHOUT a clean
+                    # checkpoint() — the flush's own checkpoint must
+                    # resume the full window state, losing nothing
+                    ops.append(("crash",))
         if segment < n_segments - 1:
             ops.append(("advance",))
             if draw(st.booleans()):
@@ -108,6 +115,10 @@ def test_service_view_matches_uninterrupted_stream(tmp_path_factory, plan):
             manager.rotate(force=True)
         elif op[0] == "restart":
             manager.checkpoint()
+            manager = LiveWindowManager(
+                SummaryStore(root, create=False), (NS,), clock=clock
+            )
+        elif op[0] == "crash":  # only ever drawn right after a flush
             manager = LiveWindowManager(
                 SummaryStore(root, create=False), (NS,), clock=clock
             )

@@ -135,7 +135,7 @@ class TestEndpoints:
         client.ingest("web", keys, weights, sync=True)
         before = client.estimate("web", "max", ["h1", "h2"])
         rotated = client.rotate()
-        assert len(rotated["written"]) == 1
+        assert [w["part"] for w in rotated["written"]] == ["live"]
         after = client.estimate("web", "max", ["h1", "h2"])
         assert after["estimate"] == before["estimate"]
         assert not after["cached"]  # version moved with the flush
@@ -287,6 +287,50 @@ class TestErrorMapping:
             assert response.startswith("HTTP/1.1 400")
             assert "Content-Length" in response
 
+    def test_overlong_request_line_400(self, service):
+        # Past the StreamReader's 64 KiB buffer limit readline raises
+        # ValueError; the handler must answer 400, not die silently.
+        import socket as socket_module
+
+        thread, _client = service
+        with socket_module.create_connection(
+            ("127.0.0.1", thread.service.port), timeout=10
+        ) as sock:
+            sock.sendall(b"GET /" + b"a" * 100_000)  # no newline in sight
+            response = sock.recv(4096).decode()
+        assert response.startswith("HTTP/1.1 400")
+        assert "request line too long" in response
+
+    def test_overlong_header_line_431(self, service):
+        import socket as socket_module
+
+        thread, _client = service
+        with socket_module.create_connection(
+            ("127.0.0.1", thread.service.port), timeout=10
+        ) as sock:
+            sock.sendall(
+                b"GET /healthz HTTP/1.1\r\nX-Big: " + b"a" * 20_000
+                + b"\r\n\r\n"
+            )
+            response = sock.recv(4096).decode()
+        assert response.startswith("HTTP/1.1 431")
+        assert "byte limit" in response
+
+    def test_too_many_header_lines_431(self, service):
+        import socket as socket_module
+
+        thread, _client = service
+        headers = b"".join(
+            b"x-%d: a\r\n" % i for i in range(150)
+        )
+        with socket_module.create_connection(
+            ("127.0.0.1", thread.service.port), timeout=10
+        ) as sock:
+            sock.sendall(b"GET /healthz HTTP/1.1\r\n" + headers + b"\r\n")
+            response = sock.recv(4096).decode()
+        assert response.startswith("HTTP/1.1 431")
+        assert "header lines" in response
+
     def test_invalid_json_400(self, service):
         thread, _client = service
         conn_client = ServiceClient(port=thread.service.port)
@@ -374,6 +418,9 @@ class TestShutdownResume:
         # never applied; once stopping, ingest must answer 503.
         thread, client = service
         thread.service._stopping = True
+        # once stopping, the server may close idle keep-alive connections
+        # at any moment; reconnect like a real client would
+        client.close()
         try:
             with pytest.raises(ServiceError) as excinfo:
                 client.ingest("web", ["a"], {"h1": [1.0]})
@@ -415,6 +462,23 @@ class TestShutdownResume:
         assert after == before
         offline = offline_engine([batch1, batch2])
         assert after == offline.estimate(AggregationSpec("max", ("h1", "h2")))
+
+    def test_shutdown_completes_with_an_idle_keepalive_client(self, tmp_path):
+        # On Python 3.12+ Server.wait_closed() also waits for active
+        # client handlers; an idle keep-alive connection must not hang
+        # the graceful shutdown (connections are closed before the wait).
+        config = make_config(tmp_path / "store")
+        thread = ServiceThread(config)
+        thread.start()
+        client = ServiceClient(port=thread.service.port)
+        client.wait_ready()
+        idle = ServiceClient(port=thread.service.port)
+        idle.health()  # establish a keep-alive connection, leave it open
+        try:
+            thread.stop(timeout=10.0)  # raises TimeoutError on a hang
+        finally:
+            idle.close()
+            client.close()
 
     def test_queued_batches_drain_into_the_checkpoint(self, tmp_path):
         root = tmp_path / "store"

@@ -159,6 +159,11 @@ class TestRotation:
         assert [(e.bucket, e.part) for e in written] == [
             ("20260728T1200", LIVE_PART)
         ]
+        # the flush also wrote a checkpoint (before the bundle), so a
+        # crash at any instant resumes state covering the flush artifact
+        assert [
+            e.part for e in manager.store.entries("web", kind="checkpoint")
+        ] == [CHECKPOINT_PART]
         info = manager.live_info("web")
         assert info["bucket"] == "20260728T1200"
         assert info["buffered_events"] == 40  # flush does not reset
@@ -191,20 +196,178 @@ class TestRotation:
 
     def test_flush_survives_a_crash(self, tmp_path):
         # Flush is crash durability: a manager that dies WITHOUT a clean
-        # checkpoint still serves the flushed prefix after restart.
+        # shutdown resumes the flush's own checkpoint and keeps serving
+        # the flushed events — including after post-restart ingestion
+        # masks the flush artifact and rotation overwrites it.
         clock = FakeClock()
         manager = make_manager(tmp_path, clock)
         manager.ingest("web", *batch(0))
         manager.rotate(force=True)
         del manager  # crash: no checkpoint()
         revived = make_manager(tmp_path, clock)
-        assert revived.live_info("web")["buffered_events"] == 0
+        assert revived.live_info("web")["buffered_events"] == 40
+        spec = AggregationSpec("max", ("h1", "h2"))
         offline = offline_engine([batch(0)])
         assert (
             QueryPlanner(revived).estimate("web", "max", ("h1", "h2"))[
                 "estimate"
             ]
-            == offline.estimate(AggregationSpec("max", ("h1", "h2")))
+            == offline.estimate(spec)
+        )
+        # the review repro: one post-restart event batch must ADD to the
+        # flushed data, not replace it
+        revived.ingest("web", *batch(100))
+        offline = offline_engine([batch(0), batch(100)])
+        assert (
+            QueryPlanner(revived).estimate("web", "max", ("h1", "h2"))[
+                "estimate"
+            ]
+            == offline.estimate(spec)
+        )
+        clock.advance(60.0)
+        revived.rotate()
+        assert (
+            QueryPlanner(revived).estimate("web", "max", ("h1", "h2"))[
+                "estimate"
+            ]
+            == offline.estimate(spec)
+        )
+
+    def test_orphan_flush_without_checkpoint_is_rescued(self, tmp_path):
+        # A store whose flush artifact has no checkpoint beside it (a
+        # pre-invariant store, or an operator removed the checkpoint):
+        # startup must not open a fresh window over the flushed bundle —
+        # it gets re-homed to a recovered part the planner always serves
+        # and rotation never overwrites.
+        clock = FakeClock()
+        manager = make_manager(tmp_path, clock)
+        manager.ingest("web", *batch(0))
+        manager.rotate(force=True)
+        manager.store.remove("web", "20260728T1200", CHECKPOINT_PART)
+        del manager  # crash
+
+        revived = make_manager(tmp_path, clock)
+        assert revived.live_info("web")["buffered_events"] == 0
+        parts = [
+            (e.part, e.kind) for e in revived.store.entries("web")
+        ]
+        assert parts == [("recovered-0000", "bottomk")]
+        revived.ingest("web", *batch(100))
+        spec = AggregationSpec("max", ("h1", "h2"))
+        offline = offline_engine([batch(0), batch(100)])
+        assert (
+            QueryPlanner(revived).estimate("web", "max", ("h1", "h2"))[
+                "estimate"
+            ]
+            == offline.estimate(spec)
+        )
+        # boundary rotation publishes only the new window's events and
+        # leaves the recovered bundle alone
+        clock.advance(60.0)
+        revived.rotate()
+        assert {
+            e.part for e in revived.store.bundle_entries("web")
+        } == {"recovered-0000", "live"}
+        assert (
+            QueryPlanner(revived).estimate("web", "max", ("h1", "h2"))[
+                "estimate"
+            ]
+            == offline.estimate(spec)
+        )
+
+    def test_rescue_is_idempotent_across_its_own_crash(self, tmp_path):
+        # A rescue that crashed between its recovered-part write and the
+        # LIVE_PART remove must not duplicate the bundle on the next
+        # start (two overlapping-key artifacts would poison every merge).
+        clock = FakeClock()
+        manager = make_manager(tmp_path, clock)
+        manager.ingest("web", *batch(0))
+        manager.rotate(force=True)
+        manager.store.remove("web", "20260728T1200", CHECKPOINT_PART)
+        # simulate the half-done rescue: recovered copy written, orphan
+        # still in place
+        bundle = manager.store.read("web", "20260728T1200", "live")
+        manager.store.write("web", "20260728T1200", bundle,
+                            part="recovered-0000")
+        del manager
+
+        revived = make_manager(tmp_path, clock)
+        assert [
+            (e.part, e.kind) for e in revived.store.entries("web")
+        ] == [("recovered-0000", "bottomk")]
+        spec = AggregationSpec("max", ("h1", "h2"))
+        offline = offline_engine([batch(0)])
+        assert (
+            QueryPlanner(revived).estimate("web", "max", ("h1", "h2"))[
+                "estimate"
+            ]
+            == offline.estimate(spec)
+        )
+
+    def test_flush_checkpoint_never_staler_than_bundle(self, tmp_path):
+        # Review repro: clean shutdown (checkpoint E1) -> restart resumes
+        # (checkpoint stays on disk) -> ingest E2 -> flush -> crash.  The
+        # flush must have refreshed the checkpoint, or the restart would
+        # resume E1 alone and overwrite the E1+E2 flush artifact with it.
+        clock = FakeClock()
+        manager = make_manager(tmp_path, clock)
+        manager.ingest("web", *batch(0))
+        manager.checkpoint()  # clean shutdown
+        del manager
+
+        resumed = make_manager(tmp_path, clock)
+        resumed.ingest("web", *batch(100))
+        resumed.rotate(force=True)  # flush E1+E2
+        del resumed  # crash: no checkpoint()
+
+        revived = make_manager(tmp_path, clock)
+        assert revived.live_info("web")["buffered_events"] == 80
+        revived.ingest("web", *batch(200))
+        clock.advance(60.0)
+        revived.rotate()
+        spec = AggregationSpec("max", ("h1", "h2"))
+        offline = offline_engine([batch(0), batch(100), batch(200)])
+        assert (
+            QueryPlanner(revived).estimate("web", "max", ("h1", "h2"))[
+                "estimate"
+            ]
+            == offline.estimate(spec)
+        )
+
+    def test_boundary_rotation_crash_before_checkpoint_retire(
+        self, tmp_path, monkeypatch
+    ):
+        # A closing window with an on-disk checkpoint (left by a flush)
+        # must refresh it BEFORE publishing the final bundle: a crash
+        # after the bundle write but before the checkpoint retire then
+        # resumes the full window, not the flush-time prefix that would
+        # mask and overwrite the newer bundle.
+        clock = FakeClock()
+        manager = make_manager(tmp_path, clock)
+        manager.ingest("web", *batch(0))
+        manager.rotate(force=True)  # checkpoint + bundle hold E1
+        manager.ingest("web", *batch(100))  # E2, same bucket
+        clock.advance(60.0)
+
+        def dying_remove(*args, **kwargs):
+            raise RuntimeError("crash before the checkpoint retire")
+
+        monkeypatch.setattr(manager.store, "remove", dying_remove)
+        with pytest.raises(RuntimeError, match="checkpoint retire"):
+            manager.rotate()  # final bundle published, then "crash"
+        del manager
+
+        revived = make_manager(tmp_path, clock)
+        assert revived.live_info("web")["buffered_events"] == 80  # E1+E2
+        clock.advance(60.0)
+        revived.rotate()
+        spec = AggregationSpec("max", ("h1", "h2"))
+        offline = offline_engine([batch(0), batch(100)])
+        assert (
+            QueryPlanner(revived).estimate("web", "max", ("h1", "h2"))[
+                "estimate"
+            ]
+            == offline.estimate(spec)
         )
 
     def test_unknown_namespace(self, tmp_path):
