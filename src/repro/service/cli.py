@@ -10,6 +10,8 @@ Run the daemon, check it, and talk to it:
         --input events.csv --sync
     repro-serve query --port 8765 --namespace web --function max \\
         --assignments bytes packets
+    repro-serve stats --port 8765            # ops telemetry via /status
+    repro-serve stats --root /tmp/flows      # read runtime.sqlite directly
 
 ``serve`` runs in the foreground until SIGTERM/SIGINT (or a client's
 ``POST /shutdown``), then drains the ingest queue and checkpoints every
@@ -145,6 +147,25 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.root is not None:
+        # Offline / sidecar read: WAL mode lets this open the runtime
+        # tier concurrently with a running daemon.
+        from repro.store.store import SummaryStore
+
+        stats = SummaryStore(args.root, create=False).runtime.stats()
+        print(json.dumps(stats, indent=1, sort_keys=True))
+        return 0
+    with _client(args) as client:
+        status = client.status()
+    subset = {
+        key: status.get(key)
+        for key in ("stats", "planner", "runtime", "queue")
+    }
+    print(json.dumps(subset, indent=1, sort_keys=True))
+    return 0
+
+
 def _cmd_shutdown(args: argparse.Namespace) -> int:
     with _client(args) as client:
         client.shutdown()
@@ -235,6 +256,18 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--variant", default="l", choices=["s", "l"],
                        help="Jaccard min-estimator variant")
     query.set_defaults(func=_cmd_query)
+
+    stats = commands.add_parser(
+        "stats",
+        help="ops telemetry: counters, cache hit rates, revisions",
+    )
+    _add_client_args(stats)
+    stats.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="read the store's runtime tier directly instead of asking "
+             "a daemon (works alongside a running daemon)",
+    )
+    stats.set_defaults(func=_cmd_stats)
 
     shutdown = commands.add_parser(
         "shutdown", help="gracefully stop a running daemon"

@@ -103,12 +103,20 @@ class ServiceClient:
         return decoded
 
     def wait_ready(self, timeout: float = 10.0) -> dict:
-        """Poll ``/healthz`` until the daemon answers (or raise)."""
+        """Poll ``/healthz`` until the daemon answers (or raise).
+
+        Only *connection-level* failures (socket refused/reset/timeout,
+        dropped keep-alive) are retried — they mean the daemon is not up
+        yet.  An HTTP-level error (:class:`ServiceError`) means a server
+        answered and is telling us something is wrong; it re-raises
+        immediately with the decoded body instead of being retried
+        silently until the caller's deadline.
+        """
         deadline = time.monotonic() + timeout
         while True:
             try:
                 return self.health()
-            except (ServiceError, OSError):
+            except (OSError, http.client.HTTPException):
                 if time.monotonic() >= deadline:
                     raise
                 time.sleep(0.05)

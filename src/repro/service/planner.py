@@ -10,22 +10,29 @@ the request through the vectorized
 bit-identical to an offline engine run over the equivalently merged
 summaries.
 
-Two version-keyed LRU caches sit in front of the work:
+Two version-keyed caches sit in front of the work:
 
-* **engines** — one merged :class:`QueryEngine` per
+* **engines** — an in-memory LRU of merged :class:`QueryEngine` per
   ``(namespace, version, window)``; repeated queries against an unchanged
   namespace share decoded summary views and kernel caches;
 * **results** — final estimates keyed by the full request signature plus
-  the version token, so a hot query costs a dictionary lookup.
+  the version token, held in the store's **persistent runtime tier**
+  (:class:`~repro.store.runtime.RuntimeStore`): a hot query costs one
+  SQLite row lookup, hit counts accumulate across requests, and because
+  both halves of the version token survive a clean shutdown, a restarted
+  daemon answers previously served queries straight from the cache —
+  bit-identically, without rebuilding an engine (JSON float round-trips
+  are exact, and NumPy scalars are coerced losslessly on the way in).
 
 Both keys embed :meth:`LiveWindowManager.version`, which moves on every
-ingest, rotation, resume, and store mutation — cache invalidation is
-automatic and exact (a stale entry can never be served, because its key
-names a version that no longer exists).
+ingest, rotation, and query-servable store mutation — cache invalidation
+is automatic and exact (a stale entry can never be served, because its
+key names a version that no longer exists).
 """
 
 from __future__ import annotations
 
+import json
 import threading
 from collections import OrderedDict
 from typing import Sequence
@@ -57,7 +64,7 @@ class QueryPlanner:
         self._engines: OrderedDict[tuple, tuple[QueryEngine, dict]] = (
             OrderedDict()
         )
-        self._results: OrderedDict[tuple, dict] = OrderedDict()
+        self._runtime = manager.store.runtime
         # Serializes planner cache mutation and engine kernel runs among
         # query threads.  Deliberately NOT the manager's lock: ingestion
         # only contends with the short plan() snapshot, never with kernel
@@ -200,17 +207,38 @@ class QueryPlanner:
 
     # -- answering ------------------------------------------------------------
 
-    def _cached(self, key: tuple, compute) -> dict:
-        hit = self._results.get(key)
-        if hit is not None:
-            self._results.move_to_end(key)
+    @staticmethod
+    def _result_key(key: tuple) -> str:
+        """Deterministic string form of a result-cache key tuple.
+
+        ``json.dumps`` with compact separators: tuples become lists,
+        ``None`` becomes ``null`` — stable across processes and restarts
+        (unlike ``hash()``), which is what makes persistent hits work.
+        """
+        return json.dumps(key, separators=(",", ":"))
+
+    def _probe(self, key: tuple) -> dict | None:
+        """Persistent-cache probe; counts a hit, returns ``None`` on miss."""
+        hit = self._runtime.cache_get(self._result_key(key))
+        if hit is None:
+            return None
+        with self._lock:
             self.stats["hits"] += 1
-            return {**hit, "cached": True}
+        return {**hit, "cached": True}
+
+    def _cached(
+        self, key: tuple, namespace: str, version: str, compute
+    ) -> dict:
+        hit = self._probe(key)
+        if hit is not None:
+            return hit
         result = compute()
-        self._results[key] = result
-        self.stats["misses"] += 1
-        while len(self._results) > self.max_cached_results:
-            self._results.popitem(last=False)
+        self._runtime.cache_put(
+            self._result_key(key), namespace, version, result,
+            max_entries=self.max_cached_results,
+        )
+        with self._lock:
+            self.stats["misses"] += 1
         return {**result, "cached": False}
 
     def estimate(
@@ -241,6 +269,16 @@ class QueryPlanner:
             )
         names = tuple(assignments)
         key_sel = None if keys is None else tuple(sorted(map(repr, keys)))
+        # Fast path: a previously served answer — possibly from an
+        # earlier daemon run — needs no engine at all.
+        with self.manager.lock:
+            version = self.manager.version(namespace)  # KeyError if unknown
+        hit = self._probe((
+            "estimate", namespace, version, since, until,
+            function, names, estimator, ell, key_sel,
+        ))
+        if hit is not None:
+            return hit
         engine, version, sources = self.plan(namespace, since, until)
         with self._lock:
             return self._answer_estimate(
@@ -278,7 +316,7 @@ class QueryPlanner:
                 "sources": sources,
             }
 
-        return self._cached(cache_key, compute)
+        return self._cached(cache_key, namespace, version, compute)
 
     def jaccard(
         self,
@@ -290,6 +328,13 @@ class QueryPlanner:
     ) -> dict:
         """Weighted Jaccard ratio over the merged live + stored view."""
         names = tuple(assignments)
+        with self.manager.lock:
+            version = self.manager.version(namespace)  # KeyError if unknown
+        hit = self._probe((
+            "jaccard", namespace, version, since, until, names, variant,
+        ))
+        if hit is not None:
+            return hit
         engine, version, sources = self.plan(namespace, since, until)
         with self._lock:
             return self._answer_jaccard(
@@ -316,4 +361,4 @@ class QueryPlanner:
                 "sources": sources,
             }
 
-        return self._cached(cache_key, compute)
+        return self._cached(cache_key, namespace, version, compute)

@@ -205,6 +205,7 @@ class SummaryService:
                     )
                 except Exception as err:
                     self.stats["ingest_errors"] += 1
+                    self.store.runtime.add_counter("ingest_errors", 1)
                     self.stats["last_error"] = f"ingest: {err}"
                     if future is not None and not future.done():
                         future.set_exception(
@@ -448,6 +449,7 @@ class SummaryService:
                     },
                     "planner": dict(self.planner.stats),
                     "stats": dict(self.stats),
+                    "runtime": self.store.runtime.stats(),
                 }
 
         return 200, await loop.run_in_executor(None, snapshot)
@@ -522,6 +524,7 @@ class SummaryService:
             self._queue.put_nowait((batch, future))
         except asyncio.QueueFull:
             self.stats["ingest_rejected"] += 1
+            self.store.runtime.add_counter("rejected_batches", 1)
             raise _HttpError(
                 429,
                 f"ingest queue full ({self.config.ingest_queue_batches} "

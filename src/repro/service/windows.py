@@ -123,15 +123,34 @@ class LiveWindowManager:
         if not self.configs:
             raise ValueError("need at least one namespace")
         self._lock = threading.RLock()
-        self._live_versions = {name: 0 for name in self.configs}
+        # Per namespace (window_seq, ingest_seq), mirrored from the
+        # runtime tier where they persist across restarts: the live half
+        # of the version token survives a clean shutdown, so cached
+        # answers stay valid.
+        self._live_seqs: dict[str, tuple[int, int]] = {}
         self._windows: dict[str, LiveWindow] = {}
         now_bucket = bucket_for(self.clock(), self.granularity)
         for name, config in self.configs.items():
+            window_seq, ingest_seq, checkpoint_seq = (
+                self.store.runtime.live_seqs(name)
+            )
             window = self._resume(config)
             if window is None:
                 self._rescue_orphan_flush(name, now_bucket)
                 window = self._fresh_window(config, now_bucket)
+                stale = window_seq != ingest_seq
+            else:
+                # A resumed checkpoint frozen at the stream head (a clean
+                # shutdown) reproduces the pre-shutdown state exactly, so
+                # the old token — and every answer cached under it —
+                # remains valid.  A checkpoint older than the stream head
+                # (a crash lost in-memory events) must not.
+                stale = checkpoint_seq != ingest_seq
+            if stale and window_seq != ingest_seq:
+                self.store.runtime.set_window_seq(name, ingest_seq)
+                window_seq = ingest_seq
             self._windows[name] = window
+            self._live_seqs[name] = (window_seq, ingest_seq)
 
     # -- construction helpers -------------------------------------------------
 
@@ -256,15 +275,20 @@ class LiveWindowManager:
     def version(self, namespace: str) -> str:
         """Version token covering the live window *and* the stored buckets.
 
-        Changes on every ingest, rotation, resume, and store mutation of
-        the namespace — the key the planner's result cache is invalidated
-        by.
+        ``w<window_seq>.<ingest_seq>:<bundle fingerprint>`` — changes on
+        every ingest, rotation, and query-servable store mutation of the
+        namespace; the key the planner's result cache is invalidated by.
+        Both halves persist in the runtime tier (the sequence counters in
+        ``live_state``, the bundle revision in ``revisions``), and a
+        checkpoint write moves neither, so a clean shutdown → restart
+        cycle reproduces the token and keeps cached answers servable.
         """
         with self._lock:
             self._window(namespace)  # validates the name
+            window_seq, ingest_seq = self._live_seqs[namespace]
             return (
-                f"{self._live_versions[namespace]}:"
-                f"{self.store.version(namespace)}"
+                f"w{window_seq}.{ingest_seq}:"
+                f"{self.store.bundle_version(namespace)}"
             )
 
     def live_info(self, namespace: str) -> dict:
@@ -315,7 +339,9 @@ class LiveWindowManager:
             # checkpoint/resume cycle reconstructs (raw buffered rows,
             # summed over assignments).
             window.events = window.summarizer.buffered_events
-            self._live_versions[namespace] += 1
+            ingest_seq = self.store.runtime.record_ingest(namespace, count)
+            window_seq, _ = self._live_seqs[namespace]
+            self._live_seqs[namespace] = (window_seq, ingest_seq)
             return {
                 "events": count,
                 "bucket": window.bucket,
@@ -364,6 +390,7 @@ class LiveWindowManager:
                 closing = window.bucket != now_bucket
                 if not closing and not (force and window.events):
                     continue
+                window_seq, ingest_seq = self._live_seqs[name]
                 if window.events:
                     # Checkpoint before bundle (see the invariant in the
                     # docstring).  A closing window only refreshes an
@@ -382,6 +409,9 @@ class LiveWindowManager:
                             name, window.bucket,
                             window.summarizer.checkpoint_state(),
                             part=CHECKPOINT_PART, overwrite=True,
+                        )
+                        self.store.runtime.set_checkpoint_seq(
+                            name, ingest_seq
                         )
                     written.append(
                         self.store.write(
@@ -402,7 +432,11 @@ class LiveWindowManager:
                     self._windows[name] = self._fresh_window(
                         self.configs[name], now_bucket
                     )
-                self._live_versions[name] += 1
+                    if window_seq != ingest_seq:
+                        self.store.runtime.set_window_seq(name, ingest_seq)
+                        self._live_seqs[name] = (ingest_seq, ingest_seq)
+            if written:
+                self.store.runtime.add_counter("rotations", len(written))
             return written
 
     def compact(self, to: str = "hour") -> list[StoreEntry]:
@@ -438,6 +472,8 @@ class LiveWindowManager:
                         exclude_buckets=exclude,
                     )
                 )
+            if written:
+                self.store.runtime.add_counter("compactions", len(written))
             return written
 
     def checkpoint(self) -> list[StoreEntry]:
@@ -461,6 +497,12 @@ class LiveWindowManager:
                         part=CHECKPOINT_PART,
                         overwrite=True,
                     )
+                )
+                # The checkpoint now holds everything ever ingested; a
+                # restart that resumes it may keep this token (and the
+                # answers cached under it).
+                self.store.runtime.set_checkpoint_seq(
+                    name, self._live_seqs[name][1]
                 )
             return written
 

@@ -5,9 +5,11 @@ engine: :mod:`repro.store.codec` serializes sketches, samplers, summaries,
 and checkpoints to a versioned zero-copy binary format;
 :mod:`repro.store.store` keeps the resulting artifacts in a namespace- and
 time-bucket-partitioned on-disk registry with atomic writes and exact
-merge-based rollups; :mod:`repro.store.checkpoint` freezes and resumes
-sharded ingestion bit-identically.  ``python -m repro.store`` exposes the
-write/ls/compact/query workflow on the command line.
+merge-based rollups; :mod:`repro.store.runtime` is the WAL-mode SQLite
+runtime tier beneath it (transactional manifest, persistent query-result
+cache, telemetry counters); :mod:`repro.store.checkpoint` freezes and
+resumes sharded ingestion bit-identically.  ``python -m repro.store``
+exposes the write/ls/compact/query/stats workflow on the command line.
 """
 
 from repro.store.checkpoint import load_checkpoint, save_checkpoint
@@ -21,6 +23,7 @@ from repro.store.codec import (
     read_file,
     write_file,
 )
+from repro.store.runtime import RUNTIME_FILENAME, RuntimeStore
 from repro.store.store import (
     BUNDLE_KINDS,
     GRANULARITIES,
@@ -45,6 +48,8 @@ __all__ = [
     "load_checkpoint",
     "BUNDLE_KINDS",
     "GRANULARITIES",
+    "RUNTIME_FILENAME",
+    "RuntimeStore",
     "StoreEntry",
     "SummaryStore",
     "bucket_bounds",

@@ -6,6 +6,7 @@ buckets up, and answer aggregate queries from disk:
     python -m repro.store write --root /tmp/flows --namespace web \\
         --bucket 20260728T1201 --assignment hour12 --k 256 --input events.csv
     python -m repro.store ls --root /tmp/flows [--json]
+    python -m repro.store stats --root /tmp/flows [--json]
     python -m repro.store compact --root /tmp/flows --namespace web --to hour
     python -m repro.store prune --root /tmp/flows
     python -m repro.store query --root /tmp/flows --namespace web \\
@@ -141,6 +142,35 @@ def _cmd_prune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    store = SummaryStore(args.root, create=False)
+    stats = store.runtime.stats()
+    if args.json:
+        print(json.dumps(stats, indent=1, sort_keys=True))
+        return 0
+    print(f"runtime tier  {stats['path']}")
+    print(f"schema        v{stats['schema_version']}")
+    print(f"revision      {stats['revision']}")
+    if stats["migrated_legacy_entries"] is not None:
+        print(
+            f"migrated      {stats['migrated_legacy_entries']} entries "
+            "from manifest.json"
+        )
+    for name, info in sorted(stats["namespaces"].items()):
+        print(
+            f"namespace     {name}: {info['entries']} entries, "
+            f"{info['nbytes']:,} bytes, rev {info.get('rev', 0)} "
+            f"(bundles rev {info.get('bundle_rev', 0)})"
+        )
+    cache = stats["cache"]
+    print(f"query cache   {cache['entries']} entries, {cache['hits']} hits")
+    for name, value in stats["counters"].items():
+        print(f"counter       {name} = {value}")
+    return 0
+
+
 def _cmd_compact(args: argparse.Namespace) -> int:
     store = SummaryStore(args.root, create=False)
     written = store.compact(args.namespace, to=args.to, executor=args.executor)
@@ -242,6 +272,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     prune.add_argument("--root", required=True)
     prune.set_defaults(func=_cmd_prune)
+
+    stats = commands.add_parser(
+        "stats",
+        help="runtime-tier telemetry: revisions, counters, query cache",
+    )
+    stats.add_argument("--root", required=True)
+    stats.add_argument("--json", action="store_true",
+                       help="machine-readable stats")
+    stats.set_defaults(func=_cmd_stats)
 
     executor_help = (
         "execution mode: 'serial' (default), 'thread[:workers[:depth]]', "

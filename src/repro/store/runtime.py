@@ -1,0 +1,523 @@
+"""Durable SQLite runtime tier: manifest, query cache, ops telemetry.
+
+:class:`RuntimeStore` is one WAL-mode ``runtime.sqlite`` per store root,
+holding every piece of *runtime state* that used to live in ad-hoc JSON
+files or evaporate with the process:
+
+* the **bucket manifest** — one row per artifact, mutated in
+  transactions (``BEGIN IMMEDIATE``), so a write + retire + compaction
+  publishes atomically instead of rewriting a whole JSON file under a
+  cross-process lock file;
+* **revision counters** — a monotonic per-namespace (and global)
+  revision that moves on every manifest mutation, plus a ``bundle``
+  revision that moves only when *query-servable* entries (sketch
+  bundles) change.  Version fingerprints derive from these in O(1)
+  instead of re-hashing the manifest;
+* **live-window sequence counters** — the service's per-namespace
+  ingest/window positions, persisted so a version token survives a
+  clean restart (which is what lets the result cache below keep
+  serving across daemon restarts);
+* a **persistent query-result cache** — answers keyed by the planner's
+  version fingerprint with hit counts and timestamps, evicted
+  coldest-first (fewest hits, then least recently hit) at a capacity
+  bound;
+* **ops telemetry counters** — ingested events/batches, rejected
+  batches, rotations, compactions, cache hits/misses — read by the
+  service's ``/status`` endpoint and the ``repro-serve stats`` /
+  ``repro-store stats`` CLI verbs.
+
+Concurrency: every connection takes a process-wide thread lock around
+its statements and relies on SQLite's own cross-process locking (WAL +
+``busy_timeout``) between processes, so several ``SummaryStore`` writers
+sharing one root compose without an advisory lock file.  A transaction
+that cannot acquire the database write lock within the timeout raises
+:class:`TimeoutError` (matching the old lock-file behavior's error
+contract).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import sqlite3
+import threading
+import time
+from pathlib import Path
+
+__all__ = ["RuntimeStore", "RUNTIME_FILENAME"]
+
+#: file name of the runtime tier database inside a store root
+RUNTIME_FILENAME = "runtime.sqlite"
+
+_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS manifest (
+    namespace   TEXT    NOT NULL,
+    bucket      TEXT    NOT NULL,
+    part        TEXT    NOT NULL,
+    kind        TEXT    NOT NULL,
+    assignments TEXT    NOT NULL,
+    path        TEXT    NOT NULL,
+    nbytes      INTEGER NOT NULL,
+    seq         INTEGER NOT NULL,
+    PRIMARY KEY (namespace, bucket, part)
+);
+CREATE INDEX IF NOT EXISTS manifest_seq ON manifest (seq);
+CREATE TABLE IF NOT EXISTS revisions (
+    namespace  TEXT PRIMARY KEY,
+    rev        INTEGER NOT NULL,
+    bundle_rev INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS live_state (
+    namespace      TEXT PRIMARY KEY,
+    ingest_seq     INTEGER NOT NULL,
+    window_seq     INTEGER NOT NULL,
+    checkpoint_seq INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS query_cache (
+    key         TEXT PRIMARY KEY,
+    namespace   TEXT NOT NULL,
+    version     TEXT NOT NULL,
+    payload     TEXT NOT NULL,
+    hits        INTEGER NOT NULL,
+    created_at  REAL NOT NULL,
+    last_hit_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS counters (
+    name  TEXT PRIMARY KEY,
+    value INTEGER NOT NULL
+);
+"""
+
+
+def _json_default(obj):
+    """Fold NumPy scalars (and anything ``.item()``-able) to plain numbers.
+
+    Cached payloads must round-trip bit-identically; ``float(np.float64)``
+    and ``int(np.int64)`` are exact, so coercion never changes an answer.
+    """
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(
+        f"cannot cache a result containing {type(obj).__name__!r}"
+    )
+
+
+class RuntimeStore:
+    """Thread-safe handle on one store root's ``runtime.sqlite``.
+
+    All statements run on a single connection guarded by an
+    :class:`threading.RLock`; write transactions open with ``BEGIN
+    IMMEDIATE`` so cross-process writers serialize on SQLite's database
+    lock (``busy_timeout`` bounded) instead of a lock file.
+    :meth:`transaction` is nestable within a thread — inner scopes join
+    the outer transaction, and only the outermost commit publishes.
+    """
+
+    def __init__(self, root, timeout: float = 30.0) -> None:
+        self.root = Path(root)
+        self.path = self.root / RUNTIME_FILENAME
+        self.timeout = timeout
+        self._lock = threading.RLock()
+        self._depth = 0
+        self._conn = sqlite3.connect(
+            self.path, timeout=timeout, check_same_thread=False,
+            isolation_level=None,
+        )
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            self._conn.execute(f"PRAGMA busy_timeout = {int(timeout * 1000)}")
+            with contextlib.suppress(sqlite3.OperationalError):
+                self._conn.execute("PRAGMA journal_mode = WAL")
+                self._conn.execute("PRAGMA synchronous = NORMAL")
+            self._conn.executescript(_SCHEMA)
+            version = self.get_meta("schema_version")
+            if version is None:
+                with self.transaction():
+                    self.set_meta("schema_version", str(_SCHEMA_VERSION))
+            elif int(version) != _SCHEMA_VERSION:
+                self._conn.close()
+                raise ValueError(
+                    f"runtime tier schema version {version} at {self.path} "
+                    f"is not supported (supported: {_SCHEMA_VERSION})"
+                )
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    # -- transactions ---------------------------------------------------------
+
+    @contextlib.contextmanager
+    def transaction(self):
+        """One serialized write transaction (``BEGIN IMMEDIATE``), nestable.
+
+        Raises :class:`TimeoutError` when another process holds the
+        database write lock past ``busy_timeout``.
+        """
+        with self._lock:
+            if self._depth == 0:
+                try:
+                    self._conn.execute("BEGIN IMMEDIATE")
+                except sqlite3.OperationalError as err:
+                    raise TimeoutError(
+                        f"could not acquire the runtime-tier write lock on "
+                        f"{self.path} within {self.timeout:.0f}s: {err}"
+                    ) from None
+            self._depth += 1
+            try:
+                yield self._conn
+            except BaseException:
+                self._depth -= 1
+                if self._depth == 0:
+                    self._conn.execute("ROLLBACK")
+                raise
+            else:
+                self._depth -= 1
+                if self._depth == 0:
+                    try:
+                        self._conn.execute("COMMIT")
+                    except sqlite3.OperationalError as err:
+                        self._conn.execute("ROLLBACK")
+                        raise TimeoutError(
+                            f"could not commit to the runtime tier at "
+                            f"{self.path}: {err}"
+                        ) from None
+
+    def _execute(self, sql: str, params: tuple = ()) -> sqlite3.Cursor:
+        with self._lock:
+            return self._conn.execute(sql, params)
+
+    # -- meta -----------------------------------------------------------------
+
+    def get_meta(self, key: str) -> str | None:
+        row = self._execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else row["value"]
+
+    def set_meta(self, key: str, value: str) -> None:
+        with self.transaction():
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES (?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                (key, value),
+            )
+
+    # -- manifest rows --------------------------------------------------------
+
+    @staticmethod
+    def _row_dict(row: sqlite3.Row) -> dict:
+        return {
+            "namespace": row["namespace"],
+            "bucket": row["bucket"],
+            "part": row["part"],
+            "kind": row["kind"],
+            "assignments": tuple(json.loads(row["assignments"])),
+            "path": row["path"],
+            "nbytes": row["nbytes"],
+        }
+
+    def manifest_snapshot(self) -> dict:
+        """Entries + revision counters in one consistent read.
+
+        Rows come back in publication order (matching the legacy JSON
+        manifest's list order: an overwrite re-appends at the end).
+        """
+        with self.transaction():
+            rows = self._conn.execute(
+                "SELECT * FROM manifest ORDER BY seq"
+            ).fetchall()
+            revs = self._conn.execute("SELECT * FROM revisions").fetchall()
+            global_rev = self.get_meta("rev")
+        return {
+            "entries": [self._row_dict(row) for row in rows],
+            "revisions": {
+                row["namespace"]: (row["rev"], row["bundle_rev"])
+                for row in revs
+            },
+            "global_rev": 0 if global_rev is None else int(global_rev),
+        }
+
+    def get_entry(self, namespace: str, bucket: str, part: str) -> dict | None:
+        row = self._execute(
+            "SELECT * FROM manifest WHERE namespace = ? AND bucket = ? "
+            "AND part = ?",
+            (namespace, bucket, part),
+        ).fetchone()
+        return None if row is None else self._row_dict(row)
+
+    def slot_parts(self, namespace: str, bucket: str) -> set[str]:
+        """Part names already taken in one (namespace, bucket) slot."""
+        rows = self._execute(
+            "SELECT part FROM manifest WHERE namespace = ? AND bucket = ?",
+            (namespace, bucket),
+        ).fetchall()
+        return {row["part"] for row in rows}
+
+    def _next_seq(self) -> int:
+        row = self._conn.execute(
+            "SELECT COALESCE(MAX(seq), 0) AS top FROM manifest"
+        ).fetchone()
+        return int(row["top"]) + 1
+
+    def replace_entry(self, entry: dict) -> None:
+        """Upsert one manifest row at the end of publication order.
+
+        Must run inside :meth:`transaction` alongside the revision bump
+        (:meth:`record_mutation`) — callers compose write + retire +
+        rollup into one atomic publication.
+        """
+        with self.transaction():
+            self._conn.execute(
+                "INSERT INTO manifest (namespace, bucket, part, kind, "
+                "assignments, path, nbytes, seq) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?) "
+                "ON CONFLICT(namespace, bucket, part) DO UPDATE SET "
+                "kind = excluded.kind, assignments = excluded.assignments, "
+                "path = excluded.path, nbytes = excluded.nbytes, "
+                "seq = excluded.seq",
+                (
+                    entry["namespace"], entry["bucket"], entry["part"],
+                    entry["kind"], json.dumps(list(entry["assignments"])),
+                    entry["path"], int(entry["nbytes"]), self._next_seq(),
+                ),
+            )
+
+    def delete_entry(self, namespace: str, bucket: str, part: str) -> None:
+        with self.transaction():
+            self._conn.execute(
+                "DELETE FROM manifest WHERE namespace = ? AND bucket = ? "
+                "AND part = ?",
+                (namespace, bucket, part),
+            )
+
+    def record_mutation(
+        self, namespace: str, bundles_changed: bool
+    ) -> None:
+        """Bump the namespace's (and the global) revision counters.
+
+        ``bundles_changed`` additionally moves the namespace's *bundle*
+        revision — the fingerprint component query answers depend on.
+        Checkpoint and summary artifacts leave it alone, which is what
+        lets a shutdown-checkpoint → restart cycle keep its persistent
+        result-cache entries valid.
+        """
+        with self.transaction():
+            self._conn.execute(
+                "INSERT INTO revisions (namespace, rev, bundle_rev) "
+                "VALUES (?, 1, ?) "
+                "ON CONFLICT(namespace) DO UPDATE SET "
+                "rev = rev + 1, bundle_rev = bundle_rev + excluded.bundle_rev",
+                (namespace, 1 if bundles_changed else 0),
+            )
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'rev'"
+            ).fetchone()
+            current = 0 if row is None else int(row["value"])
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('rev', ?) "
+                "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+                (str(current + 1),),
+            )
+
+    # -- live-window sequence counters ----------------------------------------
+
+    def live_seqs(self, namespace: str) -> tuple[int, int, int]:
+        """``(window_seq, ingest_seq, checkpoint_seq)`` of a namespace.
+
+        ``(0, 0, 0)`` when the namespace has never ingested.
+        ``checkpoint_seq`` records the ingest position the namespace's
+        live-window checkpoint was frozen at — equal to ``ingest_seq``
+        exactly when the on-disk checkpoint holds everything ever
+        ingested (a clean shutdown), which is what lets a restart keep
+        its version token and its cached answers.
+        """
+        row = self._execute(
+            "SELECT window_seq, ingest_seq, checkpoint_seq FROM live_state "
+            "WHERE namespace = ?",
+            (namespace,),
+        ).fetchone()
+        if row is None:
+            return 0, 0, 0
+        return (
+            int(row["window_seq"]),
+            int(row["ingest_seq"]),
+            int(row["checkpoint_seq"]),
+        )
+
+    def record_ingest(self, namespace: str, events: int) -> int:
+        """Advance the namespace's ingest position; bump ingest counters.
+
+        Returns the new ``ingest_seq``.  One transaction per batch: the
+        sequence move and the ``ingest_batches`` / ``ingested_events``
+        telemetry land together.
+        """
+        with self.transaction():
+            self._conn.execute(
+                "INSERT INTO live_state (namespace, ingest_seq, window_seq) "
+                "VALUES (?, 1, 0) ON CONFLICT(namespace) DO UPDATE SET "
+                "ingest_seq = ingest_seq + 1",
+                (namespace,),
+            )
+            self.add_counter("ingest_batches", 1)
+            self.add_counter("ingested_events", events)
+            row = self._conn.execute(
+                "SELECT ingest_seq FROM live_state WHERE namespace = ?",
+                (namespace,),
+            ).fetchone()
+            return int(row["ingest_seq"])
+
+    def set_window_seq(self, namespace: str, value: int) -> None:
+        """Pin the namespace's window position (fresh window opened)."""
+        with self.transaction():
+            self._conn.execute(
+                "INSERT INTO live_state (namespace, ingest_seq, window_seq) "
+                "VALUES (?, 0, ?) ON CONFLICT(namespace) DO UPDATE SET "
+                "window_seq = excluded.window_seq",
+                (namespace, value),
+            )
+
+    def set_checkpoint_seq(self, namespace: str, value: int) -> None:
+        """Record the ingest position a live-window checkpoint froze."""
+        with self.transaction():
+            self._conn.execute(
+                "INSERT INTO live_state (namespace, ingest_seq, window_seq, "
+                "checkpoint_seq) VALUES (?, 0, 0, ?) "
+                "ON CONFLICT(namespace) DO UPDATE SET "
+                "checkpoint_seq = excluded.checkpoint_seq",
+                (namespace, value),
+            )
+
+    # -- persistent query-result cache ----------------------------------------
+
+    def cache_get(self, key: str) -> dict | None:
+        """The cached payload for ``key``, bumping its hit count — or None."""
+        with self.transaction():
+            row = self._conn.execute(
+                "SELECT payload FROM query_cache WHERE key = ?", (key,)
+            ).fetchone()
+            if row is None:
+                return None
+            self._conn.execute(
+                "UPDATE query_cache SET hits = hits + 1, last_hit_at = ? "
+                "WHERE key = ?",
+                (time.time(), key),
+            )
+            self.add_counter("cache_hits", 1)
+        return json.loads(row["payload"])
+
+    def cache_put(
+        self,
+        key: str,
+        namespace: str,
+        version: str,
+        payload: dict,
+        max_entries: int = 1024,
+    ) -> None:
+        """Persist one computed answer; evict coldest entries past capacity.
+
+        Eviction is hit-count-based: the entries with the fewest hits
+        (ties broken by least-recent hit) go first, so hot repeated
+        queries survive restarts and version churn.
+        """
+        blob = json.dumps(payload, default=_json_default)
+        now = time.time()
+        with self.transaction():
+            self._conn.execute(
+                "INSERT INTO query_cache (key, namespace, version, payload, "
+                "hits, created_at, last_hit_at) VALUES (?, ?, ?, ?, 0, ?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET "
+                "payload = excluded.payload, version = excluded.version, "
+                "last_hit_at = excluded.last_hit_at",
+                (key, namespace, version, blob, now, now),
+            )
+            self.add_counter("cache_misses", 1)
+            count = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM query_cache"
+            ).fetchone()["n"]
+            if count > max_entries:
+                self._conn.execute(
+                    "DELETE FROM query_cache WHERE key IN ("
+                    "SELECT key FROM query_cache "
+                    "ORDER BY hits ASC, last_hit_at ASC LIMIT ?)",
+                    (count - max_entries,),
+                )
+
+    def cache_stats(self) -> dict:
+        row = self._execute(
+            "SELECT COUNT(*) AS entries, COALESCE(SUM(hits), 0) AS hits "
+            "FROM query_cache"
+        ).fetchone()
+        return {"entries": int(row["entries"]), "hits": int(row["hits"])}
+
+    def cache_entries(self, limit: int = 20) -> list[dict]:
+        """The hottest cached answers (for the ``stats`` CLI verbs)."""
+        rows = self._execute(
+            "SELECT namespace, version, hits, created_at, last_hit_at "
+            "FROM query_cache ORDER BY hits DESC, last_hit_at DESC LIMIT ?",
+            (limit,),
+        ).fetchall()
+        return [dict(row) for row in rows]
+
+    # -- telemetry counters ---------------------------------------------------
+
+    def add_counter(self, name: str, delta: int) -> None:
+        with self.transaction():
+            self._conn.execute(
+                "INSERT INTO counters (name, value) VALUES (?, ?) "
+                "ON CONFLICT(name) DO UPDATE SET value = value + "
+                "excluded.value",
+                (name, delta),
+            )
+
+    def counters(self) -> dict:
+        rows = self._execute(
+            "SELECT name, value FROM counters ORDER BY name"
+        ).fetchall()
+        return {row["name"]: int(row["value"]) for row in rows}
+
+    # -- inspection -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """One machine-readable snapshot of the whole runtime tier.
+
+        The payload behind ``repro-store stats`` / ``repro-serve stats``
+        and the ``runtime`` section of the service's ``/status``.
+        """
+        snapshot = self.manifest_snapshot()
+        per_namespace: dict[str, dict] = {}
+        for entry in snapshot["entries"]:
+            info = per_namespace.setdefault(
+                entry["namespace"], {"entries": 0, "nbytes": 0}
+            )
+            info["entries"] += 1
+            info["nbytes"] += entry["nbytes"]
+        for namespace, (rev, bundle_rev) in snapshot["revisions"].items():
+            info = per_namespace.setdefault(
+                namespace, {"entries": 0, "nbytes": 0}
+            )
+            info["rev"] = rev
+            info["bundle_rev"] = bundle_rev
+        migrated = self.get_meta("migrated_entries")
+        return {
+            "path": str(self.path),
+            "schema_version": _SCHEMA_VERSION,
+            "revision": snapshot["global_rev"],
+            "namespaces": per_namespace,
+            "counters": self.counters(),
+            "cache": self.cache_stats(),
+            "migrated_legacy_entries": (
+                None if migrated is None else int(migrated)
+            ),
+        }
+
+    def __repr__(self) -> str:
+        return f"RuntimeStore(path={str(self.path)!r})"

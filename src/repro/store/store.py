@@ -4,15 +4,19 @@
 process restarts and can be served long after ingestion:
 
 * **layout** — artifacts live under ``root/data/<namespace>/<bucket>/`` as
-  codec blobs (``.cws`` files, format v1); a JSON ``manifest.json`` at the
-  root is the source of truth for what the store contains;
-* **atomic writes** — every blob and every manifest revision is staged to
-  a temporary file in the target directory and published with
-  :func:`os.replace`, so readers never observe a half-written artifact
-  (a crash can leave orphaned data files, never a corrupt manifest);
-  mutations additionally serialize on a cross-process lock file and
-  re-read the manifest before applying, so concurrent writers sharing one
-  root compose instead of losing each other's entries;
+  codec blobs (``.cws`` files, format v1); a WAL-mode SQLite
+  ``runtime.sqlite`` at the root (the :class:`~repro.store.runtime.
+  RuntimeStore` tier) is the source of truth for what the store contains;
+* **atomic writes** — every blob is staged to a temporary file in the
+  target directory and published with :func:`os.replace`, so readers
+  never observe a half-written artifact; the manifest row lands in the
+  same runtime-tier transaction (``BEGIN IMMEDIATE``) that allocated the
+  part name, so concurrent writers sharing one root compose instead of
+  losing each other's entries — a crash can leave orphaned data files,
+  never a corrupt or half-applied manifest;
+* **migration** — a root holding a legacy JSON ``manifest.json`` is
+  migrated into the runtime tier once, transparently, on first open (the
+  old file is kept beside the store as ``manifest.json.migrated``);
 * **time buckets** — bucket ids are UTC timestamps at ``minute``
   (``YYYYMMDDTHHMM``), ``hour`` (``YYYYMMDDTHH``), or ``day``
   (``YYYYMMDD``) granularity, so a bucket id *is* its coarsening prefix;
@@ -35,7 +39,7 @@ stored as-is), and :class:`~repro.store.codec.SummarizerCheckpoint`
 
 from __future__ import annotations
 
-import hashlib
+import contextlib
 import json
 import os
 import re
@@ -54,6 +58,7 @@ from repro.store.codec import (
     decode,
     encode,
 )
+from repro.store.runtime import RUNTIME_FILENAME, RuntimeStore
 
 __all__ = [
     "GRANULARITIES",
@@ -216,18 +221,56 @@ LIVE_CHECKPOINT_PART = "live-window"
 
 
 class _StoreLock:
-    """Advisory cross-process mutation lock (``O_CREAT | O_EXCL`` file).
+    """Advisory cross-process lock file (``O_CREAT | O_EXCL``).
 
-    Serializes manifest mutations so concurrent writers (several CLI
-    invocations, multiple collector processes sharing one root) cannot
-    lose each other's entries or pick colliding part names.  A process
-    that dies holding the lock leaves the file behind; waiters time out
-    with a message naming it so an operator can remove it.
+    Only the legacy ``manifest.json`` → runtime-tier migration window
+    still uses it (ordinary mutations serialize on the runtime tier's
+    SQLite transactions).  The file holds its owner's PID; a waiter that
+    finds the holder dead (``os.kill(pid, 0)`` raises
+    :class:`ProcessLookupError`) reclaims the stale lock atomically —
+    the file is renamed aside, so exactly one of several racing waiters
+    wins and nobody has to clean up by hand.
     """
 
     def __init__(self, path: Path, timeout: float = 10.0) -> None:
         self.path = path
         self.timeout = timeout
+
+    def _holder_pid(self) -> int | None:
+        try:
+            content = self.path.read_text(encoding="ascii").strip()
+        except (OSError, UnicodeDecodeError):
+            return None
+        return int(content) if content.isdigit() else None
+
+    def _holder_alive(self) -> bool | None:
+        """Whether the recorded holder still runs; None when unknowable.
+
+        An unreadable or empty lock file gets the benefit of the doubt:
+        the holder may be between creating the file and writing its PID.
+        """
+        pid = self._holder_pid()
+        if pid is None:
+            return None
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:
+            return True
+        return True
+
+    def _reclaim_stale(self) -> None:
+        """Atomically take a dead holder's lock file out of the way.
+
+        Rename-aside, then unlink: of several waiters that observed the
+        dead holder, exactly one rename succeeds — the rest see
+        :class:`FileNotFoundError` and simply retry the acquire loop.
+        """
+        aside = f"{self.path}.stale.{os.getpid()}"
+        with contextlib.suppress(FileNotFoundError):
+            os.rename(self.path, aside)
+            os.unlink(aside)
 
     def __enter__(self) -> "_StoreLock":
         deadline = time.monotonic() + self.timeout
@@ -237,11 +280,21 @@ class _StoreLock:
                     self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
                 )
             except FileExistsError:
+                alive = self._holder_alive()
+                if alive is False:
+                    self._reclaim_stale()
+                    continue
                 if time.monotonic() >= deadline:
+                    holder = self._holder_pid()
+                    detail = (
+                        f"held by running process {holder}"
+                        if holder is not None
+                        else "holder unknown; if no writer is running, "
+                        "remove the stale lock file"
+                    )
                     raise TimeoutError(
                         f"could not acquire store lock {self.path} within "
-                        f"{self.timeout:.0f}s; if no writer is running, "
-                        "remove the stale lock file"
+                        f"{self.timeout:.0f}s ({detail})"
                     ) from None
                 time.sleep(0.05)
             else:
@@ -281,54 +334,73 @@ class SummaryStore:
     def __init__(self, root, create: bool = True) -> None:
         self.root = Path(root)
         self._entries: list[StoreEntry] = []
-        manifest = self.root / self.MANIFEST
-        if manifest.exists():
-            self._load_manifest(manifest)
-        elif create:
-            # Initialize under the mutation lock: two racing initializers
-            # must not let the loser's empty manifest replace one the
-            # winner has already committed entries into.
-            self.root.mkdir(parents=True, exist_ok=True)
-            with self._mutation_lock():
-                if manifest.exists():
-                    self._load_manifest(manifest)
-                else:
-                    self._persist_manifest()
-        else:
+        self._revisions: dict[str, tuple[int, int]] = {}
+        self._global_rev = 0
+        legacy = self.root / self.MANIFEST
+        runtime_db = self.root / RUNTIME_FILENAME
+        if not create and not runtime_db.exists() and not legacy.exists():
             raise FileNotFoundError(
-                f"no store at {self.root} (missing {self.MANIFEST}); pass "
-                "create=True to initialize one"
+                f"no store at {self.root} (missing {RUNTIME_FILENAME} and "
+                f"legacy {self.MANIFEST}); pass create=True to initialize one"
             )
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.runtime = RuntimeStore(self.root)
+        if legacy.exists():
+            self._migrate_legacy()
+        self._sync()
 
     # -- manifest -------------------------------------------------------------
 
-    def _load_manifest(self, path: Path) -> None:
-        with open(path, "r", encoding="utf-8") as handle:
-            manifest = json.load(handle)
-        version = manifest.get("version")
-        if version != _MANIFEST_VERSION:
-            raise CodecError(
-                f"manifest version {version!r} is not supported "
-                f"(supported: {_MANIFEST_VERSION})"
-            )
-        self._entries = [StoreEntry.from_json(row) for row in manifest["entries"]]
+    def _migrate_legacy(self) -> None:
+        """One-time, lossless ``manifest.json`` → runtime-tier migration.
+
+        Runs under the legacy lock file so exactly one of several racing
+        openers performs it; the rest find the manifest already renamed
+        to ``manifest.json.migrated`` and proceed.  Rows are upserted
+        (never deleting anything already in the runtime tier), so a
+        crash mid-migration — before the rename — simply re-applies on
+        the next open.
+        """
+        legacy = self.root / self.MANIFEST
+        with _StoreLock(self.root / ".store.lock"):
+            if not legacy.exists():
+                return  # another opener migrated while we waited
+            with open(legacy, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            version = manifest.get("version")
+            if version != _MANIFEST_VERSION:
+                raise CodecError(
+                    f"manifest version {version!r} is not supported "
+                    f"(supported: {_MANIFEST_VERSION})"
+                )
+            entries = [
+                StoreEntry.from_json(row) for row in manifest["entries"]
+            ]
+            with self.runtime.transaction():
+                for entry in entries:
+                    self.runtime.replace_entry(entry.to_json())
+                for namespace in sorted({e.namespace for e in entries}):
+                    self.runtime.record_mutation(
+                        namespace, bundles_changed=True
+                    )
+                self.runtime.set_meta(
+                    "migrated_entries", str(len(entries))
+                )
+                self.runtime.set_meta("migrated_from", self.MANIFEST)
+            os.replace(legacy, f"{legacy}.migrated")
+
+    def _sync(self) -> None:
+        """Mirror the runtime tier's manifest into this handle's caches."""
+        snapshot = self.runtime.manifest_snapshot()
+        self._entries = [
+            StoreEntry(**row) for row in snapshot["entries"]
+        ]
+        self._revisions = snapshot["revisions"]
+        self._global_rev = snapshot["global_rev"]
 
     def refresh(self) -> None:
-        """Re-read the manifest from disk (picks up other writers' work)."""
-        manifest = self.root / self.MANIFEST
-        if manifest.exists():
-            self._load_manifest(manifest)
-
-    def _mutation_lock(self) -> _StoreLock:
-        return _StoreLock(self.root / ".store.lock")
-
-    def _persist_manifest(self) -> None:
-        manifest = {
-            "version": _MANIFEST_VERSION,
-            "entries": [entry.to_json() for entry in self._entries],
-        }
-        data = json.dumps(manifest, indent=1, sort_keys=True).encode("utf-8")
-        atomic_write_bytes(self.root / self.MANIFEST, data)
+        """Re-read the manifest (picks up other processes' mutations)."""
+        self._sync()
 
     # -- listing --------------------------------------------------------------
 
@@ -383,20 +455,32 @@ class SummaryStore:
         )
 
     def version(self, namespace: str | None = None) -> str:
-        """Content fingerprint of the manifest (optionally one namespace).
+        """Manifest revision fingerprint (optionally one namespace).
 
         Changes exactly when the covered entries change — a write, remove,
         overwrite, or compaction — which is what lets callers *watch* the
         store: the service's query planner keys its result cache on this
         value, so cached answers are invalidated the moment the backing
-        artifacts move.  Computed from the in-memory manifest; call
+        artifacts move.  Derived in O(1) from the runtime tier's
+        monotonic revision counters (no manifest re-serialization); call
         :meth:`refresh` first to observe other processes' mutations.
         """
-        blob = json.dumps(
-            [entry.to_json() for entry in self.entries(namespace)],
-            sort_keys=True,
-        ).encode("utf-8")
-        return hashlib.sha1(blob).hexdigest()[:16]
+        if namespace is None:
+            return f"r{self._global_rev}"
+        rev, _bundle_rev = self._revisions.get(namespace, (0, 0))
+        return f"{namespace}.r{rev}"
+
+    def bundle_version(self, namespace: str) -> str:
+        """Fingerprint of a namespace's *query-servable* content.
+
+        Moves only when sketch-bundle entries change (write, overwrite,
+        remove, compaction) — checkpoint and summary artifacts leave it
+        alone.  The service keys its persistent result cache on this, so
+        a clean shutdown (which writes a live-window checkpoint) followed
+        by a restart keeps previously cached answers valid.
+        """
+        _rev, bundle_rev = self._revisions.get(namespace, (0, 0))
+        return f"b{bundle_rev}"
 
     def ls_json(self, namespace: str | None = None) -> dict:
         """Machine-readable manifest listing (``repro-store ls --json``).
@@ -489,6 +573,14 @@ class SummaryStore:
             index += 1
         return f"{stem}-{index:04d}"
 
+    def _free_part_tx(self, namespace: str, bucket: str, stem: str) -> str:
+        """Transaction-consistent part allocation (committed rows + ours)."""
+        taken = self.runtime.slot_parts(namespace, bucket)
+        index = 0
+        while f"{stem}-{index:04d}" in taken:
+            index += 1
+        return f"{stem}-{index:04d}"
+
     def write(
         self,
         namespace: str,
@@ -503,13 +595,14 @@ class SummaryStore:
         defaults to the next free ``part-NNNN``; writing an existing part
         raises unless ``overwrite=True``.
 
-        Mutations take the store's cross-process lock and re-read the
-        manifest before applying, so concurrent writers sharing one root
-        cannot lose each other's entries or collide on part names.  An
-        overwrite stages the replacement blob under a new revisioned file
-        name, swaps the manifest row, and only then unlinks the old file —
-        a crash at any point leaves the manifest describing an intact
-        artifact (at worst an orphaned data file is stranded).
+        The part allocation, existence check, blob publication, and
+        manifest row all happen inside one runtime-tier write transaction,
+        so concurrent writers sharing one root cannot lose each other's
+        entries or collide on part names.  An overwrite stages the
+        replacement blob under a new revisioned file name, swaps the
+        manifest row, and only then unlinks the old file — a crash at any
+        point leaves the manifest describing an intact artifact (at worst
+        an orphaned data file is stranded).
         """
         if not _NAME_RE.match(namespace):
             raise ValueError(
@@ -524,31 +617,28 @@ class SummaryStore:
             )
         kind, assignments = self._kind_of(obj)
         blob = encode(obj)
-        with self._mutation_lock():
-            self.refresh()
+        retired_path: str | None = None
+        with self.runtime.transaction():
             if part is None:
-                part = self._free_part(namespace, bucket, "part")
-            existing = [
-                entry
-                for entry in self._entries
-                if (entry.namespace, entry.bucket, entry.part)
-                == (namespace, bucket, part)
-            ]
-            if existing and not overwrite:
+                part = self._free_part_tx(namespace, bucket, "part")
+            existing = self.runtime.get_entry(namespace, bucket, part)
+            if existing is not None and not overwrite:
                 raise FileExistsError(
                     f"artifact {namespace}/{bucket}/{part} already exists; "
                     "pass overwrite=True to replace it"
                 )
             rel_path = f"data/{namespace}/{bucket}/{part}.cws"
-            if existing:
+            if existing is not None:
                 # Never replace the current file in place: stage the new
                 # revision beside it so the manifest always points at an
                 # intact blob, whichever side of the swap a crash lands on.
-                match = re.search(r"\.r(\d+)\.cws$", existing[0].path)
+                match = re.search(r"\.r(\d+)\.cws$", existing["path"])
                 revision = int(match.group(1)) + 1 if match else 1
                 rel_path = (
                     f"data/{namespace}/{bucket}/{part}.r{revision}.cws"
                 )
+                if existing["path"] != rel_path:
+                    retired_path = existing["path"]
             atomic_write_bytes(self.root / rel_path, blob)
             entry = StoreEntry(
                 namespace=namespace,
@@ -559,14 +649,15 @@ class SummaryStore:
                 path=rel_path,
                 nbytes=len(blob),
             )
-            if existing:
-                self._entries = [e for e in self._entries if e not in existing]
-            self._entries.append(entry)
-            self._persist_manifest()
-            for old in existing:
-                old_path = self.root / old.path
-                if old.path != rel_path and old_path.exists():
-                    old_path.unlink()
+            self.runtime.replace_entry(entry.to_json())
+            self.runtime.record_mutation(
+                namespace, bundles_changed=kind in BUNDLE_KINDS
+            )
+        self._sync()
+        if retired_path is not None:
+            old_path = self.root / retired_path
+            if old_path.exists():
+                old_path.unlink()
         return entry
 
     def remove(
@@ -580,19 +671,23 @@ class SummaryStore:
         Returns the removed entry, or ``None`` when ``missing_ok`` and no
         such artifact exists.
         """
-        with self._mutation_lock():
-            self.refresh()
-            try:
-                entry = self._resolve(namespace, bucket, part)
-            except KeyError:
+        with self.runtime.transaction():
+            row = self.runtime.get_entry(namespace, bucket, part)
+            if row is None:
                 if missing_ok:
                     return None
-                raise
-            self._entries = [e for e in self._entries if e is not entry]
-            self._persist_manifest()
-            path = self.root / entry.path
-            if path.exists():
-                path.unlink()
+                raise KeyError(
+                    f"no artifact {namespace}/{bucket}/{part} in the store"
+                )
+            entry = StoreEntry(**row)
+            self.runtime.delete_entry(namespace, bucket, part)
+            self.runtime.record_mutation(
+                namespace, bundles_changed=entry.kind in BUNDLE_KINDS
+            )
+        self._sync()
+        path = self.root / entry.path
+        if path.exists():
+            path.unlink()
         return entry
 
     def prune(self) -> list[str]:
@@ -602,15 +697,16 @@ class SummaryStore:
         and unlink retired blobs afterwards, so a crash between the two
         steps — or a killed worker that already staged its output — leaves
         orphaned ``.cws`` revisions and ``.*.tmp.*`` staging files on disk.
-        ``prune`` walks ``data/`` under the store lock, deletes every file
-        the manifest does not claim (plus stale manifest staging files at
-        the root), drops now-empty bucket directories, and returns the
-        root-relative paths it removed.  Artifacts named by the manifest
-        are never touched.
+        ``prune`` scans ``data/`` inside one runtime-tier write transaction
+        (mutually exclusive with writers, which publish their blobs inside
+        their own transactions), deletes every file the manifest does not
+        claim (plus stale staging files at the root), drops now-empty
+        bucket directories, and returns the root-relative paths it
+        removed.  Artifacts named by the manifest are never touched.
         """
         removed: list[str] = []
-        with self._mutation_lock():
-            self.refresh()
+        with self.runtime.transaction():
+            self._sync()
             referenced = {entry.path for entry in self._entries}
             data_dir = self.root / "data"
             if data_dir.is_dir():
@@ -701,16 +797,17 @@ class SummaryStore:
         ``executor`` (``None``/spec string/:class:`~repro.engine.parallel.
         Executor`) parallelizes the per-group load + merge + encode work —
         coarse buckets are independent, so they roll up concurrently.
-        Manifest mutations always stay in the calling process under the
-        store lock, and because the merge and the codec are deterministic,
-        every executor mode produces byte-identical artifacts and an
-        identical manifest.
+        Manifest mutations always stay in the calling process inside one
+        runtime-tier transaction (the whole compaction publishes
+        atomically), and because the merge and the codec are
+        deterministic, every executor mode produces byte-identical
+        artifacts and an identical manifest.
 
-        Crash safety: the new artifact is published first, then the
-        manifest is rewritten (old entries out, new entry in), then old
-        files are unlinked — a crash (or a failed worker) can strand
-        orphaned ``.cws`` files but the manifest never references missing
-        or double-counted data.
+        Crash safety: the new artifacts are published first, then the
+        manifest transaction commits (old entries out, new entries in),
+        then old files are unlinked — a crash (or a failed worker) can
+        strand orphaned ``.cws`` files but the manifest never references
+        missing or double-counted data.
 
         ``exclude_buckets`` names coarse (target-granularity) bucket ids
         to leave alone — the service uses it to skip the group its live
@@ -726,13 +823,21 @@ class SummaryStore:
         from repro.engine.parallel import get_executor
 
         get_executor(executor)  # validate the spec even when nothing rolls up
-        with self._mutation_lock():
-            self.refresh()
-            return self._compact_locked(namespace, to, executor, exclude_buckets)
+        with self.runtime.transaction():
+            self._sync()
+            written, retired = self._compact_locked(
+                namespace, to, executor, exclude_buckets
+            )
+        self._sync()
+        for rel in retired:
+            old = self.root / rel
+            if old.exists():
+                old.unlink()
+        return written
 
     def _compact_locked(
         self, namespace: str, to: str, executor=None, exclude_buckets=None
-    ) -> list[StoreEntry]:
+    ) -> tuple[list[StoreEntry], list[str]]:
         from repro.engine.parallel import compact_group_task, executor_scope
 
         excluded = set() if exclude_buckets is None else set(exclude_buckets)
@@ -762,11 +867,11 @@ class SummaryStore:
         for coarse_bucket, group in sorted(groups.items()):
             if len(group) == 1 and group[0].bucket == coarse_bucket:
                 continue  # nothing to roll up
-            part = self._free_part(namespace, coarse_bucket, "rollup")
+            part = self._free_part_tx(namespace, coarse_bucket, "rollup")
             rel_path = f"data/{namespace}/{coarse_bucket}/{part}.cws"
             plan.append((coarse_bucket, group, part, rel_path))
         if not plan:
-            return []
+            return [], []
         root = str(self.root)
         with executor_scope(executor) as ex:
             merged = ex.map(
@@ -782,6 +887,7 @@ class SummaryStore:
                 ),
             )
         written: list[StoreEntry] = []
+        retired_paths: list[str] = []
         for (coarse_bucket, group, part, rel_path), result in zip(plan, merged):
             new_entry = StoreEntry(
                 namespace=namespace,
@@ -792,16 +898,15 @@ class SummaryStore:
                 path=rel_path,
                 nbytes=result["nbytes"],
             )
-            retired = set(group)
-            self._entries = [e for e in self._entries if e not in retired]
-            self._entries.append(new_entry)
-            self._persist_manifest()
             for entry in group:
-                old = self.root / entry.path
-                if old.exists():
-                    old.unlink()
+                self.runtime.delete_entry(
+                    entry.namespace, entry.bucket, entry.part
+                )
+                retired_paths.append(entry.path)
+            self.runtime.replace_entry(new_entry.to_json())
             written.append(new_entry)
-        return written
+        self.runtime.record_mutation(namespace, bundles_changed=True)
+        return written, retired_paths
 
     def __repr__(self) -> str:
         return (

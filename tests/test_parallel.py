@@ -340,14 +340,11 @@ class TestParallelStorePaths:
         serial_store.compact("api", to="hour")
         parallel_store.compact("web", to="hour", executor=spec)
         parallel_store.compact("api", to="hour", executor=spec)
-        serial_manifest = json.loads(
-            (tmp_path / "serial" / "manifest.json").read_text()
-        )
-        parallel_manifest = json.loads(
-            (tmp_path / "parallel" / "manifest.json").read_text()
-        )
-        assert serial_manifest == parallel_manifest
-        for entry in serial_manifest["entries"]:
+        serial_entries = [e.to_json() for e in serial_store.entries()]
+        parallel_entries = [e.to_json() for e in parallel_store.entries()]
+        assert serial_entries == parallel_entries
+        assert serial_store.version() == parallel_store.version()
+        for entry in serial_entries:
             assert (tmp_path / "serial" / entry["path"]).read_bytes() == (
                 tmp_path / "parallel" / entry["path"]
             ).read_bytes()

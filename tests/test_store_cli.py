@@ -154,19 +154,28 @@ class TestErrors:
                   "--bucket", "20260728", "--assignment", "h1",
                   "--input", str(bad)])
 
-    def test_stale_lock_reports_clean_cli_error(self, tmp_path, monkeypatch):
+    def test_held_migration_lock_reports_clean_cli_error(
+        self, tmp_path, monkeypatch
+    ):
+        import json
+        import os
+
         from repro.store import store as store_module
 
         root = tmp_path / "s"
         write_bucket(root, "20260728", "h1", "a-")
-        (root / ".store.lock").write_text("999999")
-        monkeypatch.setattr(
-            store_module.SummaryStore, "_mutation_lock",
-            lambda self: store_module._StoreLock(
-                self.root / ".store.lock", timeout=0.2
-            ),
+        # A legacy manifest makes the next open take the migration lock,
+        # which a live process (us) already holds.
+        (root / "manifest.json").write_text(
+            json.dumps({"version": 1, "entries": []})
         )
-        with pytest.raises(SystemExit, match="stale lock"):
+        (root / ".store.lock").write_text(str(os.getpid()))
+        original = store_module._StoreLock
+        monkeypatch.setattr(
+            store_module, "_StoreLock",
+            lambda path, timeout=10.0: original(path, timeout=0.2),
+        )
+        with pytest.raises(SystemExit, match="held by running process"):
             main(["write", "--root", str(root), "--namespace", "n",
                   "--bucket", "20260728", "--assignment", "h1",
                   "--demo", "5"])
