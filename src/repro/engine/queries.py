@@ -160,6 +160,7 @@ class QueryEngine:
         cls,
         bundles,
         dataset: MultiAssignmentDataset | None = None,
+        scales: "Sequence[float] | None" = None,
     ) -> "QueryEngine":
         """Engine over the exact merge of several sketch bundles.
 
@@ -171,10 +172,24 @@ class QueryEngine:
         ``ValueError`` on an empty bundle list, on incompatible
         coordination metadata, and on duplicate keys (not a key-disjoint
         partition).
+
+        ``scales`` (one positive factor per bundle) applies
+        :meth:`~repro.store.codec.SketchBundle.scaled` before merging —
+        the decay-aware entry point: a scaled bundle is a valid sketch of
+        the scaled sub-dataset, so merging per-bucket decayed bundles
+        yields exactly the summary of the time-decayed weight assignment.
         """
         bundles = list(bundles)
         if not bundles:
             raise ValueError("need at least one sketch bundle")
+        if scales is not None:
+            scales = [float(s) for s in scales]
+            if len(scales) != len(bundles):
+                raise ValueError(
+                    f"need one scale per bundle, got {len(scales)} scales "
+                    f"for {len(bundles)} bundles"
+                )
+            bundles = [b.scaled(s) for b, s in zip(bundles, scales)]
         merged = bundles[0].merge(*bundles[1:])
         return cls(merged.summary(), dataset)
 

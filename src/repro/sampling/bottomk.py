@@ -181,6 +181,33 @@ class BottomKSketch:
 
         return merge_bottomk(self, *others)
 
+    def scaled(self, factor: float) -> "BottomKSketch":
+        """The sketch of the same data with every weight scaled by ``factor``.
+
+        For both rank families used here, ``P(rank(c·w, u) <= x) =
+        F_{cw}(x) = F_w(cx) = P(rank(w, u)/c <= x)`` — scaling a weight by
+        ``c`` is exactly dividing its rank by ``c`` (EXP:
+        ``-log1p(-u)/(cw)``; IPPS: ``u/(cw)``).  A uniform factor
+        therefore preserves sample membership and rank order, and the
+        transformed sketch (weights ``×c``, ranks, ``kth_rank`` and
+        ``threshold`` ``÷c``, seeds unchanged) is bit-for-bit what a
+        sampler fed the scaled weights would have produced.  This is the
+        primitive behind time-decayed queries: a per-bucket decay factor
+        applied at query time, exact under merge.
+        """
+        factor = float(factor)
+        if not (math.isfinite(factor) and factor > 0.0):
+            raise ValueError(f"scale factor must be finite and > 0, got {factor!r}")
+        return BottomKSketch(
+            k=self.k,
+            keys=self.keys.copy(),
+            ranks=self.ranks / factor,
+            weights=self.weights * factor,
+            kth_rank=self.kth_rank / factor,
+            threshold=self.threshold / factor,
+            seeds=None if self.seeds is None else self.seeds.copy(),
+        )
+
 
 def bottomk_from_ranks(
     ranks: np.ndarray,

@@ -79,6 +79,27 @@ class PoissonSketch:
             seeds=None if self.seeds is None else self.seeds.copy(),
         )
 
+    def scaled(self, factor: float) -> "PoissonSketch":
+        """The sketch of the same data with every weight scaled by ``factor``.
+
+        Same rank/weight transform as :meth:`BottomKSketch.scaled` —
+        scaling a weight by ``c`` divides its rank by ``c`` exactly for
+        EXP and IPPS ranks — plus ``tau ÷ c``: ``rank < tau`` holds before
+        the transform iff ``rank/c < tau/c`` holds after, so membership is
+        preserved and the result is a valid Poisson-``tau/c`` sketch of
+        the scaled assignment.
+        """
+        factor = float(factor)
+        if not (math.isfinite(factor) and factor > 0.0):
+            raise ValueError(f"scale factor must be finite and > 0, got {factor!r}")
+        return PoissonSketch(
+            tau=self.tau / factor,
+            keys=self.keys.copy(),
+            ranks=self.ranks / factor,
+            weights=self.weights * factor,
+            seeds=None if self.seeds is None else self.seeds.copy(),
+        )
+
     def equals(self, other: "PoissonSketch") -> bool:
         """Bit-exact equality (see :meth:`BottomKSketch.equals`)."""
         from repro.sampling.bottomk import _array_bits_equal, _float_bits_equal

@@ -31,6 +31,7 @@ import sys
 
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.config import NamespaceConfig, ServiceConfig
+from repro.service.temporal import parse_duration
 from repro.store.store import GRANULARITIES
 
 __all__ = ["main", "build_parser"]
@@ -131,11 +132,37 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 args.namespace, args.assignments, variant=args.variant,
                 since=args.since, until=args.until,
             )
+        elif args.window is not None:
+            result = client.window_series(
+                args.namespace, args.function, args.assignments,
+                window=args.window, step=args.step, decay=args.decay,
+                anchor=args.anchor, estimator=args.estimator, ell=args.ell,
+                keys=args.keys, since=args.since, until=args.until,
+            )
+            names = ",".join(args.assignments)
+            print(
+                f"{args.namespace}: {args.function}({names}) over "
+                f"{len(result['windows'])} windows "
+                f"[window {result['window_s']:g}s step {result['step_s']:g}s"
+                + (f" decay {result['decay_s']:g}s"
+                   if result.get("decay_s") else "")
+                + f", {result['estimator']}, version {result['version']}]"
+            )
+            for row in result["windows"]:
+                if row.get("empty"):
+                    print(f"  {row['start']} .. {row['end']}  (no data)")
+                else:
+                    print(
+                        f"  {row['start']} .. {row['end']}  "
+                        f"~= {row['estimate']:.6g}"
+                    )
+            return 0
         else:
             result = client.estimate(
                 args.namespace, args.function, args.assignments,
                 estimator=args.estimator, ell=args.ell, keys=args.keys,
                 since=args.since, until=args.until,
+                decay=args.decay, anchor=args.anchor,
             )
     names = ",".join(args.assignments)
     label = "jaccard" if args.jaccard else args.function
@@ -144,6 +171,80 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"[{result['estimator']}, version {result['version']}, "
         f"{'cached' if result['cached'] else 'computed'}]"
     )
+    return 0
+
+
+def _format_watch(watch: dict) -> str:
+    spec = watch.get("spec") or {}
+    names = ",".join(spec.get("assignments", []))
+    threshold = watch.get("threshold") or {}
+    direction, bound = next(iter(threshold.items()), ("?", "?"))
+    answer = watch.get("last_answer") or {}
+    estimate = answer.get("estimate")
+    shown = "n/a" if estimate is None else f"{estimate:.6g}"
+    state = "TRIGGERED" if watch.get("last_triggered") else "quiet"
+    if watch.get("last_error"):
+        state = f"error: {watch['last_error']}"
+    return (
+        f"watch {watch['id']} [{watch.get('namespace')}] "
+        f"{spec.get('function', spec.get('kind', '?'))}({names}) "
+        f"{direction} {bound} every {watch.get('cadence_s'):g}s -> "
+        f"{shown} ({state}, seq {watch.get('update_seq')}, "
+        f"{watch.get('evaluations')} evals)"
+    )
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    spec = {
+        "kind": "estimate",
+        "function": args.function,
+        "assignments": list(args.assignments),
+        "estimator": args.estimator,
+    }
+    for field in ("ell", "keys", "since", "until", "window", "step",
+                  "decay", "anchor"):
+        value = getattr(args, field)
+        if value is not None:
+            spec[field] = value
+    threshold = (
+        {"above": args.above} if args.above is not None
+        else {"below": args.below}
+    )
+    with _client(args) as client:
+        result = client.watch_register(
+            args.namespace, spec, threshold, cadence_s=args.every
+        )
+    print(_format_watch(result["watch"]))
+    return 0
+
+
+def _cmd_watches(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        watches = client.watches(namespace=args.namespace)
+    if not watches:
+        print("no continuous queries registered")
+        return 0
+    for watch in watches:
+        print(_format_watch(watch))
+    return 0
+
+
+def _cmd_unwatch(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        client.watch_remove(args.id)
+    print(f"removed watch {args.id}")
+    return 0
+
+
+def _cmd_watch_poll(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        result = client.watch_poll(
+            args.id, after=args.after, timeout=args.wait
+        )
+    if result.get("timed_out"):
+        print(f"watch {args.id}: no update after {args.wait:g}s")
+        return 1
+    print(_format_watch(result["watch"]))
     return 0
 
 
@@ -251,11 +352,78 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inclusive start bucket id")
     query.add_argument("--until", default=None, metavar="BUCKET",
                        help="inclusive end bucket id")
+    query.add_argument("--window", default=None, metavar="DUR",
+                       help="windowed series, e.g. 15m (with --step: "
+                            "sliding; alone: tumbling)")
+    query.add_argument("--step", default=None, metavar="DUR",
+                       help="window stride, e.g. 1m (requires --window)")
+    query.add_argument("--decay", default=None, metavar="DUR",
+                       help="exponential half-life for time-decayed "
+                            "weights, e.g. 1h")
+    query.add_argument("--anchor", type=float, default=None,
+                       metavar="EPOCH",
+                       help="decay/window anchor as POSIX seconds "
+                            "(default: end of available data)")
     query.add_argument("--jaccard", action="store_true",
                        help="weighted Jaccard between two assignments")
     query.add_argument("--variant", default="l", choices=["s", "l"],
                        help="Jaccard min-estimator variant")
     query.set_defaults(func=_cmd_query)
+
+    watch = commands.add_parser(
+        "watch",
+        help="register a continuous query (persists in runtime.sqlite)",
+    )
+    _add_client_args(watch)
+    watch.add_argument("--namespace", required=True)
+    watch.add_argument("--function", default="max",
+                       choices=["single", "min", "max", "l1", "lth_largest"])
+    watch.add_argument("--assignments", required=True, nargs="+")
+    watch.add_argument("--estimator", default="auto")
+    watch.add_argument("--ell", type=int, default=None)
+    watch.add_argument("--keys", nargs="+", default=None)
+    watch.add_argument("--since", default=None, metavar="BUCKET")
+    watch.add_argument("--until", default=None, metavar="BUCKET")
+    watch.add_argument("--window", default=None, metavar="DUR")
+    watch.add_argument("--step", default=None, metavar="DUR")
+    watch.add_argument("--decay", default=None, metavar="DUR")
+    watch.add_argument("--anchor", type=float, default=None, metavar="EPOCH")
+    bound = watch.add_mutually_exclusive_group(required=True)
+    bound.add_argument("--above", type=float, default=None,
+                       help="trigger when the estimate exceeds this")
+    bound.add_argument("--below", type=float, default=None,
+                       help="trigger when the estimate drops below this")
+    watch.add_argument("--every", type=parse_duration, required=True,
+                       metavar="DUR",
+                       help="evaluation cadence (e.g. 30s, 5m)")
+    watch.set_defaults(func=_cmd_watch)
+
+    watches = commands.add_parser(
+        "watches", help="list continuous queries and their last answers"
+    )
+    _add_client_args(watches)
+    watches.add_argument("--namespace", default=None)
+    watches.set_defaults(func=_cmd_watches)
+
+    unwatch = commands.add_parser(
+        "unwatch", help="remove a continuous query"
+    )
+    _add_client_args(unwatch)
+    unwatch.add_argument("--id", type=int, required=True)
+    unwatch.set_defaults(func=_cmd_unwatch)
+
+    watch_poll = commands.add_parser(
+        "watch-poll",
+        help="long-poll a continuous query for its next update",
+    )
+    _add_client_args(watch_poll)
+    watch_poll.add_argument("--id", type=int, required=True)
+    watch_poll.add_argument("--after", type=int, default=0,
+                            help="last seen update_seq cursor")
+    watch_poll.add_argument("--wait", type=float, default=30.0,
+                            metavar="SECONDS",
+                            help="server-side poll deadline")
+    watch_poll.set_defaults(func=_cmd_watch_poll)
 
     stats = commands.add_parser(
         "stats",

@@ -19,6 +19,9 @@ import json
 import socket
 import time
 from typing import Sequence
+from urllib.parse import urlencode
+
+from repro.service.jsonutil import restore_non_finite
 
 __all__ = ["ServiceClient", "ServiceError"]
 
@@ -100,6 +103,12 @@ class ServiceClient:
             decoded = {"error": data.decode("utf-8", "replace")}
         if response.status >= 400:
             raise ServiceError(response.status, decoded)
+        # The wire is RFC 8259-strict: non-finite estimates travel as
+        # null plus a "non_finite" marker map.  Put the floats back so
+        # callers see the same nan/inf values an in-process engine
+        # would have returned.
+        if isinstance(decoded, dict):
+            decoded = restore_non_finite(decoded)
         return decoded
 
     def wait_ready(self, timeout: float = 10.0) -> dict:
@@ -157,8 +166,15 @@ class ServiceClient:
         keys: Sequence | None = None,
         since: str | None = None,
         until: str | None = None,
+        decay: "str | float | None" = None,
+        anchor: float | None = None,
     ) -> dict:
-        """One aggregate estimate over the merged live + stored view."""
+        """One aggregate estimate over the merged live + stored view.
+
+        ``decay`` applies an exponential half-life (e.g. ``"1h"``) to the
+        stored buckets' weights, anchored at ``anchor`` (POSIX seconds;
+        defaults to the end of the available data).
+        """
         body = {
             "kind": "estimate",
             "namespace": namespace,
@@ -166,6 +182,56 @@ class ServiceClient:
             "assignments": list(assignments),
             "estimator": estimator,
         }
+        if ell is not None:
+            body["ell"] = ell
+        if keys is not None:
+            body["keys"] = list(keys)
+        if since is not None:
+            body["since"] = since
+        if until is not None:
+            body["until"] = until
+        if decay is not None:
+            body["decay"] = decay
+        if anchor is not None:
+            body["anchor"] = float(anchor)
+        return self._request("POST", "/query", body)
+
+    def window_series(
+        self,
+        namespace: str,
+        function: str,
+        assignments: Sequence[str],
+        window: "str | float",
+        step: "str | float | None" = None,
+        decay: "str | float | None" = None,
+        anchor: float | None = None,
+        estimator: str = "auto",
+        ell: int | None = None,
+        keys: Sequence | None = None,
+        since: str | None = None,
+        until: str | None = None,
+    ) -> dict:
+        """Sliding/tumbling window estimates, one row per window.
+
+        ``window``/``step``/``decay`` are duration specs (``"15m"``,
+        ``900``...).  Omitting ``step`` gives tumbling windows; ``step``
+        smaller than ``window`` gives overlapping sliding windows, served
+        from the planner's shared per-bucket partial merges.
+        """
+        body = {
+            "kind": "estimate",
+            "namespace": namespace,
+            "function": function,
+            "assignments": list(assignments),
+            "estimator": estimator,
+            "window": window,
+        }
+        if step is not None:
+            body["step"] = step
+        if decay is not None:
+            body["decay"] = decay
+        if anchor is not None:
+            body["anchor"] = float(anchor)
         if ell is not None:
             body["ell"] = ell
         if keys is not None:
@@ -196,6 +262,82 @@ class ServiceClient:
         if until is not None:
             body["until"] = until
         return self._request("POST", "/query", body)
+
+    # -- continuous queries ----------------------------------------------------
+
+    @staticmethod
+    def _restore_watch(watch: dict) -> dict:
+        if isinstance(watch.get("last_answer"), dict):
+            watch["last_answer"] = restore_non_finite(watch["last_answer"])
+        return watch
+
+    def watch_register(
+        self,
+        namespace: str,
+        query: dict,
+        threshold: dict,
+        cadence_s: float,
+    ) -> dict:
+        """Register a continuous query; returns its materialized row.
+
+        ``query`` is a ``/query`` request body (without ``namespace``,
+        which is taken from the ``namespace`` argument); ``threshold`` is
+        ``{"above": x}`` or ``{"below": x}``; the service re-evaluates the
+        query every ``cadence_s`` seconds on its rotation ticker.  The
+        registration persists in ``runtime.sqlite`` and survives daemon
+        restarts.
+        """
+        result = self._request("POST", "/watch", {
+            "namespace": namespace,
+            "query": dict(query),
+            "threshold": dict(threshold),
+            "cadence_s": float(cadence_s),
+        })
+        if isinstance(result.get("watch"), dict):
+            self._restore_watch(result["watch"])
+        return result
+
+    def watches(self, namespace: str | None = None) -> list[dict]:
+        """List registered continuous queries with their last answers."""
+        path = "/watch"
+        if namespace is not None:
+            path += "?" + urlencode({"namespace": namespace})
+        result = self._request("GET", path)
+        return [self._restore_watch(w) for w in result.get("watches", [])]
+
+    def watch_remove(self, watch_id: int) -> dict:
+        """Delete a registration (also stops its evaluations)."""
+        return self._request("POST", "/watch/remove", {"id": int(watch_id)})
+
+    def watch_poll(
+        self,
+        watch_id: int,
+        after: int = 0,
+        timeout: float = 30.0,
+    ) -> dict:
+        """Long-poll one registration for an update newer than ``after``.
+
+        Returns ``{"watch": ..., "timed_out": bool}``; when not timed
+        out, ``watch["update_seq"]`` is the new cursor to pass as
+        ``after`` on the next poll.  The HTTP socket timeout is padded
+        above the server-side poll deadline so a quiet watch times out
+        gracefully server-side instead of dropping the connection.
+        """
+        timeout = max(0.0, float(timeout))
+        params = urlencode({
+            "id": int(watch_id), "after": int(after), "timeout": timeout,
+        })
+        previous = self.timeout
+        self.timeout = max(previous, timeout + 10.0)
+        self.close()  # drop any connection built with the shorter timeout
+        try:
+            result = self._request("GET", f"/watch/poll?{params}")
+        finally:
+            self.timeout = previous
+            self.close()
+        if isinstance(result.get("watch"), dict):
+            self._restore_watch(result["watch"])
+        return result
 
     def rotate(self) -> dict:
         """Flush every live window's current state into the store.

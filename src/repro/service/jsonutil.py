@@ -1,0 +1,138 @@
+"""RFC 8259-strict JSON for the service wire and the persistent cache.
+
+Python's ``json.dumps`` default (``allow_nan=True``) serializes
+non-finite floats as the bare tokens ``NaN`` / ``Infinity`` /
+``-Infinity`` — a JavaScript extension that is *invalid JSON* and breaks
+any strict parser.  Estimates can legitimately be non-finite (a 0/0
+ratio on an empty subpopulation, the dispersed-mode ``_NEG_INF`` weight
+paths), so the service cannot simply forbid them.
+
+The contract instead: :func:`sanitize_non_finite` replaces every
+non-finite float in a payload with ``null`` and records its location in
+a ``"non_finite"`` map of JSON-pointer-ish paths to ``"nan"`` / ``"inf"``
+/ ``"-inf"``; :func:`restore_non_finite` (used by
+:class:`~repro.service.client.ServiceClient`) puts the floats back.  A
+sanitized payload round-trips bit-exactly and serializes under
+``json.dumps(..., allow_nan=False)`` — which the server now enforces, so
+a regression anywhere on the query path fails loudly instead of
+emitting invalid JSON.  Sanitizing an already-sanitized payload is a
+no-op, which is what keeps persistent-cache replays consistent: the
+planner sanitizes once at answer construction and both the cache row
+and the wire carry the same strict form.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "NON_FINITE_KEY",
+    "sanitize_non_finite",
+    "restore_non_finite",
+    "dumps_strict",
+]
+
+#: payload key carrying the path -> "nan"/"inf"/"-inf" marker map
+NON_FINITE_KEY = "non_finite"
+
+_MARKERS = {"nan": math.nan, "inf": math.inf, "-inf": -math.inf}
+
+
+def _marker(value: float) -> str:
+    if value != value:
+        return "nan"
+    return "inf" if value > 0 else "-inf"
+
+
+def _sanitize(value, path: str, markers: dict):
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        if math.isfinite(value):
+            return value
+        markers[path] = _marker(value)
+        return None
+    if isinstance(value, dict):
+        return {
+            key: _sanitize(item, f"{path}/{key}", markers)
+            for key, item in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [
+            _sanitize(item, f"{path}/{pos}", markers)
+            for pos, item in enumerate(value)
+        ]
+    return value
+
+
+def sanitize_non_finite(payload: dict) -> dict:
+    """Copy of ``payload`` with non-finite floats nulled out and marked.
+
+    Replaced positions are recorded under :data:`NON_FINITE_KEY` as
+    ``{"/estimate": "nan", "/windows/3/estimate": "inf", ...}`` (keys and
+    list indices joined by ``/``).  Payloads without non-finite floats
+    come back without the marker key; already-sanitized payloads are
+    returned unchanged (idempotent).
+
+    >>> sanitize_non_finite({"estimate": float("nan"), "n": 3})
+    {'estimate': None, 'n': 3, 'non_finite': {'/estimate': 'nan'}}
+    """
+    if not isinstance(payload, dict):
+        raise TypeError(f"expected a dict payload, got {type(payload).__name__}")
+    markers: dict[str, str] = dict(payload.get(NON_FINITE_KEY) or {})
+    sanitized = {
+        key: _sanitize(value, f"/{key}", markers)
+        for key, value in payload.items()
+        if key != NON_FINITE_KEY
+    }
+    if markers:
+        sanitized[NON_FINITE_KEY] = markers
+    return sanitized
+
+
+def restore_non_finite(payload: dict) -> dict:
+    """Inverse of :func:`sanitize_non_finite`: marked nulls become floats.
+
+    The marker map is consumed (not echoed back), so a restored payload
+    looks exactly like the answer did before sanitization — the client's
+    callers keep seeing real ``nan``/``inf`` floats.  Unknown or
+    dangling paths raise ``ValueError`` rather than silently dropping a
+    non-finite estimate.
+    """
+    if not isinstance(payload, dict) or NON_FINITE_KEY not in payload:
+        return payload
+    markers = payload[NON_FINITE_KEY]
+    restored = {k: v for k, v in payload.items() if k != NON_FINITE_KEY}
+    for path, marker in markers.items():
+        if marker not in _MARKERS:
+            raise ValueError(f"unknown non-finite marker {marker!r} at {path}")
+        parts = path.strip("/").split("/")
+        node = restored
+        try:
+            for part in parts[:-1]:
+                node = node[int(part)] if isinstance(node, list) else node[part]
+            leaf = parts[-1]
+            if isinstance(node, list):
+                node[int(leaf)] = _MARKERS[marker]
+            else:
+                if leaf not in node:
+                    raise KeyError(leaf)
+                node[leaf] = _MARKERS[marker]
+        except (KeyError, IndexError, ValueError, TypeError):
+            raise ValueError(
+                f"non-finite marker path {path!r} does not resolve in the "
+                "payload"
+            ) from None
+    return restored
+
+
+def dumps_strict(payload: dict, **kwargs) -> str:
+    """``json.dumps`` that refuses non-finite floats (RFC 8259 mode).
+
+    The single serialization choke point for the service: anything that
+    reaches the wire or the persistent cache must already be sanitized,
+    and this raises ``ValueError`` if it is not.
+    """
+    import json
+
+    return json.dumps(payload, allow_nan=False, **kwargs)

@@ -40,6 +40,8 @@ from typing import Sequence
 from repro.core.aggregates import AggregationSpec
 from repro.core.predicates import key_in
 from repro.engine.queries import ESTIMATORS, QueryEngine, jaccard_from_summary
+from repro.service.jsonutil import sanitize_non_finite
+from repro.service.temporal import decay_factor, parse_duration, resolve_windows
 from repro.service.windows import LIVE_PART, LiveWindowManager
 from repro.store.store import bucket_bounds
 
@@ -57,20 +59,32 @@ class QueryPlanner:
         manager: LiveWindowManager,
         max_cached_engines: int = 8,
         max_cached_results: int = 1024,
+        max_cached_partials: int = 128,
     ) -> None:
         self.manager = manager
         self.max_cached_engines = max(1, max_cached_engines)
         self.max_cached_results = max(1, max_cached_results)
+        self.max_cached_partials = max(1, max_cached_partials)
         self._engines: OrderedDict[tuple, tuple[QueryEngine, dict]] = (
             OrderedDict()
         )
+        # Partial-merge frontier: per-(namespace, version, bucket) merged
+        # *undecayed* bundles.  Overlapping sliding windows share these —
+        # each bucket is loaded from disk and merged once per version,
+        # then every window that covers it pays only a cheap k-sized
+        # scale + merge instead of a decode.  Version-keyed like the
+        # engine cache, so invalidation is automatic and exact.
+        self._partials: OrderedDict[tuple, object] = OrderedDict()
         self._runtime = manager.store.runtime
         # Serializes planner cache mutation and engine kernel runs among
         # query threads.  Deliberately NOT the manager's lock: ingestion
         # only contends with the short plan() snapshot, never with kernel
         # computation.
         self._lock = threading.RLock()
-        self.stats = {"hits": 0, "misses": 0, "engine_builds": 0}
+        self.stats = {
+            "hits": 0, "misses": 0, "engine_builds": 0,
+            "partial_hits": 0, "partial_builds": 0, "window_queries": 0,
+        }
 
     # -- planning -------------------------------------------------------------
 
@@ -205,6 +219,332 @@ class QueryPlanner:
             "snapshot and load"
         )
 
+    # -- temporal planning ----------------------------------------------------
+
+    def _bucket_partial(self, namespace: str, version: str, bucket: str,
+                        entries: list):
+        """Merged undecayed bundle of one bucket, frontier-cached.
+
+        The reuse unit of sliding-window queries: loaded from disk and
+        merged at most once per ``(namespace, version, bucket)``, then
+        shared by every window that covers the bucket.  Loads happen
+        outside the planner lock (same discipline as :meth:`plan`); a
+        ``FileNotFoundError`` propagates so the caller re-snapshots.
+        """
+        key = (namespace, version, bucket)
+        with self._lock:
+            cached = self._partials.get(key)
+            if cached is not None:
+                self._partials.move_to_end(key)
+                self.stats["partial_hits"] += 1
+                return cached
+        bundles = [self.manager.store.load(entry) for entry in entries]
+        merged = bundles[0].merge(*bundles[1:])
+        with self._lock:
+            cached = self._partials.get(key)
+            if cached is not None:
+                self._partials.move_to_end(key)
+                self.stats["partial_hits"] += 1
+                return cached
+            self._partials[key] = merged
+            self.stats["partial_builds"] += 1
+            while len(self._partials) > self.max_cached_partials:
+                self._partials.popitem(last=False)
+        return merged
+
+    def _temporal_snapshot(
+        self, namespace: str, since: str | None, until: str | None
+    ) -> tuple:
+        """Atomic (version, entries-by-bucket, live view) snapshot.
+
+        Mirrors :meth:`plan`'s snapshot discipline: version, entry
+        selection, and the live bundle are read together under the
+        manager lock (with the live view superseding its own flush
+        artifact), so everything downstream is consistent with the one
+        returned version.
+        """
+        manager = self.manager
+        with manager.lock:
+            version = manager.version(namespace)  # KeyError when unknown
+            entries = manager.store.bundle_entries(
+                namespace, since=since, until=until
+            )
+            live_bucket, events, bundle = manager.live_view(namespace)
+            if events:
+                entries = [
+                    entry
+                    for entry in entries
+                    if not (
+                        entry.bucket == live_bucket
+                        and entry.part == LIVE_PART
+                    )
+                ]
+            live = None
+            live_events = 0
+            if bundle is not None and self._live_in_window(
+                live_bucket, since, until
+            ):
+                live = bundle
+                live_events = events
+        by_bucket: dict[str, list] = {}
+        for entry in entries:
+            by_bucket.setdefault(entry.bucket, []).append(entry)
+        return version, by_bucket, live, live_bucket, live_events
+
+    def _engine_for_span(
+        self, namespace, version, by_bucket, bounds, live, live_bucket,
+        live_events, span_lo, span_hi, decay_s, anchor,
+    ):
+        """Decay-scaled merged engine over one half-open time span.
+
+        Selects the snapshot's buckets whose :func:`bucket_bounds` span
+        intersects ``[span_lo, span_hi)``, scales each bucket's frontier
+        partial by its decay factor (age measured from the bucket start
+        to ``anchor``), merges, and builds the engine.  Returns
+        ``(engine, stored_entries, live_events)`` — ``engine`` is ``None``
+        for a span with no data.
+        """
+        bundles = []
+        scales = []
+        n_entries = 0
+        for bucket in sorted(by_bucket):
+            lo, hi = bounds[bucket]
+            if hi <= span_lo or lo >= span_hi:
+                continue
+            bundles.append(
+                self._bucket_partial(namespace, version, bucket,
+                                     by_bucket[bucket])
+            )
+            scales.append(
+                1.0 if decay_s is None else decay_factor(lo, anchor, decay_s)
+            )
+            n_entries += len(by_bucket[bucket])
+        span_live_events = 0
+        if live is not None:
+            lo, hi = bucket_bounds(live_bucket)
+            if not (hi <= span_lo or lo >= span_hi):
+                bundles.append(live)
+                scales.append(
+                    1.0 if decay_s is None
+                    else decay_factor(lo, anchor, decay_s)
+                )
+                span_live_events = live_events
+        if not bundles:
+            return None, 0, 0
+        engine = QueryEngine.from_bundles(bundles, scales=scales)
+        return engine, n_entries, span_live_events
+
+    @staticmethod
+    def _data_span(bounds: dict, live_bucket, live) -> "tuple | None":
+        """Union span of the snapshot's buckets (and the live window)."""
+        spans = list(bounds.values())
+        if live is not None:
+            spans.append(bucket_bounds(live_bucket))
+        if not spans:
+            return None
+        return min(lo for lo, _hi in spans), max(hi for _lo, hi in spans)
+
+    def window_series(
+        self,
+        namespace: str,
+        function: str,
+        assignments: Sequence[str],
+        window: "str | float",
+        step: "str | float | None" = None,
+        decay: "str | float | None" = None,
+        anchor: "float | None" = None,
+        estimator: str = "auto",
+        ell: int | None = None,
+        keys: Sequence | None = None,
+        since: str | None = None,
+        until: str | None = None,
+    ) -> dict:
+        """Sliding/tumbling window estimate series over the merged view.
+
+        Resolves ``window``/``step`` (duration specs, e.g. ``"15m"`` /
+        ``"1m"``) against the selected data's
+        :func:`~repro.store.store.bucket_bounds` span into concrete
+        half-open windows, and answers each from the partial-merge
+        frontier — per-bucket merges are shared across overlapping
+        windows instead of rebuilding from disk per window.  ``decay``
+        (a half-life duration) applies exponential time decay *per
+        window*, anchored at that window's end, via the exact
+        rank-scaling transform.  Windows with no data report
+        ``estimate: null`` with ``"empty": true``.  Results are
+        version-cached like every other answer.
+        """
+        if function not in FUNCTIONS:
+            raise ValueError(
+                f"unknown function {function!r}; known: "
+                f"{', '.join(FUNCTIONS)}"
+            )
+        if estimator not in ESTIMATORS:
+            raise ValueError(
+                f"unknown estimator {estimator!r}; known: {ESTIMATORS}"
+            )
+        window_s = parse_duration(window)
+        step_s = window_s if step is None else parse_duration(step)
+        decay_s = None if decay is None else parse_duration(decay)
+        anchor_ts = None if anchor is None else float(anchor)
+        names = tuple(assignments)
+        key_sel = None if keys is None else tuple(sorted(map(repr, keys)))
+        predicate = None if keys is None else key_in(keys)
+        spec = AggregationSpec(function, names, ell=ell)
+        for _attempt in range(8):
+            version, by_bucket, live, live_bucket, live_events = (
+                self._temporal_snapshot(namespace, since, until)
+            )
+            cache_key = (
+                "window_series", namespace, version, since, until,
+                function, names, estimator, ell, key_sel,
+                window_s, step_s, decay_s, anchor_ts,
+            )
+            hit = self._probe(cache_key)
+            if hit is not None:
+                return hit
+            bounds = {bucket: bucket_bounds(bucket) for bucket in by_bucket}
+            span = self._data_span(bounds, live_bucket, live)
+            if span is None:
+                raise LookupError(
+                    f"no data for namespace {namespace!r}"
+                    + (
+                        f" in window [{since or '-'}, {until or '-'}]"
+                        if since or until
+                        else ""
+                    )
+                )
+            windows = resolve_windows(
+                span[0], span[1], window_s, step_s, anchor_ts
+            )
+            rows = []
+            resolved = estimator
+            try:
+                for w_lo, w_hi in windows:
+                    engine, n_entries, w_live = self._engine_for_span(
+                        namespace, version, by_bucket, bounds, live,
+                        live_bucket, live_events, w_lo, w_hi, decay_s, w_hi,
+                    )
+                    row = {
+                        "start": w_lo.isoformat(),
+                        "end": w_hi.isoformat(),
+                    }
+                    if engine is None:
+                        row.update(estimate=None, empty=True)
+                    else:
+                        if estimator == "auto":
+                            resolved = engine.default_estimator(spec)
+                        row.update(
+                            estimate=engine.estimate(
+                                spec, estimator=estimator,
+                                predicate=predicate,
+                            ),
+                            sources={
+                                "stored_entries": n_entries,
+                                "live_events": w_live,
+                                "union_keys": engine.summary.n_union,
+                            },
+                        )
+                    rows.append(row)
+            except FileNotFoundError:
+                continue  # store moved under us; version changed with it
+            with self._lock:
+                self.stats["window_queries"] += 1
+            result = {
+                "windows": rows,
+                "window_s": window_s,
+                "step_s": step_s,
+                "decay_s": decay_s,
+                "estimator": resolved,
+                "function": function,
+                "assignments": list(names),
+                "namespace": namespace,
+                "version": version,
+            }
+            return self._cached(
+                cache_key, namespace, version, lambda: result
+            )
+        raise RuntimeError(
+            f"could not plan a stable windowed view of namespace "
+            f"{namespace!r}: the store kept mutating the selected "
+            "artifacts away between snapshot and load"
+        )
+
+    def _decayed_estimate(
+        self, namespace, function, names, estimator, ell, keys, key_sel,
+        since, until, decay_s, anchor_ts,
+    ) -> dict:
+        """One time-decayed estimate over the full selected span.
+
+        Same merged view as :meth:`plan`, but each bucket's partial is
+        scaled by its decay factor before the merge.  The anchor defaults
+        to the end of the selected data span (deterministic — no wall
+        clock), and the resolved anchor is part of the cache key.
+        """
+        predicate = None if keys is None else key_in(keys)
+        spec = AggregationSpec(function, names, ell=ell)
+        for _attempt in range(8):
+            version, by_bucket, live, live_bucket, live_events = (
+                self._temporal_snapshot(namespace, since, until)
+            )
+            bounds = {bucket: bucket_bounds(bucket) for bucket in by_bucket}
+            span = self._data_span(bounds, live_bucket, live)
+            if span is None:
+                raise LookupError(
+                    f"no data for namespace {namespace!r}"
+                    + (
+                        f" in window [{since or '-'}, {until or '-'}]"
+                        if since or until
+                        else ""
+                    )
+                )
+            anchor = (
+                anchor_ts if anchor_ts is not None else span[1].timestamp()
+            )
+            cache_key = (
+                "estimate", namespace, version, since, until,
+                function, names, estimator, ell, key_sel, decay_s, anchor,
+            )
+            hit = self._probe(cache_key)
+            if hit is not None:
+                return hit
+            try:
+                engine, n_entries, live_n = self._engine_for_span(
+                    namespace, version, by_bucket, bounds, live, live_bucket,
+                    live_events, span[0], span[1], decay_s, anchor,
+                )
+            except FileNotFoundError:
+                continue  # store moved under us; version changed with it
+            resolved = (
+                engine.default_estimator(spec)
+                if estimator == "auto"
+                else estimator
+            )
+            result = {
+                "estimate": engine.estimate(
+                    spec, estimator=estimator, predicate=predicate
+                ),
+                "estimator": resolved,
+                "function": function,
+                "assignments": list(names),
+                "namespace": namespace,
+                "version": version,
+                "decay_s": decay_s,
+                "anchor": anchor,
+                "sources": {
+                    "stored_entries": n_entries,
+                    "live_events": live_n,
+                    "union_keys": engine.summary.n_union,
+                },
+            }
+            return self._cached(
+                cache_key, namespace, version, lambda: result
+            )
+        raise RuntimeError(
+            f"could not plan a stable decayed view of namespace "
+            f"{namespace!r}: the store kept mutating the selected "
+            "artifacts away between snapshot and load"
+        )
+
     # -- answering ------------------------------------------------------------
 
     @staticmethod
@@ -232,7 +572,11 @@ class QueryPlanner:
         hit = self._probe(key)
         if hit is not None:
             return hit
-        result = compute()
+        # Sanitize *before* caching: the persistent row and the wire
+        # carry the same RFC 8259-strict form (non-finite floats as null
+        # + "non_finite" markers), so a replayed answer is
+        # byte-identical to the first serving.
+        result = sanitize_non_finite(compute())
         self._runtime.cache_put(
             self._result_key(key), namespace, version, result,
             max_entries=self.max_cached_results,
@@ -251,12 +595,17 @@ class QueryPlanner:
         keys: Sequence | None = None,
         since: str | None = None,
         until: str | None = None,
+        decay: "str | float | None" = None,
+        anchor: "float | None" = None,
     ) -> dict:
         """One aggregate estimate over the merged live + stored view.
 
         ``keys`` (optional) restricts the subpopulation with a
         :func:`~repro.core.predicates.key_in` predicate, evaluated on the
-        summary's union keys only (predicate pushdown).
+        summary's union keys only (predicate pushdown).  ``decay`` (an
+        exponential half-life duration, e.g. ``"5m"``) weights each
+        bucket by its age at ``anchor`` (default: the end of the
+        selected data span) via the exact rank-scaling transform.
         """
         if function not in FUNCTIONS:
             raise ValueError(
@@ -269,6 +618,12 @@ class QueryPlanner:
             )
         names = tuple(assignments)
         key_sel = None if keys is None else tuple(sorted(map(repr, keys)))
+        if decay is not None:
+            return self._decayed_estimate(
+                namespace, function, names, estimator, ell, keys, key_sel,
+                since, until, parse_duration(decay),
+                None if anchor is None else float(anchor),
+            )
         # Fast path: a previously served answer — possibly from an
         # earlier daemon run — needs no engine at all.
         with self.manager.lock:

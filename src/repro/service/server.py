@@ -51,8 +51,15 @@ from typing import Callable
 import numpy as np
 
 from repro.service.config import ServiceConfig
-from repro.service.planner import QueryPlanner
+from repro.service.jsonutil import (
+    dumps_strict,
+    restore_non_finite,
+    sanitize_non_finite,
+)
+from repro.service.planner import FUNCTIONS, QueryPlanner
+from repro.service.temporal import parse_duration
 from repro.service.windows import LiveWindowManager
+from repro.engine.queries import ESTIMATORS
 from repro.store.store import SummaryStore
 
 __all__ = ["SummaryService", "ServiceThread"]
@@ -110,6 +117,8 @@ class SummaryService:
         self._queue: asyncio.Queue | None = None
         self._server: asyncio.base_events.Server | None = None
         self._stop_event: asyncio.Event | None = None
+        #: wakes /watch/poll long-pollers after ticker evaluations
+        self._watch_cond: asyncio.Condition | None = None
         self._tasks: list[asyncio.Task] = []
         self._connections: set = set()
         self._busy: set = set()  # connections with a request in flight
@@ -131,6 +140,7 @@ class SummaryService:
             raise RuntimeError("service already started")
         self._queue = asyncio.Queue(maxsize=self.config.ingest_queue_batches)
         self._stop_event = asyncio.Event()
+        self._watch_cond = asyncio.Condition()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -163,6 +173,11 @@ class SummaryService:
         # connections): a batch enqueued behind the drain sentinel would
         # be acknowledged but never applied.
         self._stopping = True
+        # Wake long-pollers so they answer (timed out) and release their
+        # connections instead of riding out their deadlines.
+        if self._watch_cond is not None:
+            async with self._watch_cond:
+                self._watch_cond.notify_all()
         server, self._server = self._server, None
         server.close()
         # Close IDLE connections BEFORE wait_closed(): on Python 3.12+
@@ -226,7 +241,8 @@ class SummaryService:
         )
 
     async def _ticker(self) -> None:
-        """Rotate on bucket boundaries; compact on the configured cadence."""
+        """Rotate on bucket boundaries; compact on the configured cadence;
+        re-evaluate due continuous-query registrations."""
         loop = asyncio.get_running_loop()
         last_compact = time.monotonic()
         while True:
@@ -246,10 +262,70 @@ class SummaryService:
                         None, self.manager.compact, self.config.compact_to
                     )
                     self.stats["compactions"] += len(compacted)
+                await self._evaluate_due_watches(loop)
             except asyncio.CancelledError:
                 raise
             except Exception as err:  # keep ticking; surface via /status
                 self.stats["last_error"] = f"ticker: {err}"
+
+    async def _evaluate_due_watches(self, loop) -> None:
+        """Re-evaluate every registration whose cadence has elapsed."""
+        watches = await loop.run_in_executor(
+            None, self.store.runtime.watches
+        )
+        now = self.clock()
+        due = [
+            watch
+            for watch in watches
+            if watch["enabled"]
+            and (
+                watch["last_eval_at"] is None
+                or now - watch["last_eval_at"] >= watch["cadence_s"]
+            )
+        ]
+        for watch in due:
+            await loop.run_in_executor(None, self._evaluate_watch, watch)
+        if due:
+            async with self._watch_cond:
+                self._watch_cond.notify_all()
+
+    @staticmethod
+    def _threshold_triggered(estimate, threshold: dict) -> bool:
+        """Trigger test against an ``{"above": x}`` / ``{"below": x}``.
+
+        ``None`` (an empty-window answer) and NaN (a restored non-finite
+        estimate) never trigger — both comparisons are False for NaN,
+        which is the conservative reading of "crossed the threshold".
+        """
+        if not isinstance(estimate, (int, float)) or isinstance(
+            estimate, bool
+        ):
+            return False
+        if "above" in threshold:
+            return estimate > threshold["above"]
+        return estimate < threshold["below"]
+
+    def _evaluate_watch(self, watch: dict) -> None:
+        """One registration evaluation: answer, trigger test, materialize.
+
+        Runs on an executor thread.  Failures (including "no data yet")
+        become an error row instead of propagating — a registration made
+        before its first ingest starts answering as soon as data lands.
+        """
+        runtime = self.store.runtime
+        try:
+            answer = self._query_work(watch["spec"])()
+            restored = restore_non_finite(dict(answer))
+            triggered = self._threshold_triggered(
+                restored.get("estimate"), watch["threshold"]
+            )
+            error = None
+        except Exception as err:
+            answer, triggered, error = None, False, str(err)
+        # A KeyError here means the registration vanished mid-evaluation
+        # (concurrent remove) — nothing left to materialize into.
+        with contextlib.suppress(KeyError):
+            runtime.record_watch_eval(watch["id"], answer, triggered, error)
 
     # -- HTTP plumbing --------------------------------------------------------
 
@@ -377,7 +453,14 @@ class SummaryService:
     def _write_response(
         self, writer, status: int, payload: dict, keep_alive: bool
     ) -> None:
-        data = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        # RFC 8259-strict serialization: non-finite floats travel as null
+        # + a "non_finite" marker map (the planner already sanitizes its
+        # answers; sanitizing again here is an idempotent no-op that
+        # covers every other payload), and allow_nan=False turns any
+        # missed path into a loud 500 instead of invalid JSON.
+        data = dumps_strict(
+            sanitize_non_finite(payload), sort_keys=True
+        ).encode("utf-8") + b"\n"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
@@ -417,12 +500,23 @@ class SummaryService:
             return await self._handle_query(request)
         if path == "/rotate" and method == "POST":
             return await self._handle_rotate()
+        if path == "/watch" and method == "POST":
+            return await self._handle_watch_register(self._json_body(body))
+        if path == "/watch" and method == "GET":
+            return await self._handle_watch_list(params)
+        if path == "/watch/remove" and method == "POST":
+            return await self._handle_watch_remove(self._json_body(body))
+        if path == "/watch/poll" and method == "GET":
+            return await self._handle_watch_poll(params)
         if path == "/shutdown" and method == "POST":
             # Respond first, stop right after: the event is only *set*
             # here; run() does the drain + checkpoint.
             asyncio.get_running_loop().call_soon(self.request_shutdown)
             return 200, {"ok": True, "stopping": True}
-        known = "/healthz /status /ingest /query /rotate /shutdown"
+        known = (
+            "/healthz /status /ingest /query /rotate /watch /watch/remove "
+            "/watch/poll /shutdown"
+        )
         raise _HttpError(
             405 if path in known.split() else 404,
             f"no route for {method} {path} (endpoints: {known})",
@@ -574,7 +668,13 @@ class SummaryService:
             request["ell"] = int(request["ell"])
         return request
 
-    async def _handle_query(self, request: dict):
+    def _query_work(self, request: dict):
+        """Validate a query request; return the planner thunk answering it.
+
+        Shared by ``/query`` and the continuous-query ticker, so a
+        registered spec is validated at registration time by the exact
+        code path that will re-evaluate it.
+        """
         namespace = request.get("namespace")
         if not namespace:
             raise _HttpError(400, "query needs a 'namespace'")
@@ -582,13 +682,51 @@ class SummaryService:
         assignments = request.get("assignments") or []
         since = request.get("since")
         until = request.get("until")
-        loop = asyncio.get_running_loop()
-        self.stats["queries"] += 1
+        anchor = request.get("anchor")
+        anchor = None if anchor is None else float(anchor)
         if kind == "estimate":
             function = request.get("function")
             if not function:
                 raise _HttpError(400, "estimate query needs a 'function'")
-            work = lambda: self.planner.estimate(  # noqa: E731
+            if function not in FUNCTIONS:
+                raise _HttpError(
+                    400,
+                    f"unknown function {function!r}; known: "
+                    f"{', '.join(FUNCTIONS)}",
+                )
+            if request.get("estimator", "auto") not in ESTIMATORS:
+                raise _HttpError(
+                    400,
+                    f"unknown estimator {request['estimator']!r}; known: "
+                    f"{', '.join(ESTIMATORS)}",
+                )
+            # Duration specs are parsed eagerly so a watch registration
+            # with a bad spec is a 400 now, not an error row later.
+            for field in ("window", "step", "decay"):
+                if request.get(field) is not None:
+                    parse_duration(request[field])
+            window = request.get("window")
+            if window is not None:
+                return lambda: self.planner.window_series(
+                    namespace,
+                    function,
+                    assignments,
+                    window,
+                    step=request.get("step"),
+                    decay=request.get("decay"),
+                    anchor=anchor,
+                    estimator=request.get("estimator", "auto"),
+                    ell=request.get("ell"),
+                    keys=request.get("keys"),
+                    since=since,
+                    until=until,
+                )
+            if request.get("step") is not None:
+                raise _HttpError(
+                    400, "'step' only applies to windowed queries; pass "
+                    "'window' too"
+                )
+            return lambda: self.planner.estimate(
                 namespace,
                 function,
                 assignments,
@@ -597,21 +735,159 @@ class SummaryService:
                 keys=request.get("keys"),
                 since=since,
                 until=until,
+                decay=request.get("decay"),
+                anchor=anchor,
             )
-        elif kind == "jaccard":
-            work = lambda: self.planner.jaccard(  # noqa: E731
+        if kind == "jaccard":
+            for unsupported in ("window", "step", "decay"):
+                if request.get(unsupported) is not None:
+                    raise _HttpError(
+                        400,
+                        f"{unsupported!r} is not supported for jaccard "
+                        "queries",
+                    )
+            return lambda: self.planner.jaccard(
                 namespace,
                 assignments,
                 variant=request.get("variant", "l"),
                 since=since,
                 until=until,
             )
-        else:
-            raise _HttpError(
-                400, f"unknown query kind {kind!r} (estimate, jaccard)"
-            )
+        raise _HttpError(
+            400, f"unknown query kind {kind!r} (estimate, jaccard)"
+        )
+
+    async def _handle_query(self, request: dict):
+        work = self._query_work(request)
+        self.stats["queries"] += 1
+        loop = asyncio.get_running_loop()
         result = await loop.run_in_executor(None, work)
         return 200, {"ok": True, **result}
+
+    async def _handle_watch_register(self, payload: dict):
+        """Register a continuous query: (spec, threshold, cadence).
+
+        The spec is validated by the same code path that will re-evaluate
+        it, the registration lands in ``runtime.sqlite`` (restart-
+        durable), and a first evaluation is materialized immediately so
+        ``GET /watch`` shows health without waiting a cadence.
+        """
+        namespace = payload.get("namespace")
+        if namespace not in self.manager.configs:
+            raise _HttpError(
+                404,
+                f"unknown namespace {namespace!r}; known: "
+                f"{', '.join(self.manager.configs)}",
+            )
+        spec = payload.get("query")
+        if not isinstance(spec, dict):
+            raise _HttpError(
+                400, "watch registration needs a 'query' object (same "
+                "shape as a /query body)"
+            )
+        spec = {**spec, "namespace": namespace}
+        self._query_work(spec)  # validates; thunk discarded
+        threshold = payload.get("threshold")
+        if (
+            not isinstance(threshold, dict)
+            or len(threshold) != 1
+            or next(iter(threshold)) not in ("above", "below")
+        ):
+            raise _HttpError(
+                400,
+                "watch 'threshold' must be {\"above\": x} or {\"below\": x}",
+            )
+        limit = next(iter(threshold.values()))
+        if not isinstance(limit, (int, float)) or isinstance(limit, bool) \
+                or limit != limit or limit in (float("inf"), float("-inf")):
+            raise _HttpError(400, "watch threshold value must be finite")
+        try:
+            cadence_s = float(payload.get("cadence_s", 0))
+        except (TypeError, ValueError):
+            raise _HttpError(400, "watch 'cadence_s' must be a number") \
+                from None
+        if not cadence_s > 0:
+            raise _HttpError(400, "watch 'cadence_s' must be > 0")
+        loop = asyncio.get_running_loop()
+        runtime = self.store.runtime
+        watch_id = await loop.run_in_executor(
+            None,
+            lambda: runtime.register_watch(
+                namespace, spec, threshold, cadence_s
+            ),
+        )
+        await loop.run_in_executor(
+            None,
+            lambda: self._evaluate_watch(runtime.get_watch(watch_id)),
+        )
+        watch = await loop.run_in_executor(
+            None, runtime.get_watch, watch_id
+        )
+        return 200, {"ok": True, "watch": watch}
+
+    async def _handle_watch_list(self, params: dict):
+        namespace = params.get("namespace")
+        watches = await asyncio.get_running_loop().run_in_executor(
+            None, self.store.runtime.watches, namespace
+        )
+        return 200, {"ok": True, "watches": watches}
+
+    async def _handle_watch_remove(self, payload: dict):
+        try:
+            watch_id = int(payload.get("id"))
+        except (TypeError, ValueError):
+            raise _HttpError(400, "watch removal needs a numeric 'id'") \
+                from None
+        removed = await asyncio.get_running_loop().run_in_executor(
+            None, self.store.runtime.remove_watch, watch_id
+        )
+        if not removed:
+            raise _HttpError(
+                404, f"no continuous-query registration {watch_id}"
+            )
+        return 200, {"ok": True, "removed": watch_id}
+
+    async def _handle_watch_poll(self, params: dict):
+        """Long-poll one registration for an evaluation newer than ``after``.
+
+        Returns as soon as ``update_seq > after`` (every ticker
+        evaluation bumps it, triggered or not), or with ``timed_out:
+        true`` at the deadline — the client re-polls with the last seen
+        ``update_seq`` as its new ``after``, so no update is ever missed
+        between polls.
+        """
+        try:
+            watch_id = int(params["id"])
+        except (KeyError, ValueError):
+            raise _HttpError(400, "poll needs a numeric 'id'") from None
+        try:
+            after = int(params.get("after", 0))
+            timeout = float(params.get("timeout", 30.0))
+        except ValueError:
+            raise _HttpError(
+                400, "'after' must be an int, 'timeout' a number"
+            ) from None
+        timeout = min(max(timeout, 0.0), 120.0)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while True:
+            watch = await loop.run_in_executor(
+                None, self.store.runtime.get_watch, watch_id
+            )
+            if watch is None:
+                raise _HttpError(
+                    404, f"no continuous-query registration {watch_id}"
+                )
+            if watch["update_seq"] > after:
+                return 200, {"ok": True, "watch": watch, "timed_out": False}
+            remaining = deadline - loop.time()
+            if remaining <= 0 or self._stopping:
+                return 200, {"ok": True, "watch": watch, "timed_out": True}
+            async with self._watch_cond:
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(
+                        self._watch_cond.wait(), min(remaining, 1.0)
+                    )
 
     async def _handle_rotate(self):
         loop = asyncio.get_running_loop()

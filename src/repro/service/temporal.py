@@ -1,0 +1,195 @@
+"""Temporal query primitives: window specs and exponential decay.
+
+The bucket store makes time a merge dimension — any span of buckets
+merges exactly into one summary — and this module supplies the small,
+deterministic vocabulary the service layers on top of it:
+
+* :func:`parse_duration` — ``"15m"`` / ``"90s"`` / ``"2h"`` / ``"1d"``
+  (or bare seconds) to float seconds;
+* :func:`resolve_windows` — a ``window=15m step=1m`` spec resolved
+  against the half-open :func:`~repro.store.store.bucket_bounds` span of
+  the available data into a concrete series of half-open ``[start, end)``
+  windows (sliding when ``step < window``, tumbling when ``step ==
+  window``);
+* :func:`decay_factor` — the per-bucket exponential half-life factor
+  ``0.5 ** (age / half_life)`` with age measured from the *bucket start*
+  to the query anchor.  Applied through
+  :meth:`~repro.store.codec.SketchBundle.scaled` this is exact for EXP
+  and IPPS ranks (scaling a weight by ``c`` divides its rank by ``c``),
+  so a decayed answer is bit-identical to an offline engine over the
+  equivalently scaled summaries.
+
+Everything here is pure arithmetic over UTC instants: no clocks, no
+store access, no randomness — the planner and the offline test harness
+call the same functions and must get the same windows and factors.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from datetime import datetime, timezone
+
+__all__ = [
+    "parse_duration",
+    "format_duration",
+    "resolve_windows",
+    "decay_factor",
+    "MIN_DECAY_FACTOR",
+]
+
+_DURATION_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*(s|m|h|d)?\s*$")
+
+_UNIT_SECONDS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+#: floor for decay factors: far below any meaningful weight, far above
+#: the subnormal range where ``rank / factor`` would overflow to +inf
+#: and break the scaled-sketch exactness contract.
+MIN_DECAY_FACTOR = 1e-300
+
+_EPOCH = datetime(1970, 1, 1, tzinfo=timezone.utc)
+
+
+def parse_duration(spec: "str | float | int") -> float:
+    """Parse a duration spec into seconds.
+
+    Accepts a number (seconds) or a string with an optional unit suffix:
+    ``s`` (seconds), ``m`` (minutes), ``h`` (hours), ``d`` (days).
+
+    >>> parse_duration("15m")
+    900.0
+    >>> parse_duration("1.5h")
+    5400.0
+    >>> parse_duration(90)
+    90.0
+    """
+    if isinstance(spec, (int, float)) and not isinstance(spec, bool):
+        seconds = float(spec)
+    else:
+        match = _DURATION_RE.match(str(spec))
+        if match is None:
+            raise ValueError(
+                f"invalid duration {spec!r}; expected a number with an "
+                "optional s/m/h/d suffix, e.g. '15m' or '90s'"
+            )
+        seconds = float(match.group(1)) * _UNIT_SECONDS[match.group(2) or "s"]
+    if not (math.isfinite(seconds) and seconds > 0.0):
+        raise ValueError(f"duration must be finite and > 0, got {spec!r}")
+    return seconds
+
+
+def format_duration(seconds: float) -> str:
+    """Render seconds with the largest exact unit (inverse of parse).
+
+    >>> format_duration(900.0)
+    '15m'
+    """
+    for unit in ("d", "h", "m"):
+        span = _UNIT_SECONDS[unit]
+        if seconds % span == 0.0 and seconds >= span:
+            return f"{int(seconds // span)}{unit}"
+    value = int(seconds) if float(seconds).is_integer() else seconds
+    return f"{value}s"
+
+
+def _to_ts(when: "datetime | float") -> float:
+    if isinstance(when, datetime):
+        if when.tzinfo is None:
+            when = when.replace(tzinfo=timezone.utc)
+        return when.timestamp()
+    return float(when)
+
+
+def resolve_windows(
+    data_start: "datetime | float",
+    data_end: "datetime | float",
+    window_s: float,
+    step_s: "float | None" = None,
+    anchor: "datetime | float | None" = None,
+) -> list[tuple[datetime, datetime]]:
+    """Resolve a window spec into concrete half-open ``[start, end)`` spans.
+
+    ``data_start``/``data_end`` bound the available data (the union of
+    the selected buckets' :func:`~repro.store.store.bucket_bounds`
+    spans).  Window *ends* advance by ``step_s`` (default: tumbling,
+    ``step_s = window_s``) and are aligned to multiples of ``step_s``
+    since the epoch — so the series a client observes is a stable
+    function of the data span, not of when it asked.  The first window is
+    the earliest aligned one intersecting the data, the last the first
+    aligned one covering ``data_end``.  Passing ``anchor`` pins the
+    final window's end to that instant instead (earlier ends still step
+    back by ``step_s``), which is what a continuous query's fixed
+    evaluation uses.
+
+    >>> from datetime import datetime, timezone
+    >>> utc = timezone.utc
+    >>> resolve_windows(datetime(2026, 7, 28, 12, 0, tzinfo=utc),
+    ...                 datetime(2026, 7, 28, 12, 2, tzinfo=utc),
+    ...                 120.0, 60.0)[-1]
+    (datetime.datetime(2026, 7, 28, 12, 0, tzinfo=datetime.timezone.utc), datetime.datetime(2026, 7, 28, 12, 2, tzinfo=datetime.timezone.utc))
+    """
+    window_s = float(window_s)
+    step_s = window_s if step_s is None else float(step_s)
+    if not (math.isfinite(window_s) and window_s > 0.0):
+        raise ValueError(f"window must be finite and > 0, got {window_s!r}")
+    if not (math.isfinite(step_s) and step_s > 0.0):
+        raise ValueError(f"step must be finite and > 0, got {step_s!r}")
+    if step_s > window_s:
+        raise ValueError(
+            f"step ({step_s}s) must not exceed window ({window_s}s); gaps "
+            "between windows would silently drop data"
+        )
+    lo = _to_ts(data_start)
+    hi = _to_ts(data_end)
+    if hi <= lo:
+        return []
+    if anchor is not None:
+        last_end = _to_ts(anchor)
+    else:
+        last_end = math.ceil(hi / step_s) * step_s
+    # Earliest aligned end whose window [end - window, end) still
+    # intersects the data, i.e. end > lo.
+    steps_back = max(0, math.floor((last_end - lo) / step_s - 1e-9))
+    windows = []
+    # Each end is one multiplication from last_end (never accumulated
+    # through repeated addition): with an inexact step like 0.05 the
+    # accumulated sum drifts and can fall short of last_end, silently
+    # dropping the final window.
+    for back in range(steps_back, -1, -1):
+        end = last_end - back * step_s
+        start_dt = datetime.fromtimestamp(end - window_s, tz=timezone.utc)
+        end_dt = datetime.fromtimestamp(end, tz=timezone.utc)
+        windows.append((start_dt, end_dt))
+    return windows
+
+
+def decay_factor(
+    bucket_start: "datetime | float",
+    anchor: "datetime | float",
+    half_life_s: float,
+) -> float:
+    """Exponential decay factor for one bucket at a query anchor.
+
+    ``0.5 ** (age / half_life)`` with ``age = anchor - bucket_start`` —
+    a bucket one half-life old contributes half its weight, two
+    half-lives a quarter, and buckets *after* the anchor are boosted
+    symmetrically (negative age).  Clamped to
+    [:data:`MIN_DECAY_FACTOR`, 1/:data:`MIN_DECAY_FACTOR`] so the
+    rank-scaling transform (``rank / factor``) can never overflow.
+
+    The factor is uniform within a bucket (age is measured from the
+    bucket's start), which is what keeps decay exact under merge: a
+    uniformly scaled sketch is a valid sketch of the scaled sub-dataset.
+    """
+    half_life_s = float(half_life_s)
+    if not (math.isfinite(half_life_s) and half_life_s > 0.0):
+        raise ValueError(
+            f"half-life must be finite and > 0, got {half_life_s!r}"
+        )
+    age = _to_ts(anchor) - _to_ts(bucket_start)
+    # Clamp in log2 space: ``2.0 ** huge`` raises OverflowError before a
+    # post-hoc clamp could run.
+    max_exp = math.log2(1.0 / MIN_DECAY_FACTOR)
+    exponent = min(max(-age / half_life_s, -max_exp), max_exp)
+    factor = 2.0 ** exponent
+    return min(max(factor, MIN_DECAY_FACTOR), 1.0 / MIN_DECAY_FACTOR)

@@ -313,6 +313,22 @@ class LiveWindowManager:
                 return None
             return window.summarizer.sketch_bundle()
 
+    def live_view(self, namespace: str) -> tuple[str, int, "object | None"]:
+        """Atomic ``(bucket, events, bundle)`` snapshot of the live window.
+
+        One lock acquisition covers all three reads, so the bundle (or
+        ``None`` when the window is empty) is guaranteed to belong to the
+        returned bucket — the invariant the query planner's temporal
+        snapshot needs when it decides which windows the live data falls
+        into.
+        """
+        with self._lock:
+            window = self._window(namespace)
+            bundle = (
+                window.summarizer.sketch_bundle() if window.events else None
+            )
+            return window.bucket, window.events, bundle
+
     # -- mutation -------------------------------------------------------------
 
     def ingest(

@@ -171,6 +171,28 @@ class SketchBundle:
             method_name=self.method_name,
         )
 
+    def scaled(self, factor: float) -> "SketchBundle":
+        """The bundle with every sketch's weights scaled by ``factor``.
+
+        Delegates to :meth:`BottomKSketch.scaled` /
+        :meth:`PoissonSketch.scaled` per assignment — exact for EXP and
+        IPPS ranks, and coordination metadata (family, salt, method) is
+        untouched, so scaled bundles of key-disjoint data still merge
+        exactly.  ``factor=1.0`` short-circuits to a metadata-sharing
+        no-op copy (the common undecayed path pays nothing).
+        """
+        if float(factor) == 1.0:
+            return self
+        return SketchBundle(
+            kind=self.kind,
+            sketches={
+                name: sk.scaled(factor) for name, sk in self.sketches.items()
+            },
+            family=self.family,
+            hasher_salt=self.hasher_salt,
+            method_name=self.method_name,
+        )
+
     def summary(self) -> MultiAssignmentSummary:
         """Assemble the dispersed multi-assignment summary (bottom-k only)."""
         from repro.core.summary import build_summary_from_sketches

@@ -93,6 +93,22 @@ CREATE TABLE IF NOT EXISTS counters (
     name  TEXT PRIMARY KEY,
     value INTEGER NOT NULL
 );
+CREATE TABLE IF NOT EXISTS registrations (
+    id              INTEGER PRIMARY KEY AUTOINCREMENT,
+    namespace       TEXT    NOT NULL,
+    spec            TEXT    NOT NULL,
+    threshold       TEXT    NOT NULL,
+    cadence_s       REAL    NOT NULL,
+    enabled         INTEGER NOT NULL DEFAULT 1,
+    created_at      REAL    NOT NULL,
+    update_seq      INTEGER NOT NULL DEFAULT 0,
+    evaluations     INTEGER NOT NULL DEFAULT 0,
+    triggered_count INTEGER NOT NULL DEFAULT 0,
+    last_answer     TEXT,
+    last_triggered  INTEGER NOT NULL DEFAULT 0,
+    last_eval_at    REAL,
+    last_error      TEXT
+);
 """
 
 
@@ -428,7 +444,13 @@ class RuntimeStore:
         (ties broken by least-recent hit) go first, so hot repeated
         queries survive restarts and version churn.
         """
-        blob = json.dumps(payload, default=_json_default)
+        # allow_nan=False: cache rows obey the same RFC 8259-strict
+        # contract as the wire (the planner sanitizes non-finite floats
+        # into null + "non_finite" markers before they reach here), so a
+        # replayed answer is byte-identical to the first serving and a
+        # missed sanitization fails loudly instead of persisting an
+        # unparseable row.
+        blob = json.dumps(payload, default=_json_default, allow_nan=False)
         now = time.time()
         with self.transaction():
             self._conn.execute(
@@ -466,6 +488,152 @@ class RuntimeStore:
             (limit,),
         ).fetchall()
         return [dict(row) for row in rows]
+
+    # -- continuous-query registrations ---------------------------------------
+
+    @staticmethod
+    def _watch_dict(row: sqlite3.Row) -> dict:
+        answer = row["last_answer"]
+        return {
+            "id": int(row["id"]),
+            "namespace": row["namespace"],
+            "spec": json.loads(row["spec"]),
+            "threshold": json.loads(row["threshold"]),
+            "cadence_s": float(row["cadence_s"]),
+            "enabled": bool(row["enabled"]),
+            "created_at": float(row["created_at"]),
+            "update_seq": int(row["update_seq"]),
+            "evaluations": int(row["evaluations"]),
+            "triggered_count": int(row["triggered_count"]),
+            "last_answer": None if answer is None else json.loads(answer),
+            "last_triggered": bool(row["last_triggered"]),
+            "last_eval_at": (
+                None if row["last_eval_at"] is None
+                else float(row["last_eval_at"])
+            ),
+            "last_error": row["last_error"],
+        }
+
+    def register_watch(
+        self,
+        namespace: str,
+        spec: dict,
+        threshold: dict,
+        cadence_s: float,
+    ) -> int:
+        """Persist one continuous-query registration; returns its id.
+
+        ``spec`` is the query body the ticker will re-evaluate (same
+        shape as a ``/query`` request), ``threshold`` an
+        ``{"above": x}`` / ``{"below": x}`` trigger condition, and
+        ``cadence_s`` the re-evaluation period.  Registrations live in
+        ``runtime.sqlite``, so they survive daemon restarts.
+        """
+        with self.transaction():
+            cursor = self._conn.execute(
+                "INSERT INTO registrations (namespace, spec, threshold, "
+                "cadence_s, created_at) VALUES (?, ?, ?, ?, ?)",
+                (
+                    namespace,
+                    json.dumps(spec, allow_nan=False),
+                    json.dumps(threshold, allow_nan=False),
+                    float(cadence_s),
+                    time.time(),
+                ),
+            )
+            self.add_counter("watch_registrations", 1)
+            return int(cursor.lastrowid)
+
+    def watches(self, namespace: str | None = None) -> list[dict]:
+        """Every registration (optionally one namespace's), oldest first."""
+        if namespace is None:
+            rows = self._execute(
+                "SELECT * FROM registrations ORDER BY id"
+            ).fetchall()
+        else:
+            rows = self._execute(
+                "SELECT * FROM registrations WHERE namespace = ? ORDER BY id",
+                (namespace,),
+            ).fetchall()
+        return [self._watch_dict(row) for row in rows]
+
+    def get_watch(self, watch_id: int) -> dict | None:
+        row = self._execute(
+            "SELECT * FROM registrations WHERE id = ?", (int(watch_id),)
+        ).fetchone()
+        return None if row is None else self._watch_dict(row)
+
+    def remove_watch(self, watch_id: int) -> bool:
+        """Delete one registration; True when a row was removed."""
+        with self.transaction():
+            cursor = self._conn.execute(
+                "DELETE FROM registrations WHERE id = ?", (int(watch_id),)
+            )
+            return cursor.rowcount > 0
+
+    def record_watch_eval(
+        self,
+        watch_id: int,
+        answer: dict | None,
+        triggered: bool,
+        error: str | None = None,
+    ) -> int:
+        """Materialize one evaluation's outcome; returns the new update_seq.
+
+        Every evaluation bumps ``update_seq`` (the long-poll wake
+        cursor) and the ``watch_evaluations`` counter; a triggered one
+        additionally bumps ``triggered_count`` / ``watch_triggers``.
+        The last answer row is what ``repro-serve stats`` and
+        ``GET /watch`` report as registered-query health.
+        """
+        with self.transaction():
+            self._conn.execute(
+                "UPDATE registrations SET "
+                "update_seq = update_seq + 1, "
+                "evaluations = evaluations + 1, "
+                "triggered_count = triggered_count + ?, "
+                "last_answer = ?, last_triggered = ?, last_eval_at = ?, "
+                "last_error = ? WHERE id = ?",
+                (
+                    1 if triggered else 0,
+                    None if answer is None
+                    else json.dumps(
+                        answer, default=_json_default, allow_nan=False
+                    ),
+                    1 if triggered else 0,
+                    time.time(),
+                    error,
+                    int(watch_id),
+                ),
+            )
+            self.add_counter("watch_evaluations", 1)
+            if triggered:
+                self.add_counter("watch_triggers", 1)
+            row = self._conn.execute(
+                "SELECT update_seq FROM registrations WHERE id = ?",
+                (int(watch_id),),
+            ).fetchone()
+            if row is None:
+                raise KeyError(f"no continuous-query registration {watch_id}")
+            return int(row["update_seq"])
+
+    def watch_stats(self) -> dict:
+        """Registered-query health rollup for the stats surfaces."""
+        row = self._execute(
+            "SELECT COUNT(*) AS n, "
+            "COALESCE(SUM(evaluations), 0) AS evaluations, "
+            "COALESCE(SUM(triggered_count), 0) AS triggers, "
+            "COALESCE(SUM(last_triggered), 0) AS currently_triggered, "
+            "COALESCE(SUM(last_error IS NOT NULL), 0) AS erroring "
+            "FROM registrations"
+        ).fetchone()
+        return {
+            "registrations": int(row["n"]),
+            "evaluations": int(row["evaluations"]),
+            "triggers": int(row["triggers"]),
+            "currently_triggered": int(row["currently_triggered"]),
+            "erroring": int(row["erroring"]),
+        }
 
     # -- telemetry counters ---------------------------------------------------
 
@@ -514,6 +682,7 @@ class RuntimeStore:
             "namespaces": per_namespace,
             "counters": self.counters(),
             "cache": self.cache_stats(),
+            "watches": self.watch_stats(),
             "migrated_legacy_entries": (
                 None if migrated is None else int(migrated)
             ),

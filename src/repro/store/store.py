@@ -145,6 +145,17 @@ def bucket_for(when: datetime | float, granularity: str = "minute") -> str:
     return when.strftime(_BUCKET_FORMATS[granularity][0])
 
 
+def _as_utc(when: datetime | float | None) -> datetime | None:
+    """Normalize an instant (datetime or POSIX seconds) to aware UTC."""
+    if when is None:
+        return None
+    if not isinstance(when, datetime):
+        return datetime.fromtimestamp(float(when), tz=timezone.utc)
+    if when.tzinfo is None:
+        return when.replace(tzinfo=timezone.utc)
+    return when.astimezone(timezone.utc)
+
+
 def bucket_bounds(bucket: str) -> tuple[datetime, datetime]:
     """UTC half-open time span ``[start, end)`` a bucket id covers.
 
@@ -546,6 +557,36 @@ class SummaryStore:
                 continue
             windowed.append(entry)
         return windowed
+
+    def bundle_entries_spanning(
+        self,
+        namespace: str,
+        start: datetime | float | None = None,
+        end: datetime | float | None = None,
+    ) -> list[StoreEntry]:
+        """Sketch-bundle entries whose bucket span intersects ``[start, end)``.
+
+        The timestamp-level sibling of :meth:`bundle_entries`: selection is
+        by raw UTC instants (datetime or POSIX seconds) against each
+        entry's half-open :func:`bucket_bounds` span, which is what the
+        service's sliding-window planner resolves ``window=15m step=1m``
+        specs with.  Like the bucket-id form, the selection is stable
+        across minute→hour→day compaction — a rollup bucket is selected
+        whenever any instant of the window falls inside it.
+        """
+        start_dt = _as_utc(start)
+        end_dt = _as_utc(end)
+        selected = []
+        for entry in self.entries(namespace):
+            if entry.kind not in BUNDLE_KINDS:
+                continue
+            lo, hi = bucket_bounds(entry.bucket)
+            if start_dt is not None and hi <= start_dt:
+                continue
+            if end_dt is not None and lo >= end_dt:
+                continue
+            selected.append(entry)
+        return selected
 
     # -- writing --------------------------------------------------------------
 

@@ -1,0 +1,184 @@
+"""Tests for the RFC 8259-strict JSON contract (non-finite floats).
+
+The satellite bugfix of PR 7: the service wire and the persistent query
+cache must never emit bare ``NaN``/``Infinity`` tokens.  Non-finite
+floats travel as ``null`` plus a ``"non_finite"`` marker map and are
+restored client-side.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.jsonutil import (
+    NON_FINITE_KEY,
+    dumps_strict,
+    restore_non_finite,
+    sanitize_non_finite,
+)
+
+
+def _reject(token):
+    raise AssertionError(f"non-RFC token {token!r} reached the parser")
+
+
+def loads_strict(text: str):
+    """``json.loads`` that fails on NaN/Infinity/-Infinity tokens."""
+    return json.loads(text, parse_constant=_reject)
+
+
+class TestSanitize:
+    def test_finite_payload_untouched(self):
+        payload = {"estimate": 1.5, "sources": {"n": 3}, "ok": True}
+        assert sanitize_non_finite(payload) == payload
+
+    def test_top_level_nan(self):
+        out = sanitize_non_finite({"estimate": float("nan"), "n": 3})
+        assert out == {
+            "estimate": None, "n": 3, NON_FINITE_KEY: {"/estimate": "nan"},
+        }
+
+    def test_nested_paths(self):
+        payload = {
+            "windows": [
+                {"estimate": 1.0},
+                {"estimate": float("inf")},
+                {"estimate": float("-inf")},
+            ],
+            "sources": {"ratio": float("nan")},
+        }
+        out = sanitize_non_finite(payload)
+        assert out[NON_FINITE_KEY] == {
+            "/windows/1/estimate": "inf",
+            "/windows/2/estimate": "-inf",
+            "/sources/ratio": "nan",
+        }
+        assert out["windows"][1]["estimate"] is None
+        assert out["windows"][0]["estimate"] == 1.0
+
+    def test_idempotent(self):
+        payload = {"estimate": float("nan"), "deep": [float("inf")]}
+        once = sanitize_non_finite(payload)
+        twice = sanitize_non_finite(once)
+        assert once == twice
+
+    def test_bools_and_none_survive(self):
+        payload = {"a": True, "b": False, "c": None, "d": [True, None]}
+        assert sanitize_non_finite(payload) == payload
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(TypeError):
+            sanitize_non_finite([1.0])
+
+    def test_sanitized_payload_serializes_strictly(self):
+        payload = {"estimate": float("nan"), "rows": [float("inf"), 2.0]}
+        text = dumps_strict(sanitize_non_finite(payload))
+        decoded = loads_strict(text)  # would raise on NaN/Infinity tokens
+        assert decoded["estimate"] is None
+
+    def test_unsanitized_payload_fails_loudly(self):
+        with pytest.raises(ValueError):
+            dumps_strict({"estimate": float("nan")})
+
+
+class TestRestore:
+    def test_round_trip_bit_exact(self):
+        payload = {
+            "estimate": float("nan"),
+            "windows": [{"estimate": float("inf")}, {"estimate": 2.5}],
+            "anchor": -1.25,
+        }
+        restored = restore_non_finite(sanitize_non_finite(payload))
+        assert math.isnan(restored["estimate"])
+        assert restored["windows"][0]["estimate"] == float("inf")
+        assert restored["windows"][1]["estimate"] == 2.5
+        assert restored["anchor"] == -1.25
+        assert NON_FINITE_KEY not in restored
+
+    def test_no_marker_is_identity(self):
+        payload = {"estimate": 1.0}
+        assert restore_non_finite(payload) is payload
+
+    def test_round_trip_through_wire_form(self):
+        """sanitize -> strict dumps -> loads -> restore == original."""
+        payload = {"estimate": float("-inf"), "n": 7}
+        wire = dumps_strict(sanitize_non_finite(payload), sort_keys=True)
+        restored = restore_non_finite(loads_strict(wire))
+        assert restored["estimate"] == float("-inf")
+        assert restored["n"] == 7
+
+    def test_unknown_marker_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            restore_non_finite(
+                {"estimate": None, NON_FINITE_KEY: {"/estimate": "huge"}}
+            )
+
+    def test_dangling_path_rejected(self):
+        with pytest.raises(ValueError, match="does not resolve"):
+            restore_non_finite(
+                {"estimate": None, NON_FINITE_KEY: {"/missing/deep": "nan"}}
+            )
+
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-10, 10),
+    st.floats(allow_nan=True, allow_infinity=True, width=64),
+    st.text(
+        alphabet=st.characters(
+            whitelist_categories=("L", "N"), max_codepoint=0x2FF
+        ),
+        max_size=8,
+    ),
+)
+
+_payloads = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(
+            st.text(
+                alphabet=st.characters(
+                    whitelist_categories=("L", "N"), max_codepoint=0x2FF
+                ),
+                min_size=1,
+                max_size=6,
+            ).filter(lambda key: key != NON_FINITE_KEY),
+            children,
+            max_size=4,
+        ),
+    ),
+    max_leaves=20,
+)
+
+
+def _equal_with_nan(a, b) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        return (a != a and b != b) or a == b
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(
+            _equal_with_nan(a[k], b[k]) for k in a
+        )
+    if isinstance(a, list) and isinstance(b, list):
+        return len(a) == len(b) and all(
+            _equal_with_nan(x, y) for x, y in zip(a, b)
+        )
+    return a == b and type(a) is type(b)
+
+
+@settings(deadline=None, max_examples=100)
+@given(body=st.dictionaries(st.text(min_size=1, max_size=6).filter(
+    lambda key: key != NON_FINITE_KEY and "/" not in key
+), _payloads, max_size=4))
+def test_arbitrary_payloads_round_trip(body):
+    """sanitize -> strict wire -> restore reproduces the payload exactly,
+    and the wire form always parses in strict RFC mode."""
+    wire = dumps_strict(sanitize_non_finite(body), sort_keys=True)
+    restored = restore_non_finite(loads_strict(wire))
+    assert _equal_with_nan(restored, body)

@@ -35,6 +35,32 @@ class TestParser:
         )
         assert args.function == "max" and args.port == 8765
 
+    def test_query_temporal_flags(self):
+        args = build_parser().parse_args(
+            ["query", "--namespace", "web", "--assignments", "h1",
+             "--window", "15m", "--step", "1m", "--decay", "1h",
+             "--anchor", "1785400000"]
+        )
+        assert args.window == "15m" and args.step == "1m"
+        assert args.decay == "1h" and args.anchor == 1785400000.0
+
+    def test_watch_requires_one_threshold_direction(self):
+        base = ["watch", "--namespace", "web", "--assignments", "h1",
+                "--every", "30s"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(base)  # no direction
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                base + ["--above", "1.0", "--below", "2.0"]
+            )
+        args = build_parser().parse_args(base + ["--above", "1e6"])
+        assert args.above == 1e6 and args.below is None
+        assert args.every == 30.0  # duration spec parsed to seconds
+
+    def test_watch_poll_defaults(self):
+        args = build_parser().parse_args(["watch-poll", "--id", "3"])
+        assert args.id == 3 and args.after == 0 and args.wait == 30.0
+
     def test_serve_requires_exactly_one_config_source(self, tmp_path):
         with pytest.raises(SystemExit, match="exactly one"):
             main(["serve"])
