@@ -65,13 +65,22 @@ def _provenance() -> dict:
     return {"git_sha": sha, "repro_version": version}
 
 
-def write_bench_json(name: str, config: dict, metrics: dict) -> pathlib.Path:
+def write_bench_json(
+    name: str,
+    config: dict,
+    metrics: dict,
+    topology: dict | None = None,
+) -> pathlib.Path:
     """Persist one bench run as ``benchmarks/results/BENCH_<name>.json``.
 
     ``config`` describes the workload shape (so two runs are known to be
     comparable); ``metrics`` carries the measured numbers (seconds,
-    ops/sec, speedups, booleans for correctness gates).  Values must be
-    JSON-serializable.  Returns the written path.
+    ops/sec, speedups, booleans for correctness gates).  ``topology``
+    stamps the cluster shape of a distributed run — worker count,
+    replication factor, slot count — so single-node and cluster numbers
+    are never conflated; single-process benches omit it and their
+    envelope is unchanged.  Values must be JSON-serializable.  Returns
+    the written path.
     """
     safe = re.sub(r"[^A-Za-z0-9_.-]", "_", name)
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -83,5 +92,7 @@ def write_bench_json(name: str, config: dict, metrics: dict) -> pathlib.Path:
         "host": _host(),
         "provenance": _provenance(),
     }
+    if topology is not None:
+        payload["topology"] = dict(topology)
     path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
     return path

@@ -193,6 +193,36 @@ class QueryEngine:
         merged = bundles[0].merge(*bundles[1:])
         return cls(merged.summary(), dataset)
 
+    @classmethod
+    def from_encoded_bundles(
+        cls,
+        blobs: "Sequence[bytes]",
+        dataset: MultiAssignmentDataset | None = None,
+        scales: "Sequence[float] | None" = None,
+    ) -> "QueryEngine":
+        """Engine over codec-encoded sketch bundles — the over-the-wire path.
+
+        The cluster coordinator's entry point: each blob is a
+        :func:`~repro.store.codec.encode`'d :class:`~repro.store.codec.
+        SketchBundle` fetched from a worker's ``GET /bundle``.  Decoding
+        verifies the embedded CRC (a corrupted transfer fails loudly),
+        and because the codec round-trips IEEE-754 doubles bit-exactly,
+        the merged answers are bit-identical to a single-process engine
+        over the union of the workers' events.
+        """
+        from repro.store.codec import SketchBundle, decode
+
+        bundles = []
+        for position, blob in enumerate(blobs):
+            obj = decode(blob, verify=True)
+            if not isinstance(obj, SketchBundle):
+                raise ValueError(
+                    f"blob {position} decodes to {type(obj).__name__}, "
+                    "not a SketchBundle"
+                )
+            bundles.append(obj)
+        return cls.from_bundles(bundles, dataset, scales=scales)
+
     @staticmethod
     def serve_many(
         store,

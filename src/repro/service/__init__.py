@@ -18,15 +18,29 @@ multicore execution layer together behind an asyncio HTTP JSON API:
 * :mod:`repro.service.client` — :class:`ServiceClient`, a thin stdlib
   HTTP client;
 * :mod:`repro.service.cli` — the ``repro-serve`` command
-  (serve / status / ingest / query / shutdown).
+  (serve / coordinate / status / ingest / query / cluster-* / shutdown);
+* :mod:`repro.service.cluster` — distributed cluster mode: slot-routed
+  ingest across workers (:class:`ClusterClient`) and a coordinator
+  daemon (:class:`CoordinatorService`) answering queries as the exact
+  merge of per-worker sketch-bundle partials.
 
 Service answers are *exact* relative to the offline path: a query served
 over (live window + stored buckets) returns bit-identical estimates to a
 :class:`~repro.engine.queries.QueryEngine` run over the equivalently
-merged summaries.
+merged summaries — and a *cluster* answer merged from per-slot worker
+bundles is bit-identical to a single node over the union of all events.
 """
 
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.cluster import (
+    ClusterClient,
+    ClusterError,
+    ClusterTopology,
+    CoordinatorConfig,
+    CoordinatorService,
+    CoordinatorThread,
+    slot_namespace_configs,
+)
 from repro.service.config import NamespaceConfig, ServiceConfig
 from repro.service.planner import QueryPlanner
 from repro.service.server import ServiceThread, SummaryService
@@ -34,6 +48,12 @@ from repro.service.windows import CHECKPOINT_PART, LiveWindowManager
 
 __all__ = [
     "CHECKPOINT_PART",
+    "ClusterClient",
+    "ClusterError",
+    "ClusterTopology",
+    "CoordinatorConfig",
+    "CoordinatorService",
+    "CoordinatorThread",
     "LiveWindowManager",
     "NamespaceConfig",
     "QueryPlanner",
@@ -42,4 +62,5 @@ __all__ = [
     "ServiceError",
     "ServiceThread",
     "SummaryService",
+    "slot_namespace_configs",
 ]

@@ -13,6 +13,17 @@ Run the daemon, check it, and talk to it:
     repro-serve stats --port 8765            # ops telemetry via /status
     repro-serve stats --root /tmp/flows      # read runtime.sqlite directly
 
+Cluster mode (see ``repro.service.cluster``):
+
+    repro-serve serve --root /tmp/w1 --namespace web \\
+        --assignments bytes packets --cluster-slots 16 --port 9001
+    repro-serve coordinate --root /tmp/coord --namespace web \\
+        --assignments bytes packets --slots 16 --replication 2 --port 8900
+    repro-serve cluster-join --port 8900 --worker-id w1 --worker-port 9001
+    repro-serve cluster-status --port 8900
+    repro-serve query --port 8900 --namespace web --function max \\
+        --assignments bytes packets    # exact merge across all workers
+
 ``serve`` runs in the foreground until SIGTERM/SIGINT (or a client's
 ``POST /shutdown``), then drains the ingest queue and checkpoints every
 live window into the store, so the next ``serve`` resumes the stream
@@ -47,31 +58,45 @@ def _config_from_args(args: argparse.Namespace) -> ServiceConfig:
         config = ServiceConfig.from_file(args.config)
         if args.port is not None:
             config = config.with_port(args.port)
-        return config
-    if not args.namespace or not args.assignments:
-        raise SystemExit(
-            "--root needs --namespace and --assignments to describe the "
-            "served namespace"
+    else:
+        if not args.namespace or not args.assignments:
+            raise SystemExit(
+                "--root needs --namespace and --assignments to describe the "
+                "served namespace"
+            )
+        namespace = NamespaceConfig(
+            name=args.namespace,
+            assignments=tuple(args.assignments),
+            k=args.k,
+            n_shards=args.n_shards,
+            family=args.family,
+            salt=args.salt,
         )
-    namespace = NamespaceConfig(
-        name=args.namespace,
-        assignments=tuple(args.assignments),
-        k=args.k,
-        n_shards=args.n_shards,
-        family=args.family,
-        salt=args.salt,
-    )
-    return ServiceConfig(
-        store_root=args.root,
-        namespaces=(namespace,),
-        host=args.host,
-        port=args.port if args.port is not None else 8765,
-        granularity=args.granularity,
-        compact_to=None if args.compact_to == "off" else args.compact_to,
-        compact_every_s=args.compact_every,
-        tick_s=args.tick,
-        executor=args.executor,
-    )
+        config = ServiceConfig(
+            store_root=args.root,
+            namespaces=(namespace,),
+            host=args.host,
+            port=args.port if args.port is not None else 8765,
+            granularity=args.granularity,
+            compact_to=None if args.compact_to == "off" else args.compact_to,
+            compact_every_s=args.compact_every,
+            tick_s=args.tick,
+            executor=args.executor,
+        )
+    if getattr(args, "cluster_slots", None):
+        # Cluster worker mode: every logical namespace expands into its
+        # per-slot worker namespaces, so a coordinator can route each key
+        # slot here and fetch exactly that slot's partial bundle back.
+        from dataclasses import replace as _replace
+
+        from repro.service.cluster import slot_namespace_configs
+
+        config = _replace(config, namespaces=tuple(
+            slot_config
+            for ns in config.namespaces
+            for slot_config in slot_namespace_configs(ns, args.cluster_slots)
+        ))
+    return config
 
 
 async def _serve(config: ServiceConfig) -> None:
@@ -100,6 +125,106 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _client(args: argparse.Namespace) -> ServiceClient:
     return ServiceClient(args.host, args.port, timeout=args.timeout)
+
+
+def _coordinator_config_from_args(args: argparse.Namespace):
+    from repro.service.cluster import CoordinatorConfig
+
+    if (args.config is None) == (args.root is None):
+        raise SystemExit(
+            "pass exactly one of --config FILE or --root DIR (with "
+            "--namespace/--assignments)"
+        )
+    if args.config is not None:
+        config = CoordinatorConfig.from_file(args.config)
+        if args.port is not None:
+            config = config.with_port(args.port)
+        return config
+    if not args.namespace or not args.assignments:
+        raise SystemExit(
+            "--root needs --namespace and --assignments to describe the "
+            "coordinated namespace"
+        )
+    namespace = NamespaceConfig(
+        name=args.namespace,
+        assignments=tuple(args.assignments),
+        k=args.k,
+        n_shards=args.n_shards,
+        family=args.family,
+        salt=args.salt,
+    )
+    return CoordinatorConfig(
+        root=args.root,
+        namespaces=(namespace,),
+        host=args.host,
+        port=args.port if args.port is not None else 8900,
+        n_slots=args.slots,
+        replication=args.replication,
+        heartbeat_s=args.heartbeat,
+    )
+
+
+async def _coordinate(config) -> None:
+    from repro.service.cluster import CoordinatorService
+
+    service = CoordinatorService(config)
+    await service.start()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(signum, service.request_shutdown)
+    print(
+        f"repro-serve coordinating on http://{config.host}:{service.port} "
+        f"(root {config.root}, {config.n_slots} slots x"
+        f"{config.replication}, namespaces: "
+        f"{', '.join(ns.name for ns in config.namespaces)})",
+        flush=True,
+    )
+    await service.run()
+    print("repro-serve coordinator stopped", flush=True)
+
+
+def _cmd_coordinate(args: argparse.Namespace) -> int:
+    asyncio.run(_coordinate(_coordinator_config_from_args(args)))
+    return 0
+
+
+def _cmd_cluster_join(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        result = client.cluster_join(
+            args.worker_id, args.worker_host, args.worker_port
+        )
+    handoff = result.get("handoff") or {}
+    print(
+        f"worker {result['worker_id']} joined "
+        f"(slots {result.get('slots', [])}, "
+        f"{handoff.get('artifacts', 0)} artifacts handed off"
+        + (f", degraded: {handoff['degraded']}"
+           if handoff.get("degraded") else "")
+        + ")"
+    )
+    return 0
+
+
+def _cmd_cluster_leave(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        result = client.cluster_leave(args.worker_id)
+    handoff = result.get("handoff") or {}
+    print(
+        f"worker {result['worker_id']} left "
+        f"(slots {result.get('slots', [])}, "
+        f"{handoff.get('artifacts', 0)} artifacts handed off"
+        + (f", degraded: {handoff['degraded']}"
+           if handoff.get("degraded") else "")
+        + ")"
+    )
+    return 0
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        print(json.dumps(client.cluster_status(), indent=1, sort_keys=True))
+    return 0
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
@@ -319,7 +444,65 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--executor", default=None, metavar="SPEC",
                        help="finalization/compaction executor spec "
                             "(see repro.engine.parallel)")
+    serve.add_argument("--cluster-slots", type=int, default=None,
+                       metavar="N",
+                       help="cluster worker mode: expand every namespace "
+                            "into N per-slot worker namespaces (must match "
+                            "the coordinator's n_slots)")
     serve.set_defaults(func=_cmd_serve)
+
+    coordinate = commands.add_parser(
+        "coordinate",
+        help="run the cluster coordinator (membership, routed ingest, "
+             "exact merged queries)",
+    )
+    coordinate.add_argument("--config", default=None,
+                            help="coordinator config JSON "
+                                 "(see CoordinatorConfig)")
+    coordinate.add_argument("--root", default=None,
+                            help="coordinator state directory "
+                                 "(runtime.sqlite: membership + cache)")
+    coordinate.add_argument("--namespace", default=None)
+    coordinate.add_argument("--assignments", nargs="+", default=None)
+    coordinate.add_argument("--k", type=int, default=256)
+    coordinate.add_argument("--n-shards", type=int, default=4)
+    coordinate.add_argument("--family", default="ipps",
+                            choices=["ipps", "exp"])
+    coordinate.add_argument("--salt", type=int, default=0)
+    coordinate.add_argument("--host", default="127.0.0.1")
+    coordinate.add_argument("--port", type=int, default=None,
+                            help="bind port (default 8900; 0 = ephemeral)")
+    coordinate.add_argument("--slots", type=int, default=16,
+                            help="key slots partitioning the key space")
+    coordinate.add_argument("--replication", type=int, default=1,
+                            help="owners per slot (2 = replica pairs)")
+    coordinate.add_argument("--heartbeat", type=float, default=2.0,
+                            metavar="SECONDS",
+                            help="worker /health probe cadence")
+    coordinate.set_defaults(func=_cmd_coordinate)
+
+    cluster_join = commands.add_parser(
+        "cluster-join", help="register a worker with a coordinator"
+    )
+    _add_client_args(cluster_join)
+    cluster_join.add_argument("--worker-id", required=True)
+    cluster_join.add_argument("--worker-host", default="127.0.0.1")
+    cluster_join.add_argument("--worker-port", type=int, required=True)
+    cluster_join.set_defaults(func=_cmd_cluster_join)
+
+    cluster_leave = commands.add_parser(
+        "cluster-leave", help="deregister a worker (handoff away first)"
+    )
+    _add_client_args(cluster_leave)
+    cluster_leave.add_argument("--worker-id", required=True)
+    cluster_leave.set_defaults(func=_cmd_cluster_leave)
+
+    cluster_status = commands.add_parser(
+        "cluster-status",
+        help="membership, slot assignment, and health from a coordinator",
+    )
+    _add_client_args(cluster_status)
+    cluster_status.set_defaults(func=_cmd_cluster_status)
 
     status = commands.add_parser("status", help="print the daemon's status")
     _add_client_args(status)

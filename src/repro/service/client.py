@@ -16,14 +16,19 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import time
-from typing import Sequence
+from typing import Callable, Sequence
 from urllib.parse import urlencode
 
 from repro.service.jsonutil import restore_non_finite
 
 __all__ = ["ServiceClient", "ServiceError"]
+
+#: connection-level failures: the request may never have reached a server
+_TRANSIENT = (http.client.HTTPException, ConnectionError, socket.timeout,
+              OSError)
 
 
 class ServiceError(Exception):
@@ -41,15 +46,39 @@ class ServiceError(Exception):
 
 
 class ServiceClient:
-    """Synchronous client for one ``repro-serve`` daemon."""
+    """Synchronous client for one ``repro-serve`` daemon.
+
+    Idempotent verbs (every GET, plus the read-only query POSTs) are
+    retried on *connection-level* failures — refused, reset, timed out,
+    dropped keep-alive — with bounded exponential backoff and full
+    jitter: attempt ``i`` sleeps ``backoff_s * 2**i * uniform(0, 1)``,
+    capped at ``backoff_cap_s``, for at most ``retries`` retries.
+    Non-idempotent POSTs (``/ingest`` above all) are never retried:
+    re-sending a batch the server may already have applied would
+    silently break the exactness contract.  HTTP-level errors
+    (:class:`ServiceError`) are never retried either — a server
+    answered; retrying cannot change its mind.
+
+    ``rng`` and ``sleep`` are injectable for tests.
+    """
 
     def __init__(
         self, host: str = "127.0.0.1", port: int = 8765,
         timeout: float = 30.0,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        rng: Callable[[], float] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self._rng = random.random if rng is None else rng
+        self._sleep = sleep
         self._conn: http.client.HTTPConnection | None = None
 
     # -- plumbing -------------------------------------------------------------
@@ -72,37 +101,73 @@ class ServiceClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def _backoff(self, attempt: int) -> float:
+        """Full-jitter exponential delay before retry ``attempt`` (0-based)."""
+        return min(self.backoff_cap_s, self.backoff_s * (2 ** attempt)) \
+            * self._rng()
+
+    def _raw_request(
+        self,
+        method: str,
+        path: str,
+        payload: bytes | None,
+        headers: dict,
+        idempotent: bool,
+        timeout: float | None = None,
+    ) -> tuple[int, "http.client.HTTPMessage", bytes]:
+        """One HTTP exchange with the retry policy; returns the raw reply.
+
+        ``timeout`` overrides the client-level socket timeout for this
+        call only (per-verb override: a heartbeat probe wants 2s, a big
+        bundle fetch may want 120s).
+        """
+        previous = self.timeout
+        if timeout is not None and timeout != previous:
+            self.timeout = timeout
+            self.close()  # drop the connection built with the old timeout
+        try:
+            attempts = (self.retries + 1) if idempotent else 1
+            for attempt in range(attempts):
+                conn = self._connection()
+                try:
+                    conn.request(method, path, body=payload, headers=headers)
+                    response = conn.getresponse()
+                    data = response.read()
+                    return response.status, response.headers, data
+                except _TRANSIENT:
+                    self.close()
+                    if attempt + 1 >= attempts:
+                        raise
+                    self._sleep(self._backoff(attempt))
+            raise AssertionError("unreachable")  # pragma: no cover
+        finally:
+            if timeout is not None and timeout != previous:
+                self.timeout = previous
+                self.close()
+
     def _request(
-        self, method: str, path: str, body: dict | None = None
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        idempotent: bool | None = None,
+        timeout: float | None = None,
     ) -> dict:
         payload = (
             None if body is None else json.dumps(body).encode("utf-8")
         )
         headers = {"Content-Type": "application/json"} if payload else {}
-        # Only idempotent GETs are retried on a dropped keep-alive
-        # connection: re-sending a POST (e.g. /ingest) could apply a
-        # batch twice and silently break the exactness contract.
-        attempts = (0, 1) if method == "GET" else (1,)
-        for attempt in attempts:
-            conn = self._connection()
-            try:
-                conn.request(method, path, body=payload, headers=headers)
-                response = conn.getresponse()
-                data = response.read()
-                break
-            except (
-                http.client.HTTPException, ConnectionError, socket.timeout,
-                OSError,
-            ):
-                self.close()
-                if attempt:
-                    raise
+        if idempotent is None:
+            idempotent = method == "GET"
+        status, _headers, data = self._raw_request(
+            method, path, payload, headers, idempotent, timeout
+        )
         try:
             decoded = json.loads(data) if data else {}
         except json.JSONDecodeError:
             decoded = {"error": data.decode("utf-8", "replace")}
-        if response.status >= 400:
-            raise ServiceError(response.status, decoded)
+        if status >= 400:
+            raise ServiceError(status, decoded)
         # The wire is RFC 8259-strict: non-finite estimates travel as
         # null plus a "non_finite" marker map.  Put the floats back so
         # callers see the same nan/inf values an in-process engine
@@ -132,11 +197,15 @@ class ServiceClient:
 
     # -- endpoints ------------------------------------------------------------
 
-    def health(self) -> dict:
-        return self._request("GET", "/healthz")
+    def health(self, timeout: float | None = None) -> dict:
+        return self._request("GET", "/healthz", timeout=timeout)
 
-    def status(self) -> dict:
-        return self._request("GET", "/status")
+    def liveness(self, timeout: float | None = None) -> dict:
+        """The lock-free ``GET /health`` probe (coordinator heartbeats)."""
+        return self._request("GET", "/health", timeout=timeout)
+
+    def status(self, timeout: float | None = None) -> dict:
+        return self._request("GET", "/status", timeout=timeout)
 
     def ingest(
         self,
@@ -168,6 +237,7 @@ class ServiceClient:
         until: str | None = None,
         decay: "str | float | None" = None,
         anchor: float | None = None,
+        timeout: float | None = None,
     ) -> dict:
         """One aggregate estimate over the merged live + stored view.
 
@@ -194,7 +264,9 @@ class ServiceClient:
             body["decay"] = decay
         if anchor is not None:
             body["anchor"] = float(anchor)
-        return self._request("POST", "/query", body)
+        # A query POST is a read: safe to retry on connection failures.
+        return self._request("POST", "/query", body, idempotent=True,
+                             timeout=timeout)
 
     def window_series(
         self,
@@ -210,6 +282,7 @@ class ServiceClient:
         keys: Sequence | None = None,
         since: str | None = None,
         until: str | None = None,
+        timeout: float | None = None,
     ) -> dict:
         """Sliding/tumbling window estimates, one row per window.
 
@@ -240,7 +313,8 @@ class ServiceClient:
             body["since"] = since
         if until is not None:
             body["until"] = until
-        return self._request("POST", "/query", body)
+        return self._request("POST", "/query", body, idempotent=True,
+                             timeout=timeout)
 
     def jaccard(
         self,
@@ -249,6 +323,7 @@ class ServiceClient:
         variant: str = "l",
         since: str | None = None,
         until: str | None = None,
+        timeout: float | None = None,
     ) -> dict:
         """Weighted Jaccard ratio estimate between assignments."""
         body = {
@@ -261,7 +336,141 @@ class ServiceClient:
             body["since"] = since
         if until is not None:
             body["until"] = until
-        return self._request("POST", "/query", body)
+        return self._request("POST", "/query", body, idempotent=True,
+                             timeout=timeout)
+
+    # -- sketch-bundle transport (cluster) -------------------------------------
+
+    def bundle(
+        self,
+        namespace: str,
+        since: str | None = None,
+        until: str | None = None,
+        timeout: float | None = None,
+    ) -> tuple[bytes | None, str]:
+        """The namespace's merged view as codec bytes, plus its version.
+
+        Returns ``(blob, version)``; ``blob`` is ``None`` when the
+        namespace holds no data (the version token still identifies the
+        empty state for coordinator caching).
+        """
+        params = {"namespace": namespace}
+        if since is not None:
+            params["since"] = since
+        if until is not None:
+            params["until"] = until
+        status, headers, data = self._raw_request(
+            "GET", f"/bundle?{urlencode(params)}", None, {}, True, timeout
+        )
+        content_type = (headers.get("Content-Type") or "").split(";")[0]
+        if content_type == "application/octet-stream":
+            if status >= 400:  # defensive: errors are always JSON
+                raise ServiceError(status, {"error": "binary error body"})
+            return data, headers.get("X-Repro-Version", "")
+        try:
+            decoded = json.loads(data) if data else {}
+        except json.JSONDecodeError:
+            decoded = {"error": data.decode("utf-8", "replace")}
+        if status >= 400:
+            raise ServiceError(status, decoded)
+        return None, decoded.get("version", "")
+
+    def bundle_entries(
+        self, namespace: str, timeout: float | None = None
+    ) -> dict:
+        """JSON listing of a namespace's sketch-bundle artifacts."""
+        params = urlencode({"namespace": namespace, "list": 1})
+        return self._request("GET", f"/bundle?{params}", timeout=timeout)
+
+    def fetch_artifact(
+        self,
+        namespace: str,
+        bucket: str,
+        part: str,
+        timeout: float | None = None,
+    ) -> bytes:
+        """One stored artifact's raw codec bytes (bucket handoff source)."""
+        params = urlencode({
+            "namespace": namespace, "bucket": bucket, "part": part,
+        })
+        status, headers, data = self._raw_request(
+            "GET", f"/bundle?{params}", None, {}, True, timeout
+        )
+        content_type = (headers.get("Content-Type") or "").split(";")[0]
+        if status >= 400 or content_type != "application/octet-stream":
+            try:
+                decoded = json.loads(data) if data else {}
+            except json.JSONDecodeError:
+                decoded = {"error": data.decode("utf-8", "replace")}
+            raise ServiceError(status, decoded)
+        return data
+
+    def reset_bundles(
+        self, namespace: str, timeout: float | None = None
+    ) -> dict:
+        """Purge one namespace on the worker: live window plus artifacts.
+
+        The coordinator's pre-handoff purge.  Destructive but idempotent
+        (a repeat purges an already-empty namespace), so connection-level
+        failures are retried like the read verbs.
+        """
+        return self._request(
+            "POST", "/bundle/reset", {"namespace": namespace},
+            idempotent=True, timeout=timeout,
+        )
+
+    def put_bundle(
+        self,
+        namespace: str,
+        bucket: str,
+        part: str,
+        blob: bytes,
+        overwrite: bool = False,
+        timeout: float | None = None,
+    ) -> dict:
+        """Upload one codec-encoded bundle artifact (handoff destination).
+
+        Not retried automatically (a replay could race a concurrent
+        writer); with ``overwrite=True`` the upload is idempotent and
+        callers may re-send on failure.
+        """
+        params = {"namespace": namespace, "bucket": bucket, "part": part}
+        if overwrite:
+            params["overwrite"] = 1
+        status, _headers, data = self._raw_request(
+            "POST", f"/bundle?{urlencode(params)}", blob,
+            {"Content-Type": "application/octet-stream"}, False, timeout,
+        )
+        try:
+            decoded = json.loads(data) if data else {}
+        except json.JSONDecodeError:
+            decoded = {"error": data.decode("utf-8", "replace")}
+        if status >= 400:
+            raise ServiceError(status, decoded)
+        return decoded
+
+    # -- cluster coordinator verbs ---------------------------------------------
+
+    def cluster_status(self, timeout: float | None = None) -> dict:
+        """Membership, topology, and health from a coordinator's /cluster."""
+        return self._request("GET", "/cluster", timeout=timeout)
+
+    def cluster_join(
+        self, worker_id: str, host: str, port: int,
+        timeout: float | None = None,
+    ) -> dict:
+        """Register a worker with a coordinator (synchronous handoff)."""
+        return self._request("POST", "/cluster/join", {
+            "worker_id": worker_id, "host": host, "port": int(port),
+        }, timeout=timeout)
+
+    def cluster_leave(
+        self, worker_id: str, timeout: float | None = None
+    ) -> dict:
+        """Deregister a worker (handoff away first, when possible)."""
+        return self._request("POST", "/cluster/leave", {
+            "worker_id": worker_id,
+        }, timeout=timeout)
 
     # -- continuous queries ----------------------------------------------------
 

@@ -1,0 +1,170 @@
+"""The cluster router: slot-partitioned ingest across workers.
+
+:class:`ClusterClient` owns one :class:`~repro.service.client.ServiceClient`
+per worker and routes each ingest batch by key slot: the batch is split
+into per-slot sub-batches (preserving stream order within each slot —
+``np.flatnonzero`` walks indices in ascending order), and every sub-batch
+is delivered to *all* of the slot's HRW owners under the slot namespace
+(``web`` slot 3 → ``web--s003``).
+
+Replicas therefore see identical, identically-ordered event feeds.
+Because every per-key update the engine applies is a plain float sum in
+arrival order, two replicas of a slot end up with bit-identical sketches
+— which is what lets the coordinator answer from *either* replica (or
+detect loss explicitly) instead of merging them, since merging two copies
+of the same keys would trip the exact-merge duplicate guard.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.cluster.topology import ClusterTopology, slot_namespace
+
+__all__ = ["ClusterClient", "ClusterError"]
+
+
+class ClusterError(Exception):
+    """A routing-level failure: no workers, or a delivery that failed."""
+
+
+class ClusterClient:
+    """Routes ingest to slot owners; one HTTP client per worker.
+
+    ``workers`` maps worker id → ``(host, port)``.  Extra keyword
+    arguments (``timeout``, ``retries``, ...) are passed through to each
+    per-worker :class:`ServiceClient`.
+    """
+
+    def __init__(
+        self,
+        workers: Mapping[str, tuple[str, int]],
+        topology: ClusterTopology | None = None,
+        **client_kwargs,
+    ) -> None:
+        self.topology = topology if topology is not None else ClusterTopology()
+        self._client_kwargs = dict(client_kwargs)
+        self._clients: dict[str, ServiceClient] = {}
+        for worker_id, (host, port) in workers.items():
+            self.add_worker(worker_id, host, port)
+
+    # -- membership ------------------------------------------------------------
+
+    @property
+    def worker_ids(self) -> tuple[str, ...]:
+        return tuple(sorted(self._clients))
+
+    def client(self, worker_id: str) -> ServiceClient:
+        if worker_id not in self._clients:
+            raise ClusterError(f"unknown worker {worker_id!r}")
+        return self._clients[worker_id]
+
+    def add_worker(self, worker_id: str, host: str, port: int) -> None:
+        if not worker_id:
+            raise ClusterError("worker id must be non-empty")
+        previous = self._clients.pop(worker_id, None)
+        if previous is not None:
+            previous.close()
+        self._clients[worker_id] = ServiceClient(
+            host, port, **self._client_kwargs
+        )
+
+    def remove_worker(self, worker_id: str) -> bool:
+        client = self._clients.pop(worker_id, None)
+        if client is None:
+            return False
+        client.close()
+        return True
+
+    def close(self) -> None:
+        for client in self._clients.values():
+            client.close()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- routing ---------------------------------------------------------------
+
+    def plan_batch(
+        self, namespace: str, keys: Sequence
+    ) -> dict[int, list[int]]:
+        """Slot → ascending event indices for one batch (stream order)."""
+        slots = self.topology.slots_for_keys(list(keys))
+        return {
+            int(slot): np.flatnonzero(slots == slot).tolist()
+            for slot in np.unique(slots)
+        }
+
+    def ingest(
+        self,
+        namespace: str,
+        keys: Sequence,
+        weights: Mapping[str, Sequence[float]],
+        sync: bool = False,
+    ) -> dict:
+        """Route one batch: each slot's sub-batch goes to all its owners.
+
+        A failed delivery raises :class:`ClusterError` naming the worker
+        and slot; earlier sub-batches may already be applied, so callers
+        that need all-or-nothing semantics must treat a raise as fatal
+        for the batch (re-sending would double-apply the delivered
+        slots).
+        """
+        keys = list(keys)
+        weights = {name: list(values) for name, values in weights.items()}
+        for name, values in weights.items():
+            if len(values) != len(keys):
+                raise ValueError(
+                    f"weights[{name!r}] has {len(values)} values for "
+                    f"{len(keys)} keys"
+                )
+        if not keys:
+            return {"ok": True, "events": 0, "slots": 0, "deliveries": 0}
+        worker_ids = self.worker_ids
+        if not worker_ids:
+            raise ClusterError("cluster has no workers")
+        deliveries = 0
+        plan = self.plan_batch(namespace, keys)
+        for slot, indices in sorted(plan.items()):
+            sub_keys = [keys[i] for i in indices]
+            sub_weights = {
+                name: [values[i] for i in indices]
+                for name, values in weights.items()
+            }
+            target = slot_namespace(namespace, slot)
+            for owner in self.topology.slot_owners(slot, worker_ids):
+                try:
+                    self._clients[owner].ingest(
+                        target, sub_keys, sub_weights, sync=sync
+                    )
+                except (ServiceError, OSError) as exc:
+                    raise ClusterError(
+                        f"delivery to worker {owner!r} failed for slot "
+                        f"{slot} of {namespace!r}: {exc}"
+                    ) from exc
+                deliveries += 1
+        return {
+            "ok": True,
+            "events": len(keys),
+            "slots": len(plan),
+            "deliveries": deliveries,
+        }
+
+    def rotate_all(self) -> dict:
+        """Ask every worker to flush its live windows into its store."""
+        rotated = {}
+        for worker_id in self.worker_ids:
+            rotated[worker_id] = self._clients[worker_id].rotate()
+        return {"ok": True, "workers": rotated}
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterClient(workers={list(self.worker_ids)!r}, "
+            f"topology={self.topology!r})"
+        )

@@ -1,0 +1,1036 @@
+"""The cluster coordinator: membership, exact merged queries, handoff.
+
+:class:`CoordinatorService` (``repro-serve coordinate``) is the cluster's
+query plane and membership authority.  It keeps no sketch data of its
+own — its state is a :class:`~repro.store.runtime.RuntimeStore`
+(``runtime.sqlite`` under its root) holding the worker membership table,
+the persistent query-result cache, and the routing health bookkeeping —
+and it answers a query by fetching one codec-encoded partial bundle per
+key slot from that slot's owner workers (``GET /bundle``) and merging
+them with :meth:`~repro.engine.queries.QueryEngine.from_encoded_bundles`.
+Because slots partition the key space and the bundle merge is exact, the
+merged answer is bit-identical to an offline single-process engine over
+the union of every ingested event.
+
+**The partial-answer contract.**  An answer is either exact or loudly
+``partial`` — never silently wrong:
+
+* per slot, owners are tried in health order; a slot whose owners are
+  all unreachable (or whose copies are known-stale) is reported in
+  ``missing_slots`` and the answer carries ``partial: true``;
+* a worker that missed an ingest delivery has a *stale* copy of the
+  affected slots; stale copies are never used as query or handoff
+  sources (they would under-count, which is silent wrongness);
+* a membership change that leaves a slot with no owner holding complete
+  data (a dead sole owner leaving, a failed handoff to a displacing
+  owner) marks the slot *degraded* — persisted in the runtime tier, so
+  the loss survives coordinator restarts — and degraded slots always
+  answer partial.
+
+Partial answers are never cached.  Exact answers cache in the runtime
+tier keyed on the **version vector** — the sorted per-slot
+``(slot, worker, version-token)`` triples — so a repeated query against
+an unchanged cluster costs one SQLite lookup, and any ingest, rotation,
+or failover that changes which data would be merged changes the key.
+
+**Handoff.**  Joins and leaves move slots (rendezvous hashing moves only
+the slots whose top-``replication`` set actually changed).  A worker
+gaining a slot receives the slot's store artifacts from a healthy
+current owner: the source rotates (flushing its live window into its
+store), the target's copy of the slot is **purged first** (``POST
+/bundle/reset`` — leftovers from an earlier ownership epoch are either
+outdated or key-duplicated by the incoming copy, and the exact-merge
+duplicate guard turns either into a loud error), then the coordinator
+fetches each artifact's raw bytes and re-uploads them under a
+deterministic ``ho-…`` part name (``POST /bundle``), preserving bucket
+structure so later compaction and windowed queries keep working.  The
+purge only runs once a source has proven reachable, so the last
+complete copy of a slot is never destroyed chasing a dead source; and a
+completed handoff doubles as stale-replica repair.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from repro.core.aggregates import AggregationSpec
+from repro.core.predicates import key_in
+from repro.engine.queries import ESTIMATORS, QueryEngine, jaccard_from_summary
+from repro.ranks.hashing import _key_to_int, splitmix64
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.config import NamespaceConfig
+from repro.service.httpbase import HttpServerBase, _HttpError
+from repro.service.jsonutil import sanitize_non_finite
+from repro.service.cluster.topology import ClusterTopology, slot_namespace
+
+__all__ = ["CoordinatorConfig", "CoordinatorService", "CoordinatorThread"]
+
+#: aggregate functions the coordinator serves (the worker set, minus the
+#: temporal forms that need per-bucket partials rather than one merged
+#: bundle per slot)
+FUNCTIONS = ("single", "min", "max", "l1", "lth_largest")
+
+_STALE_META = "cluster_stale"
+_DEGRADED_META = "cluster_degraded"
+
+#: transport-level failures while talking to a worker: the worker may be
+#: dead, unreachable, or mid-crash — route around it
+_UNREACHABLE = (OSError, ConnectionError)
+
+
+@dataclass(frozen=True)
+class CoordinatorConfig:
+    """One coordinator: state root, logical namespaces, topology, knobs."""
+
+    root: str
+    namespaces: tuple[NamespaceConfig, ...]
+    host: str = "127.0.0.1"
+    port: int = 8900
+    n_slots: int = 16
+    replication: int = 1
+    salt: int = 0
+    #: seconds between heartbeat rounds against every worker's /health
+    heartbeat_s: float = 2.0
+    #: per-probe socket timeout (heartbeats and failover probes)
+    probe_timeout_s: float = 2.0
+    #: socket timeout for bundle fetches and routed ingest
+    worker_timeout_s: float = 30.0
+    #: connection-failure retries per idempotent worker call
+    worker_retries: int = 1
+    max_body_bytes: int = 32 << 20
+    result_cache_size: int = 1024
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "namespaces",
+            tuple(
+                ns if isinstance(ns, NamespaceConfig)
+                else NamespaceConfig.from_json(ns)
+                for ns in self.namespaces
+            ),
+        )
+        if not self.namespaces:
+            raise ValueError("a coordinator needs at least one namespace")
+        names = [ns.name for ns in self.namespaces]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate namespace names in {names!r}")
+        if self.heartbeat_s <= 0:
+            raise ValueError("heartbeat_s must be positive")
+        # topology bounds are validated by ClusterTopology itself
+        self.topology  # noqa: B018 - constructs, so bad values raise here
+
+    @property
+    def topology(self) -> ClusterTopology:
+        return ClusterTopology(
+            n_slots=self.n_slots,
+            replication=self.replication,
+            salt=self.salt,
+        )
+
+    def with_port(self, port: int) -> "CoordinatorConfig":
+        return replace(self, port=port)
+
+    def to_json(self) -> dict:
+        return {
+            "root": self.root,
+            "namespaces": [ns.to_json() for ns in self.namespaces],
+            "host": self.host,
+            "port": self.port,
+            "n_slots": self.n_slots,
+            "replication": self.replication,
+            "salt": self.salt,
+            "heartbeat_s": self.heartbeat_s,
+            "probe_timeout_s": self.probe_timeout_s,
+            "worker_timeout_s": self.worker_timeout_s,
+            "worker_retries": self.worker_retries,
+            "max_body_bytes": self.max_body_bytes,
+            "result_cache_size": self.result_cache_size,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CoordinatorConfig":
+        known = {
+            "root", "namespaces", "host", "port", "n_slots", "replication",
+            "salt", "heartbeat_s", "probe_timeout_s", "worker_timeout_s",
+            "worker_retries", "max_body_bytes", "result_cache_size",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown coordinator config keys: "
+                f"{', '.join(sorted(unknown))}"
+            )
+        if "root" not in payload or "namespaces" not in payload:
+            raise ValueError(
+                "coordinator config needs 'root' and 'namespaces'"
+            )
+        return cls(**payload)
+
+    @classmethod
+    def from_file(cls, path) -> "CoordinatorConfig":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(json.load(handle))
+
+
+def _handoff_part(source: str, part: str) -> str:
+    """Deterministic destination part name for one handed-off artifact.
+
+    Derived from (source worker, original part): re-running the same
+    handoff overwrites the same artifact (idempotent), and the name can
+    never collide with the destination's own ``live``/checkpoint parts
+    or with a different source's copy of an identically named part.
+    """
+    digest = splitmix64(_key_to_int((source, part)))
+    return f"ho-{digest:016x}"
+
+
+class CoordinatorService(HttpServerBase):
+    """The cluster coordinator daemon (see module docstring).
+
+    Endpoints::
+
+        GET  /health         lock-free liveness probe
+        GET  /cluster        membership, topology, health bookkeeping
+        POST /cluster/join   {"worker_id", "host", "port"} — handoff, then
+                             register (synchronous: when it returns, the
+                             worker is a serving owner of its slots)
+        POST /cluster/leave  {"worker_id"} — handoff away, then deregister
+        POST /ingest         same body as the worker endpoint; routed by
+                             key slot to every owner replica
+        POST /query          estimate/jaccard over the exact merge of
+        GET  /query?...      per-slot worker bundles (version-vector
+                             cached; partial answers marked, never cached)
+        POST /shutdown       graceful stop
+    """
+
+    def __init__(
+        self,
+        config: CoordinatorConfig,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        from repro.store.runtime import RuntimeStore
+
+        super().__init__()
+        self.config = config
+        self.clock = clock
+        os.makedirs(config.root, exist_ok=True)
+        self.runtime = RuntimeStore(config.root)
+        self.topology = config.topology
+        self.namespaces = {ns.name: ns for ns in config.namespaces}
+        self.stats.update({
+            "ingest_batches": 0,
+            "ingested_events": 0,
+            "queries": 0,
+            "partial_answers": 0,
+            "failovers": 0,
+            "handoff_artifacts": 0,
+            "heartbeat_rounds": 0,
+        })
+        #: serializes membership changes against routing decisions
+        self._cluster_lock = threading.RLock()
+        self._clients: dict[str, ServiceClient] = {}
+        for row in self.runtime.cluster_workers():
+            self._clients[row["worker_id"]] = self._make_client(
+                row["host"], row["port"]
+            )
+        self._stale: dict[str, set[int]] = self._load_meta_map(_STALE_META)
+        self._degraded: set[int] = set(self._load_meta_list(_DEGRADED_META))
+        self._stop_event: asyncio.Event | None = None
+        self._tasks: list[asyncio.Task] = []
+        self._started_monotonic: float | None = None
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _make_client(self, host: str, port: int) -> ServiceClient:
+        return ServiceClient(
+            host, port,
+            timeout=self.config.worker_timeout_s,
+            retries=self.config.worker_retries,
+        )
+
+    def _load_meta_map(self, key: str) -> dict[str, set[int]]:
+        raw = self.runtime.get_meta(key)
+        if not raw:
+            return {}
+        return {
+            worker: set(slots) for worker, slots in json.loads(raw).items()
+        }
+
+    def _load_meta_list(self, key: str) -> list[int]:
+        raw = self.runtime.get_meta(key)
+        return json.loads(raw) if raw else []
+
+    def _save_health_meta(self) -> None:
+        """Persist stale/degraded bookkeeping (call under _cluster_lock)."""
+        self.runtime.set_meta(_STALE_META, json.dumps({
+            worker: sorted(slots)
+            for worker, slots in self._stale.items()
+            if slots
+        }))
+        self.runtime.set_meta(_DEGRADED_META, json.dumps(
+            sorted(self._degraded)
+        ))
+
+    def _worker_rows(self) -> dict[str, dict]:
+        return {
+            row["worker_id"]: row for row in self.runtime.cluster_workers()
+        }
+
+    def _owners(self, slot: int, worker_ids: Sequence[str]) -> tuple[str, ...]:
+        if not worker_ids:
+            return ()
+        return self.topology.slot_owners(slot, worker_ids)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("coordinator already started")
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._started_monotonic = time.monotonic()
+        self._tasks = [
+            asyncio.create_task(self._heartbeat_loop(), name="heartbeat"),
+        ]
+
+    def request_shutdown(self) -> None:
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def run(self) -> None:
+        if self._server is None:
+            await self.start()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await self.shutdown()
+
+    async def shutdown(self) -> None:
+        if self._server is None:
+            return
+        self._stopping = True
+        server, self._server = self._server, None
+        server.close()
+        for writer in list(self._connections):
+            if writer not in self._busy:
+                writer.close()
+        await server.wait_closed()
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        for client in self._clients.values():
+            client.close()
+        self.runtime.close()
+        await asyncio.sleep(0)
+
+    async def _heartbeat_loop(self) -> None:
+        """Probe every worker's lock-free ``/health`` on a fixed cadence."""
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.config.heartbeat_s)
+            try:
+                await loop.run_in_executor(None, self._heartbeat_round)
+                self.stats["heartbeat_rounds"] += 1
+            except asyncio.CancelledError:
+                raise
+            except Exception as err:  # keep beating; surface via /cluster
+                self.stats["last_error"] = f"heartbeat: {err}"
+
+    def _heartbeat_round(self) -> None:
+        with self._cluster_lock:
+            clients = dict(self._clients)
+        for worker_id, client in clients.items():
+            try:
+                client.liveness(timeout=self.config.probe_timeout_s)
+            except (ServiceError, *_UNREACHABLE):
+                self.runtime.cluster_mark(worker_id, alive=False)
+            else:
+                self.runtime.cluster_mark(worker_id, alive=True)
+
+    # -- membership + handoff -------------------------------------------------
+
+    def _probe_alive(self, worker_id: str) -> bool:
+        client = self._clients.get(worker_id)
+        if client is None:
+            return False
+        try:
+            client.liveness(timeout=self.config.probe_timeout_s)
+        except (ServiceError, *_UNREACHABLE):
+            self.runtime.cluster_mark(worker_id, alive=False)
+            return False
+        self.runtime.cluster_mark(worker_id, alive=True)
+        return True
+
+    def _copy_slot(self, source: str, target: str, slot: int) -> int:
+        """Copy one slot's artifacts (every logical namespace) source→target.
+
+        Preserves bucket structure; artifacts land under deterministic
+        ``ho-…`` part names, so re-running is an idempotent overwrite.
+        Returns the number of artifacts copied; raises on any transport
+        or store failure (the caller decides degradation).
+        """
+        src, dst = self._clients[source], self._clients[target]
+        copied = 0
+        for namespace in self.namespaces:
+            ns = slot_namespace(namespace, slot)
+            listing = src.bundle_entries(ns)
+            for entry in listing.get("entries", []):
+                blob = src.fetch_artifact(ns, entry["bucket"], entry["part"])
+                dst.put_bundle(
+                    ns, entry["bucket"],
+                    _handoff_part(source, entry["part"]),
+                    blob, overwrite=True,
+                )
+                copied += 1
+        return copied
+
+    def _reset_slot(self, target: str, slot: int) -> None:
+        """Purge the target's copy of one slot (every logical namespace)."""
+        client = self._clients[target]
+        for namespace in self.namespaces:
+            client.reset_bundles(slot_namespace(namespace, slot))
+
+    def _handoff(
+        self,
+        slots_to_targets: dict[int, list[str]],
+        sources_by_slot: dict[int, list[str]],
+        covered: dict[int, bool],
+    ) -> dict:
+        """Copy each slot to its new owners; degrade what cannot be saved.
+
+        Each target is **purged first** (``POST /bundle/reset``): a
+        former holder's leftover artifacts are either outdated (they
+        missed the deliveries made after ownership moved away) or
+        duplicated key-for-key by the incoming copy — either way the
+        exact merge would reject or miscount them.  The purge only
+        happens after a source has proven reachable (its rotate
+        succeeded), so a slot's last complete copy is never destroyed
+        chasing a dead source; and a fresh complete copy clears any
+        stale marking the target carried for the slot.
+
+        ``covered[slot]`` is True when some *surviving* owner already
+        holds the slot's complete data — then a failed copy merely loses
+        a replica, not the slot.  A slot that is neither covered nor
+        successfully copied to at least one target becomes degraded.
+        Call under ``_cluster_lock``.
+        """
+        copied_total, degraded_now = 0, []
+        stale_repaired = False
+        rotated: set[str] = set()
+        purged: dict[int, set[str]] = {}
+        for slot, targets in sorted(slots_to_targets.items()):
+            delivered = False
+            for target in targets:
+                copied_here = False
+                for source in sources_by_slot.get(slot, []):
+                    if source == target:
+                        continue
+                    try:
+                        if source not in rotated:
+                            # flush the source's live windows so the
+                            # copied artifacts cover everything ingested
+                            self._clients[source].rotate()
+                            rotated.add(source)
+                    except (ServiceError, *_UNREACHABLE):
+                        self.runtime.cluster_mark(source, alive=False)
+                        continue
+                    try:
+                        if target not in purged.get(slot, set()):
+                            self._reset_slot(target, slot)
+                            purged.setdefault(slot, set()).add(target)
+                    except (ServiceError, *_UNREACHABLE):
+                        self.runtime.cluster_mark(target, alive=False)
+                        break  # target unreachable; try the next target
+                    try:
+                        copied_total += self._copy_slot(source, target, slot)
+                    except (ServiceError, *_UNREACHABLE):
+                        self.runtime.cluster_mark(source, alive=False)
+                        # a partial copy may have landed: purge again
+                        # before any other source writes its own parts
+                        purged.get(slot, set()).discard(target)
+                        continue
+                    copied_here = True
+                    break
+                if copied_here:
+                    delivered = True
+                    if slot in self._stale.get(target, set()):
+                        # the fresh complete copy repairs the stale flag
+                        self._stale[target].discard(slot)
+                        stale_repaired = True
+            if not delivered and not covered.get(slot, False):
+                self._degraded.add(slot)
+                degraded_now.append(slot)
+        if degraded_now or stale_repaired:
+            self._save_health_meta()
+        self.stats["handoff_artifacts"] += copied_total
+        return {"artifacts": copied_total, "degraded": sorted(degraded_now)}
+
+    def _join(self, worker_id: str, host: str, port: int) -> dict:
+        with self._cluster_lock:
+            before_rows = self._worker_rows()
+            before = sorted(before_rows)
+            rejoining = worker_id in before_rows
+            after = sorted(set(before) | {worker_id})
+            client = self._make_client(host, port)
+            previous = self._clients.pop(worker_id, None)
+            if previous is not None:
+                previous.close()
+            self._clients[worker_id] = client
+            if rejoining:
+                # Conservative: a rejoining worker may have crashed and
+                # lost its un-flushed live windows, so every slot it
+                # owns is stale until a fresh handoff path exists (none
+                # in this release — replicas or handed-off copies serve).
+                owned = {
+                    slot
+                    for slot in range(self.topology.n_slots)
+                    if worker_id in self._owners(slot, after)
+                }
+                self._stale[worker_id] = (
+                    self._stale.get(worker_id, set()) | owned
+                )
+                self._save_health_meta()
+                self.runtime.cluster_join(worker_id, host, port)
+                return {
+                    "ok": True, "worker_id": worker_id, "rejoined": True,
+                    "stale_slots": sorted(owned),
+                }
+            # Slots the newcomer now owns but no prior owner set included
+            # it in: these need the data copied over before the newcomer
+            # can serve them.
+            gained: dict[int, list[str]] = {}
+            sources: dict[int, list[str]] = {}
+            covered: dict[int, bool] = {}
+            for slot in range(self.topology.n_slots):
+                old = self._owners(slot, before)
+                new = self._owners(slot, after)
+                if worker_id not in new:
+                    continue
+                gained[slot] = [worker_id]
+                # healthy sources: prior owners whose copy is not stale
+                sources[slot] = [
+                    owner for owner in old
+                    if slot not in self._stale.get(owner, set())
+                ]
+                # survivors keeping complete data despite the newcomer
+                covered[slot] = bool(
+                    set(new) & set(sources[slot])
+                ) or not old  # an empty cluster had no data to lose
+            handoff = self._handoff(gained, sources, covered)
+            self.runtime.cluster_join(worker_id, host, port)
+            return {
+                "ok": True,
+                "worker_id": worker_id,
+                "rejoined": False,
+                "slots": sorted(gained),
+                "handoff": handoff,
+            }
+
+    def _leave(self, worker_id: str) -> dict:
+        with self._cluster_lock:
+            before_rows = self._worker_rows()
+            if worker_id not in before_rows:
+                raise _HttpError(
+                    404, f"worker {worker_id!r} is not a cluster member"
+                )
+            before = sorted(before_rows)
+            after = sorted(set(before) - {worker_id})
+            losing: dict[int, list[str]] = {}
+            sources: dict[int, list[str]] = {}
+            covered: dict[int, bool] = {}
+            for slot in range(self.topology.n_slots):
+                old = self._owners(slot, before)
+                if worker_id not in old:
+                    continue
+                new = self._owners(slot, after)
+                survivors = [o for o in old if o != worker_id]
+                needing = [o for o in new if o not in survivors]
+                if not needing and not new:
+                    # last worker leaving: no destination exists
+                    needing = []
+                losing[slot] = needing
+                # the leaving worker itself is the preferred source (it
+                # certainly holds the data) unless its copy is stale
+                ordered = [worker_id] + survivors
+                sources[slot] = [
+                    owner for owner in ordered
+                    if slot not in self._stale.get(owner, set())
+                ]
+                healthy_survivors = [
+                    o for o in survivors
+                    if slot not in self._stale.get(o, set())
+                ]
+                covered[slot] = bool(set(new) & set(healthy_survivors))
+                if not new and not healthy_survivors:
+                    # the cluster is emptying and this worker was the
+                    # only complete copy — the data leaves with it
+                    covered[slot] = False
+            handoff = self._handoff(losing, sources, covered)
+            self.runtime.cluster_leave(worker_id)
+            client = self._clients.pop(worker_id, None)
+            if client is not None:
+                client.close()
+            self._stale.pop(worker_id, None)
+            self._save_health_meta()
+            return {
+                "ok": True,
+                "worker_id": worker_id,
+                "slots": sorted(losing),
+                "handoff": handoff,
+            }
+
+    # -- ingest routing -------------------------------------------------------
+
+    def _route_ingest(self, payload: dict) -> dict:
+        namespace = payload.get("namespace")
+        if namespace not in self.namespaces:
+            raise _HttpError(
+                404,
+                f"unknown namespace {namespace!r}; known: "
+                f"{', '.join(self.namespaces)}",
+            )
+        keys = payload.get("keys")
+        weights = payload.get("weights")
+        if not isinstance(keys, list) or not isinstance(weights, dict):
+            raise _HttpError(
+                400,
+                "ingest body needs 'keys' (list) and 'weights' "
+                "(assignment -> list of numbers)",
+            )
+        for name, values in weights.items():
+            if not isinstance(values, list) or len(values) != len(keys):
+                raise _HttpError(
+                    400,
+                    f"weights[{name!r}] must be a list of {len(keys)} "
+                    "numbers (one per key)",
+                )
+        sync = bool(payload.get("sync", False))
+        if not keys:
+            return {"ok": True, "events": 0, "slots": 0, "deliveries": 0}
+        with self._cluster_lock:
+            worker_ids = sorted(self._worker_rows())
+            if not worker_ids:
+                raise _HttpError(503, "cluster has no workers")
+            slots = self.topology.slots_for_keys(keys)
+            deliveries, failed = 0, []
+            for slot in sorted({int(s) for s in slots}):
+                indices = [i for i, s in enumerate(slots) if int(s) == slot]
+                sub_keys = [keys[i] for i in indices]
+                sub_weights = {
+                    name: [values[i] for i in indices]
+                    for name, values in weights.items()
+                }
+                target_ns = slot_namespace(namespace, slot)
+                delivered = False
+                for owner in self._owners(slot, worker_ids):
+                    try:
+                        self._clients[owner].ingest(
+                            target_ns, sub_keys, sub_weights, sync=sync
+                        )
+                    except _UNREACHABLE:
+                        # this owner's copy just missed a delivery: it
+                        # can no longer serve the slot exactly
+                        self.runtime.cluster_mark(owner, alive=False)
+                        self._stale.setdefault(owner, set()).add(slot)
+                        failed.append({"worker": owner, "slot": slot})
+                        continue
+                    except ServiceError as err:
+                        raise _HttpError(
+                            502,
+                            f"worker {owner!r} rejected slot {slot} of "
+                            f"{namespace!r}: {err}",
+                        ) from err
+                    delivered = True
+                    deliveries += 1
+                if not delivered:
+                    self._save_health_meta()
+                    raise _HttpError(
+                        502,
+                        f"no owner of slot {slot} reachable; batch "
+                        "partially applied (earlier slots landed) — the "
+                        "affected workers are marked stale",
+                    )
+            if failed:
+                self._save_health_meta()
+        self.stats["ingest_batches"] += 1
+        self.stats["ingested_events"] += len(keys)
+        result = {
+            "ok": True,
+            "events": len(keys),
+            "slots": len({int(s) for s in slots}),
+            "deliveries": deliveries,
+        }
+        if failed:
+            result["missed_replicas"] = failed
+        return result
+
+    # -- query plane ----------------------------------------------------------
+
+    def _gather_bundles(
+        self, namespace: str, since, until
+    ) -> tuple[list[bytes], list[tuple[int, str, str]], list[int]]:
+        """One bundle per slot from the healthiest owner holding it.
+
+        Returns ``(blobs, version_vector, missing_slots)``; the vector
+        has one ``(slot, worker, version)`` triple per *answered* slot
+        (empty slots answer too — their version token pins the empty
+        state), and ``missing_slots`` lists slots with no usable owner.
+        """
+        with self._cluster_lock:
+            rows = self._worker_rows()
+            worker_ids = sorted(rows)
+            stale = {w: set(s) for w, s in self._stale.items()}
+            degraded = set(self._degraded)
+        if not worker_ids:
+            raise _HttpError(503, "cluster has no workers")
+        blobs: list[bytes] = []
+        vector: list[tuple[int, str, str]] = []
+        missing: list[int] = []
+        for slot in range(self.topology.n_slots):
+            owners = self._owners(slot, worker_ids)
+            usable = [o for o in owners if slot not in stale.get(o, set())]
+            # alive-marked owners first: failing over to a dead-marked
+            # owner costs a connect timeout, so try it last
+            usable.sort(key=lambda o: (not rows[o]["alive"], o))
+            if slot in degraded:
+                missing.append(slot)
+                continue
+            answered = False
+            for position, owner in enumerate(usable):
+                try:
+                    blob, version = self._clients[owner].bundle(
+                        slot_namespace(namespace, slot), since, until,
+                        timeout=self.config.worker_timeout_s,
+                    )
+                except _UNREACHABLE:
+                    self.runtime.cluster_mark(owner, alive=False)
+                    continue
+                if position > 0:
+                    self.stats["failovers"] += 1
+                if blob is not None:
+                    blobs.append(blob)
+                vector.append((slot, owner, version))
+                answered = True
+                break
+            if not answered:
+                missing.append(slot)
+        return blobs, vector, missing
+
+    def _query_request(self, request: dict) -> tuple:
+        """Validate a query body into ``(kind, namespace, fields...)``."""
+        namespace = request.get("namespace")
+        if not namespace:
+            raise _HttpError(400, "query needs a 'namespace'")
+        if namespace not in self.namespaces:
+            raise _HttpError(
+                404,
+                f"unknown namespace {namespace!r}; known: "
+                f"{', '.join(self.namespaces)}",
+            )
+        for unsupported in ("window", "step", "decay"):
+            if request.get(unsupported) is not None:
+                raise _HttpError(
+                    400,
+                    f"{unsupported!r} is not supported by the coordinator "
+                    "(temporal queries need per-bucket partials; query a "
+                    "worker directly)",
+                )
+        kind = request.get("kind", "estimate")
+        names = tuple(request.get("assignments") or [])
+        since, until = request.get("since"), request.get("until")
+        if kind == "estimate":
+            function = request.get("function")
+            if function not in FUNCTIONS:
+                raise _HttpError(
+                    400,
+                    f"unknown function {function!r}; known: "
+                    f"{', '.join(FUNCTIONS)}",
+                )
+            estimator = request.get("estimator", "auto")
+            if estimator not in ESTIMATORS:
+                raise _HttpError(
+                    400,
+                    f"unknown estimator {estimator!r}; known: "
+                    f"{', '.join(ESTIMATORS)}",
+                )
+            ell = request.get("ell")
+            keys = request.get("keys")
+            return (
+                "estimate", namespace, since, until, function, names,
+                estimator, None if ell is None else int(ell), keys,
+            )
+        if kind == "jaccard":
+            variant = request.get("variant", "l")
+            return "jaccard", namespace, since, until, names, variant
+        raise _HttpError(
+            400, f"unknown query kind {kind!r} (estimate, jaccard)"
+        )
+
+    def _answer_query(self, request: dict) -> dict:
+        parsed = self._query_request(request)
+        kind, namespace, since, until = parsed[0], parsed[1], parsed[2], parsed[3]
+        blobs, vector, missing = self._gather_bundles(namespace, since, until)
+        partial = bool(missing)
+        version = "v[" + ",".join(
+            f"s{slot}:{worker}:{token}" for slot, worker, token in vector
+        ) + "]"
+        if kind == "estimate":
+            _, _, _, _, function, names, estimator, ell, keys = parsed
+            key_sel = (
+                None if keys is None else tuple(sorted(map(repr, keys)))
+            )
+            cache_key = json.dumps([
+                "cluster-estimate", namespace, version, since, until,
+                function, list(names), estimator, ell, key_sel,
+            ], separators=(",", ":"))
+        else:
+            _, _, _, _, names, variant = parsed
+            cache_key = json.dumps([
+                "cluster-jaccard", namespace, version, since, until,
+                list(names), variant,
+            ], separators=(",", ":"))
+        if not partial:
+            hit = self.runtime.cache_get(cache_key)
+            if hit is not None:
+                return {**hit, "cached": True}
+        sources = {
+            "slots": self.topology.n_slots,
+            "answered_slots": len(vector),
+            "bundles": len(blobs),
+            "workers": len({worker for _, worker, _ in vector}),
+        }
+        if not blobs:
+            answer = {
+                "estimate": None,
+                "empty": True,
+                "namespace": namespace,
+                "version": version,
+                "sources": sources,
+            }
+        else:
+            engine = QueryEngine.from_encoded_bundles(blobs)
+            if kind == "estimate":
+                spec = AggregationSpec(function, names, ell=ell)
+                predicate = None if keys is None else key_in(keys)
+                value = engine.estimate(
+                    spec, estimator=estimator, predicate=predicate
+                )
+                resolved = (
+                    engine.default_estimator(spec)
+                    if estimator == "auto"
+                    else estimator
+                )
+                answer = {
+                    "estimate": value,
+                    "estimator": resolved,
+                    "function": function,
+                    "assignments": list(names),
+                    "namespace": namespace,
+                    "version": version,
+                    "sources": sources,
+                }
+            else:
+                value = jaccard_from_summary(engine.summary, names, variant)
+                answer = {
+                    "estimate": value,
+                    "estimator": f"jaccard-{variant}",
+                    "assignments": list(names),
+                    "namespace": namespace,
+                    "version": version,
+                    "sources": sources,
+                }
+        answer = sanitize_non_finite(answer)
+        if partial:
+            # Loud, never cached: the answer covers only the slots that
+            # responded, so it may change the instant a worker returns.
+            self.stats["partial_answers"] += 1
+            answer["partial"] = True
+            answer["missing_slots"] = sorted(missing)
+            return {**answer, "cached": False}
+        answer["partial"] = False  # before cache_put: replays keep the marker
+        self.runtime.cache_put(
+            cache_key, namespace, version, answer,
+            max_entries=self.config.result_cache_size,
+        )
+        return {**answer, "cached": False}
+
+    # -- routing --------------------------------------------------------------
+
+    async def _dispatch(self, method, path, params, body):
+        loop = asyncio.get_running_loop()
+        if path in ("/health", "/healthz") and method == "GET":
+            # /healthz keeps ServiceClient.wait_ready working against a
+            # coordinator; both stay lock-free like the worker's probe
+            return 200, {"ok": True, "stopping": self._stopping,
+                         "role": "coordinator",
+                         "namespaces": list(self.namespaces)}
+        if path == "/cluster" and method == "GET":
+            return 200, await loop.run_in_executor(None, self._cluster_view)
+        if path == "/cluster/join" and method == "POST":
+            payload = self._json_body(body)
+            worker_id = payload.get("worker_id")
+            host = payload.get("host")
+            port = payload.get("port")
+            if not worker_id or not host or not isinstance(port, int):
+                raise _HttpError(
+                    400,
+                    "join needs 'worker_id', 'host', and an integer 'port'",
+                )
+            return 200, await loop.run_in_executor(
+                None, self._join, worker_id, host, port
+            )
+        if path == "/cluster/leave" and method == "POST":
+            payload = self._json_body(body)
+            worker_id = payload.get("worker_id")
+            if not worker_id:
+                raise _HttpError(400, "leave needs a 'worker_id'")
+            return 200, await loop.run_in_executor(
+                None, self._leave, worker_id
+            )
+        if path == "/ingest" and method == "POST":
+            if self._stopping:
+                raise _HttpError(503, "coordinator is shutting down")
+            return 200, await loop.run_in_executor(
+                None, self._route_ingest, self._json_body(body)
+            )
+        if path == "/query" and method in ("GET", "POST"):
+            request = (
+                self._query_from_params(params)
+                if method == "GET"
+                else self._json_body(body)
+            )
+            self.stats["queries"] += 1
+            return 200, await loop.run_in_executor(
+                None, self._answer_query, request
+            )
+        if path == "/shutdown" and method == "POST":
+            asyncio.get_running_loop().call_soon(self.request_shutdown)
+            return 200, {"ok": True, "stopping": True}
+        known = (
+            "/health /healthz /cluster /cluster/join /cluster/leave "
+            "/ingest /query "
+            "/shutdown"
+        )
+        raise _HttpError(
+            405 if path in known.split() else 404,
+            f"no route for {method} {path} (endpoints: {known})",
+        )
+
+    @staticmethod
+    def _query_from_params(params: dict) -> dict:
+        request = dict(params)
+        if "assignments" in request:
+            request["assignments"] = [
+                part for part in request["assignments"].split(",") if part
+            ]
+        if "ell" in request:
+            request["ell"] = int(request["ell"])
+        return request
+
+    def _cluster_view(self) -> dict:
+        with self._cluster_lock:
+            workers = self.runtime.cluster_workers()
+            stale = {w: sorted(s) for w, s in self._stale.items() if s}
+            degraded = sorted(self._degraded)
+        worker_ids = sorted(row["worker_id"] for row in workers)
+        return {
+            "ok": True,
+            "topology": self.topology.to_json(),
+            "namespaces": sorted(self.namespaces),
+            "workers": workers,
+            "assignment": {
+                str(slot): list(owners)
+                for slot, owners in self.topology.assignment(
+                    worker_ids
+                ).items()
+            } if worker_ids else {},
+            "stale": stale,
+            "degraded_slots": degraded,
+            "stats": dict(self.stats),
+            "cache": self.runtime.cache_stats(),
+        }
+
+
+class CoordinatorThread:
+    """Run a :class:`CoordinatorService` on a background thread (tests).
+
+    Mirrors :class:`~repro.service.server.ServiceThread`: ``start()``
+    blocks until the listener is bound and returns the port; ``stop()``
+    requests a graceful shutdown and joins.
+    """
+
+    def __init__(
+        self,
+        config: CoordinatorConfig,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        self.service: CoordinatorService | None = None
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._started: threading.Event | None = None
+        self._error: BaseException | None = None
+
+    def start(self, timeout: float = 30.0) -> int:
+        self._started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-coordinate", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise TimeoutError("coordinator failed to start in time")
+        if self._error is not None:
+            raise RuntimeError(
+                f"coordinator failed to start: {self._error}"
+            ) from self._error
+        return self.service.port
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as err:  # pragma: no cover - defensive
+            if self._error is None:
+                self._error = err
+            self._started.set()
+
+    async def _amain(self) -> None:
+        try:
+            self.service = CoordinatorService(self.config, clock=self.clock)
+            await self.service.start()
+        except BaseException as err:
+            self._error = err
+            self._started.set()
+            return
+        self._loop = asyncio.get_running_loop()
+        self._started.set()
+        await self.service.run()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self.service is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.service.request_shutdown)
+            except RuntimeError:  # loop already closed
+                pass
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError("coordinator thread did not stop in time")
+        self._thread = None
+
+    def __enter__(self) -> "CoordinatorThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,252 @@
+"""Shared asyncio HTTP/1.1 plumbing for the repro daemons.
+
+Both long-running processes — the single-node ``repro-serve`` daemon
+(:class:`~repro.service.server.SummaryService`) and the cluster
+coordinator (:class:`~repro.service.cluster.coordinator.
+CoordinatorService`) — speak the same deliberately small HTTP/1.1 subset
+on :func:`asyncio.start_server`: request line, headers, Content-Length
+bodies, keep-alive.  :class:`HttpServerBase` holds that plumbing once;
+subclasses implement ``_dispatch(method, path, params, body)`` and return
+``(status, payload)`` where the payload is either a JSON-able dict or a
+:class:`BinaryResponse` (the zero-copy codec path of ``GET /bundle``,
+which ships encoded sketch bundles without a JSON detour).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import urllib.parse
+from dataclasses import dataclass, field
+
+import json
+
+from repro.service.jsonutil import dumps_strict, sanitize_non_finite
+
+__all__ = ["BinaryResponse", "HttpServerBase", "_HttpError"]
+
+_MAX_LINE = 16 * 1024
+_MAX_HEADERS = 100
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error", 502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
+
+class _HttpError(Exception):
+    """An error with a status code, rendered as a JSON error body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class BinaryResponse:
+    """A non-JSON response body (``application/octet-stream``).
+
+    ``headers`` carries extra response headers — the ``/bundle`` endpoint
+    uses them for the namespace version token, so a client gets the
+    cache key for the blob without decoding it.
+    """
+
+    data: bytes
+    headers: dict = field(default_factory=dict)
+
+
+class HttpServerBase:
+    """Connection handling + request parsing + response writing.
+
+    Subclasses provide ``self.config`` (with a ``max_body_bytes``
+    attribute), implement ``_dispatch``, and drive the lifecycle
+    (binding ``self._server``, setting ``self._stopping`` on shutdown).
+    """
+
+    def __init__(self) -> None:
+        self.stats = {"requests": 0, "last_error": None}
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set = set()
+        self._busy: set = set()  # connections with a request in flight
+        self._stopping = False
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (useful with ``port=0``)."""
+        if self._server is None:
+            raise RuntimeError("service is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def _dispatch(self, method, path, params, body):
+        raise NotImplementedError
+
+    async def _handle_connection(self, reader, writer) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _HttpError as err:
+                    # e.g. an over-limit Content-Length: answer, then drop
+                    # the connection (its body was never read).
+                    self._write_response(
+                        writer, err.status, {"error": str(err)}, False
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, path, params, headers, body = request
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                )
+                self.stats["requests"] += 1
+                self._busy.add(writer)  # shutdown leaves us to finish
+                try:
+                    try:
+                        status, payload = await self._dispatch(
+                            method, path, params, body
+                        )
+                    except _HttpError as err:
+                        status, payload = err.status, {"error": str(err)}
+                    except (ValueError, TypeError) as err:
+                        status, payload = 400, {"error": str(err)}
+                    except (KeyError, LookupError) as err:
+                        message = err.args[0] if err.args else str(err)
+                        status, payload = 404, {"error": str(message)}
+                    except Exception as err:  # never kill the connection loop
+                        self.stats["last_error"] = f"{path}: {err}"
+                        status, payload = 500, {"error": str(err)}
+                    self._write_response(writer, status, payload, keep_alive)
+                    await writer.drain()
+                finally:
+                    self._busy.discard(writer)
+                if not keep_alive or self._stopping:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            asyncio.LimitOverrunError,
+            ValueError,  # residual parse errors: drop, don't kill the task
+        ):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _read_request(self, reader):
+        """Parse one request; ``None`` on a cleanly closed connection."""
+        # A line exceeding the StreamReader's buffer limit makes readline
+        # raise ValueError (it folds LimitOverrunError internally); left
+        # uncaught it would kill the handler task with no response sent.
+        try:
+            line = await reader.readline()
+        except ValueError:
+            raise _HttpError(400, "request line too long") from None
+        if not line:
+            return None
+        try:
+            method, target, _version = line.decode("ascii").split()
+        except ValueError:
+            raise asyncio.IncompleteReadError(line, None) from None
+        try:
+            parsed = urllib.parse.urlsplit(target)
+            params = {
+                key: values[-1]
+                for key, values in urllib.parse.parse_qs(parsed.query).items()
+            }
+        except ValueError as err:
+            raise _HttpError(400, f"malformed request target: {err}") from None
+        headers: dict[str, str] = {}
+        header_lines = 0
+        while True:
+            try:
+                raw = await reader.readline()
+            except ValueError:
+                raise _HttpError(431, "header line too long") from None
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            if len(raw) > _MAX_LINE:
+                raise _HttpError(
+                    431,
+                    f"header line of {len(raw)} bytes exceeds the "
+                    f"{_MAX_LINE}-byte limit",
+                )
+            header_lines += 1  # count lines, not dict size: names may repeat
+            if header_lines > _MAX_HEADERS:
+                raise _HttpError(
+                    431, f"more than {_MAX_HEADERS} header lines"
+                )
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _HttpError(
+                400, f"invalid Content-Length {raw_length!r}"
+            ) from None
+        if length < 0:
+            raise _HttpError(
+                400, f"invalid Content-Length {raw_length!r}"
+            )
+        if length > self.config.max_body_bytes:
+            raise _HttpError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{self.config.max_body_bytes}-byte limit",
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), parsed.path, params, headers, body
+
+    def _write_response(
+        self, writer, status: int, payload, keep_alive: bool
+    ) -> None:
+        if isinstance(payload, BinaryResponse):
+            extra = "".join(
+                f"{name}: {value}\r\n"
+                for name, value in payload.headers.items()
+            )
+            head = (
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: application/octet-stream\r\n"
+                f"Content-Length: {len(payload.data)}\r\n"
+                f"{extra}"
+                f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+                "\r\n"
+            ).encode("ascii")
+            writer.write(head + payload.data)
+            return
+        # RFC 8259-strict serialization: non-finite floats travel as null
+        # + a "non_finite" marker map (the planner already sanitizes its
+        # answers; sanitizing again here is an idempotent no-op that
+        # covers every other payload), and allow_nan=False turns any
+        # missed path into a loud 500 instead of invalid JSON.
+        data = dumps_strict(
+            sanitize_non_finite(payload), sort_keys=True
+        ).encode("utf-8") + b"\n"
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("ascii")
+        writer.write(head + data)
+
+    @staticmethod
+    def _json_body(body: bytes) -> dict:
+        if not body:
+            raise _HttpError(400, "expected a JSON request body")
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as err:
+            raise _HttpError(400, f"invalid JSON body: {err}") from None
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "JSON body must be an object")
+        return payload

@@ -19,70 +19,64 @@ long-running process:
   ingest queue, and checkpoints every live window into the store, so the
   next start resumes the stream bit-identically.
 
-Endpoints (all JSON)::
+Endpoints (JSON unless noted)::
 
-    GET  /healthz            liveness probe
+    GET  /healthz            liveness probe (namespace listing)
+    GET  /health             lock-free liveness probe: never touches the
+                             manager or planner locks, so a wedged query
+                             or ingest cannot make the daemon look dead
+                             (the coordinator heartbeats against this)
     GET  /status             live windows + store manifest + counters
     POST /ingest             {"namespace", "keys": [...],
                               "weights": {assignment: [...]}, "sync": bool}
     POST /query              {"namespace", "kind": "estimate"|"jaccard", ...}
     GET  /query?...          the same, query-string encoded (curl-able)
+    GET  /bundle?...         codec-encoded SketchBundle partials (binary):
+                             the merged live+stored view of a namespace,
+                             one raw artifact, or (``list=1``) the JSON
+                             artifact listing — the cluster coordinator's
+                             exact-merge and handoff feed
+    POST /bundle?...         upload one codec-encoded bundle artifact into
+                             the store (bucket handoff)
+    POST /bundle/reset       {"namespace"} — purge the namespace (live
+                             window + artifacts); the coordinator resets
+                             a handoff target before copying so a former
+                             holder's leftovers cannot double-count
     POST /rotate             flush live windows to the store (durability;
                              windows keep accumulating, the flush artifact
                              is overwritten at the bucket boundary)
     POST /shutdown           graceful stop (checkpoints, then exits)
 
-The HTTP layer is a deliberately small HTTP/1.1 subset on
-:func:`asyncio.start_server` — request line, headers, Content-Length
-bodies, keep-alive — because the stdlib-only constraint rules out real
-frameworks and the API is JSON-in/JSON-out.
+The HTTP layer is a deliberately small HTTP/1.1 subset shared with the
+cluster coordinator (:mod:`repro.service.httpbase`) — request line,
+headers, Content-Length bodies, keep-alive — because the stdlib-only
+constraint rules out real frameworks.
 """
 
 from __future__ import annotations
 
 import asyncio
 import contextlib
-import json
 import threading
 import time
-import urllib.parse
 from typing import Callable
 
 import numpy as np
 
 from repro.service.config import ServiceConfig
-from repro.service.jsonutil import (
-    dumps_strict,
-    restore_non_finite,
-    sanitize_non_finite,
-)
+from repro.service.httpbase import BinaryResponse, HttpServerBase, _HttpError
+from repro.service.jsonutil import restore_non_finite
 from repro.service.planner import FUNCTIONS, QueryPlanner
 from repro.service.temporal import parse_duration
-from repro.service.windows import LiveWindowManager
+from repro.service.windows import LIVE_PART, LiveWindowManager
 from repro.engine.queries import ESTIMATORS
+from repro.store.codec import encode
 from repro.store.store import SummaryStore
 
 __all__ = ["SummaryService", "ServiceThread"]
 
-_MAX_LINE = 16 * 1024
-_MAX_HEADERS = 100
-_REASONS = {
-    200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
-    429: "Too Many Requests", 431: "Request Header Fields Too Large",
-    500: "Internal Server Error", 503: "Service Unavailable",
-}
 
-
-class _HttpError(Exception):
-    """An error with a status code, rendered as a JSON error body."""
-
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
-
-
-class SummaryService:
+class SummaryService(HttpServerBase):
     """The ``repro-serve`` daemon (see module docstring)."""
 
     def __init__(
@@ -90,6 +84,7 @@ class SummaryService:
         config: ServiceConfig,
         clock: Callable[[], float] = time.time,
     ) -> None:
+        super().__init__()
         self.config = config
         self.clock = clock
         self.store = SummaryStore(config.store_root)
@@ -103,8 +98,7 @@ class SummaryService:
         self.planner = QueryPlanner(
             self.manager, max_cached_results=config.result_cache_size
         )
-        self.stats = {
-            "requests": 0,
+        self.stats.update({
             "ingest_batches": 0,
             "ingested_events": 0,
             "ingest_rejected": 0,
@@ -112,27 +106,15 @@ class SummaryService:
             "queries": 0,
             "rotations": 0,
             "compactions": 0,
-            "last_error": None,
-        }
+        })
         self._queue: asyncio.Queue | None = None
-        self._server: asyncio.base_events.Server | None = None
         self._stop_event: asyncio.Event | None = None
         #: wakes /watch/poll long-pollers after ticker evaluations
         self._watch_cond: asyncio.Condition | None = None
         self._tasks: list[asyncio.Task] = []
-        self._connections: set = set()
-        self._busy: set = set()  # connections with a request in flight
         self._started_monotonic: float | None = None
-        self._stopping = False
 
     # -- lifecycle ------------------------------------------------------------
-
-    @property
-    def port(self) -> int:
-        """The actually bound port (useful with ``port=0``)."""
-        if self._server is None:
-            raise RuntimeError("service is not started")
-        return self._server.sockets[0].getsockname()[1]
 
     async def start(self) -> None:
         """Bind the listener and launch the worker + ticker tasks."""
@@ -327,164 +309,14 @@ class SummaryService:
         with contextlib.suppress(KeyError):
             runtime.record_watch_eval(watch["id"], answer, triggered, error)
 
-    # -- HTTP plumbing --------------------------------------------------------
-
-    async def _handle_connection(self, reader, writer) -> None:
-        self._connections.add(writer)
-        try:
-            while True:
-                try:
-                    request = await self._read_request(reader)
-                except _HttpError as err:
-                    # e.g. an over-limit Content-Length: answer, then drop
-                    # the connection (its body was never read).
-                    self._write_response(
-                        writer, err.status, {"error": str(err)}, False
-                    )
-                    await writer.drain()
-                    break
-                if request is None:
-                    break
-                method, path, params, headers, body = request
-                keep_alive = (
-                    headers.get("connection", "keep-alive").lower() != "close"
-                )
-                self.stats["requests"] += 1
-                self._busy.add(writer)  # shutdown leaves us to finish
-                try:
-                    try:
-                        status, payload = await self._dispatch(
-                            method, path, params, body
-                        )
-                    except _HttpError as err:
-                        status, payload = err.status, {"error": str(err)}
-                    except (ValueError, TypeError) as err:
-                        status, payload = 400, {"error": str(err)}
-                    except (KeyError, LookupError) as err:
-                        message = err.args[0] if err.args else str(err)
-                        status, payload = 404, {"error": str(message)}
-                    except Exception as err:  # never kill the connection loop
-                        self.stats["last_error"] = f"{path}: {err}"
-                        status, payload = 500, {"error": str(err)}
-                    self._write_response(writer, status, payload, keep_alive)
-                    await writer.drain()
-                finally:
-                    self._busy.discard(writer)
-                if not keep_alive or self._stopping:
-                    break
-        except (
-            asyncio.IncompleteReadError,
-            ConnectionError,
-            asyncio.LimitOverrunError,
-            ValueError,  # residual parse errors: drop, don't kill the task
-        ):
-            pass
-        finally:
-            self._connections.discard(writer)
-            writer.close()
-            with contextlib.suppress(Exception, asyncio.CancelledError):
-                await writer.wait_closed()
-
-    async def _read_request(self, reader):
-        """Parse one request; ``None`` on a cleanly closed connection."""
-        # A line exceeding the StreamReader's buffer limit makes readline
-        # raise ValueError (it folds LimitOverrunError internally); left
-        # uncaught it would kill the handler task with no response sent.
-        try:
-            line = await reader.readline()
-        except ValueError:
-            raise _HttpError(400, "request line too long") from None
-        if not line:
-            return None
-        try:
-            method, target, _version = line.decode("ascii").split()
-        except ValueError:
-            raise asyncio.IncompleteReadError(line, None) from None
-        try:
-            parsed = urllib.parse.urlsplit(target)
-            params = {
-                key: values[-1]
-                for key, values in urllib.parse.parse_qs(parsed.query).items()
-            }
-        except ValueError as err:
-            raise _HttpError(400, f"malformed request target: {err}") from None
-        headers: dict[str, str] = {}
-        header_lines = 0
-        while True:
-            try:
-                raw = await reader.readline()
-            except ValueError:
-                raise _HttpError(431, "header line too long") from None
-            if raw in (b"\r\n", b"\n", b""):
-                break
-            if len(raw) > _MAX_LINE:
-                raise _HttpError(
-                    431,
-                    f"header line of {len(raw)} bytes exceeds the "
-                    f"{_MAX_LINE}-byte limit",
-                )
-            header_lines += 1  # count lines, not dict size: names may repeat
-            if header_lines > _MAX_HEADERS:
-                raise _HttpError(
-                    431, f"more than {_MAX_HEADERS} header lines"
-                )
-            name, _, value = raw.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        raw_length = headers.get("content-length", "0") or "0"
-        try:
-            length = int(raw_length)
-        except ValueError:
-            raise _HttpError(
-                400, f"invalid Content-Length {raw_length!r}"
-            ) from None
-        if length < 0:
-            raise _HttpError(
-                400, f"invalid Content-Length {raw_length!r}"
-            )
-        if length > self.config.max_body_bytes:
-            raise _HttpError(
-                413,
-                f"request body of {length} bytes exceeds the "
-                f"{self.config.max_body_bytes}-byte limit",
-            )
-        body = await reader.readexactly(length) if length else b""
-        return method.upper(), parsed.path, params, headers, body
-
-    def _write_response(
-        self, writer, status: int, payload: dict, keep_alive: bool
-    ) -> None:
-        # RFC 8259-strict serialization: non-finite floats travel as null
-        # + a "non_finite" marker map (the planner already sanitizes its
-        # answers; sanitizing again here is an idempotent no-op that
-        # covers every other payload), and allow_nan=False turns any
-        # missed path into a loud 500 instead of invalid JSON.
-        data = dumps_strict(
-            sanitize_non_finite(payload), sort_keys=True
-        ).encode("utf-8") + b"\n"
-        head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(data)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            "\r\n"
-        ).encode("ascii")
-        writer.write(head + data)
-
     # -- routing --------------------------------------------------------------
 
-    @staticmethod
-    def _json_body(body: bytes) -> dict:
-        if not body:
-            raise _HttpError(400, "expected a JSON request body")
-        try:
-            payload = json.loads(body)
-        except json.JSONDecodeError as err:
-            raise _HttpError(400, f"invalid JSON body: {err}") from None
-        if not isinstance(payload, dict):
-            raise _HttpError(400, "JSON body must be an object")
-        return payload
-
     async def _dispatch(self, method, path, params, body):
+        if path == "/health" and method == "GET":
+            # Deliberately lock-free: a liveness probe must answer even
+            # when a query thread is parked on the manager or planner
+            # lock, or the coordinator would declare a busy worker dead.
+            return 200, {"ok": True, "stopping": self._stopping}
         if path == "/healthz" and method == "GET":
             return 200, {"ok": True, "namespaces": list(self.manager.configs)}
         if path == "/status" and method == "GET":
@@ -498,6 +330,12 @@ class SummaryService:
                 else self._json_body(body)
             )
             return await self._handle_query(request)
+        if path == "/bundle" and method == "GET":
+            return await self._handle_bundle_get(params)
+        if path == "/bundle" and method == "POST":
+            return await self._handle_bundle_put(params, body)
+        if path == "/bundle/reset" and method == "POST":
+            return await self._handle_bundle_reset(self._json_body(body))
         if path == "/rotate" and method == "POST":
             return await self._handle_rotate()
         if path == "/watch" and method == "POST":
@@ -514,8 +352,8 @@ class SummaryService:
             asyncio.get_running_loop().call_soon(self.request_shutdown)
             return 200, {"ok": True, "stopping": True}
         known = (
-            "/healthz /status /ingest /query /rotate /watch /watch/remove "
-            "/watch/poll /shutdown"
+            "/health /healthz /status /ingest /query /bundle /bundle/reset "
+            "/rotate /watch /watch/remove /watch/poll /shutdown"
         )
         raise _HttpError(
             405 if path in known.split() else 404,
@@ -903,6 +741,164 @@ class SummaryService:
             ],
         }
 
+    # -- sketch-bundle transport (cluster) ------------------------------------
+
+    def _merged_bundle_blob(self, namespace, since, until):
+        """Codec-encode the merged live+stored view of one namespace.
+
+        Same snapshot discipline as :meth:`QueryPlanner.plan`: version +
+        entry selection + live bundle are read together under the manager
+        lock, disk loads happen outside it, and a mid-load
+        ``FileNotFoundError`` (the store mutated the snapshotted
+        artifacts away) re-snapshots.  Returns ``(blob | None, version,
+        entry_count)`` — ``None`` when the selection holds no data.
+        """
+        manager = self.manager
+        for _attempt in range(8):
+            with manager.lock:
+                version = manager.version(namespace)  # KeyError when unknown
+                entries = manager.store.bundle_entries(
+                    namespace, since=since, until=until
+                )
+                bucket, events, live = manager.live_view(namespace)
+                if events:
+                    # The live view supersedes the window's own flush
+                    # artifact (same events, published for durability):
+                    # shipping both would double-count every key.
+                    entries = [
+                        entry
+                        for entry in entries
+                        if not (
+                            entry.bucket == bucket
+                            and entry.part == LIVE_PART
+                        )
+                    ]
+                if live is not None and not self.planner._live_in_window(
+                    bucket, since, until
+                ):
+                    live = None
+            try:
+                bundles = [manager.store.load(entry) for entry in entries]
+            except FileNotFoundError:
+                continue  # store moved under us; version changed with it
+            if live is not None:
+                bundles.append(live)
+            if not bundles:
+                return None, version, 0
+            merged = bundles[0].merge(*bundles[1:])
+            return encode(merged), version, len(bundles)
+        raise RuntimeError(
+            f"could not snapshot a stable bundle of namespace "
+            f"{namespace!r}: the store kept mutating the selected "
+            "artifacts away between snapshot and load"
+        )
+
+    def _require_namespace(self, params) -> str:
+        namespace = params.get("namespace")
+        if not namespace:
+            raise _HttpError(400, "bundle request needs a 'namespace'")
+        if namespace not in self.manager.configs:
+            raise _HttpError(
+                404,
+                f"unknown namespace {namespace!r}; known: "
+                f"{', '.join(self.manager.configs)}",
+            )
+        return namespace
+
+    async def _handle_bundle_get(self, params):
+        namespace = self._require_namespace(params)
+        loop = asyncio.get_running_loop()
+        if params.get("list"):
+            entries = await loop.run_in_executor(
+                None, self.store.bundle_entries, namespace
+            )
+            with self.manager.lock:
+                version = self.manager.version(namespace)
+            return 200, {
+                "ok": True,
+                "namespace": namespace,
+                "version": version,
+                "entries": [
+                    {
+                        "bucket": entry.bucket,
+                        "part": entry.part,
+                        "kind": entry.kind,
+                        "nbytes": entry.nbytes,
+                    }
+                    for entry in entries
+                ],
+            }
+        bucket, part = params.get("bucket"), params.get("part")
+        if (bucket is None) != (part is None):
+            raise _HttpError(
+                400, "artifact fetch needs both 'bucket' and 'part'"
+            )
+        if bucket is not None:
+            blob = await loop.run_in_executor(
+                None, self.store.read_blob, namespace, bucket, part
+            )
+            return 200, BinaryResponse(blob, {
+                "X-Repro-Namespace": namespace,
+                "X-Repro-Bucket": bucket,
+                "X-Repro-Part": part,
+            })
+        since, until = params.get("since"), params.get("until")
+        blob, version, sources = await loop.run_in_executor(
+            None, self._merged_bundle_blob, namespace, since, until
+        )
+        if blob is None:
+            return 200, {
+                "ok": True,
+                "empty": True,
+                "namespace": namespace,
+                "version": version,
+            }
+        return 200, BinaryResponse(blob, {
+            "X-Repro-Namespace": namespace,
+            "X-Repro-Version": version,
+            "X-Repro-Sources": str(sources),
+        })
+
+    async def _handle_bundle_reset(self, payload: dict):
+        # The cluster-handoff purge: the coordinator resets a handoff
+        # target's slot namespace before copying, so leftover artifacts
+        # from an earlier ownership epoch can never double-count against
+        # the fresh copy.
+        namespace = self._require_namespace(payload)
+        loop = asyncio.get_running_loop()
+        result = await loop.run_in_executor(
+            None, self.manager.reset, namespace
+        )
+        return 200, {"ok": True, **result}
+
+    async def _handle_bundle_put(self, params, body: bytes):
+        namespace = self._require_namespace(params)
+        bucket, part = params.get("bucket"), params.get("part")
+        if not bucket or not part:
+            raise _HttpError(
+                400, "bundle upload needs 'bucket' and 'part' params"
+            )
+        if not body:
+            raise _HttpError(400, "bundle upload needs a codec-encoded body")
+        overwrite = bool(params.get("overwrite"))
+        loop = asyncio.get_running_loop()
+        try:
+            entry = await loop.run_in_executor(
+                None,
+                lambda: self.store.import_bundle(
+                    namespace, bucket, part, body, overwrite=overwrite
+                ),
+            )
+        except FileExistsError as err:
+            raise _HttpError(409, str(err)) from None
+        return 200, {
+            "ok": True,
+            "namespace": entry.namespace,
+            "bucket": entry.bucket,
+            "part": entry.part,
+            "nbytes": entry.nbytes,
+        }
+
 
 class ServiceThread:
     """Run a :class:`SummaryService` on a background thread (tests, benches).
@@ -971,6 +967,38 @@ class ServiceThread:
         self._thread.join(timeout)
         if self._thread.is_alive():
             raise TimeoutError("service thread did not stop in time")
+        self._thread = None
+
+    def kill(self, timeout: float = 10.0) -> None:
+        """Crash the service: no drain, no checkpoint, sockets dropped.
+
+        Simulates a SIGKILL'd worker for failover tests — in-flight and
+        queued batches are lost with the live window, exactly like a
+        process kill; only rotated/checkpointed artifacts survive.
+        """
+        if self._thread is None:
+            return
+        service, loop = self.service, self._loop
+
+        def die() -> None:
+            if service._server is not None:
+                service._server.close()
+            for writer in list(service._connections):
+                writer.close()
+            for task in asyncio.all_tasks():
+                task.cancel()
+            asyncio.get_running_loop().call_soon(
+                asyncio.get_running_loop().stop
+            )
+
+        if loop is not None and service is not None:
+            try:
+                loop.call_soon_threadsafe(die)
+            except RuntimeError:  # loop already closed
+                pass
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError("service thread did not die in time")
         self._thread = None
 
     def __enter__(self) -> "ServiceThread":

@@ -159,6 +159,12 @@ def resolve_windows(
         end = last_end - back * step_s
         start_dt = datetime.fromtimestamp(end - window_s, tz=timezone.utc)
         end_dt = datetime.fromtimestamp(end, tz=timezone.utc)
+        # step <= window guarantees start[i+1] <= end[i] mathematically,
+        # but `end - window_s` and the previous `last_end - back * step_s`
+        # can differ by 1 ulp and round to different microseconds,
+        # opening a 1 us gap between tumbling windows; clamp it shut.
+        if windows and start_dt > windows[-1][1]:
+            start_dt = windows[-1][1]
         windows.append((start_dt, end_dt))
     return windows
 

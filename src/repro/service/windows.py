@@ -455,6 +455,34 @@ class LiveWindowManager:
                 self.store.runtime.add_counter("rotations", len(written))
             return written
 
+    def reset(self, namespace: str) -> dict:
+        """Purge one namespace: live window, store artifacts, checkpoint.
+
+        The cluster-handoff primitive: before a worker receives a copied
+        slot it may have held before, its leftover state must go — a
+        former holder's artifacts are either outdated (they missed the
+        deliveries made after ownership moved away) or duplicated
+        key-for-key by the incoming copy, and either way the exact merge
+        would reject or miscount them.  The ingest sequence advances, so
+        the namespace's version token moves and no answer cached against
+        the pre-purge state can replay.
+        """
+        with self._lock:
+            self._window(namespace)  # validates the name
+            entries = self.store.entries(namespace)
+            for entry in entries:
+                self.store.remove(
+                    namespace, entry.bucket, entry.part, missing_ok=True
+                )
+            bucket = bucket_for(self.clock(), self.granularity)
+            self._windows[namespace] = self._fresh_window(
+                self.configs[namespace], bucket
+            )
+            ingest_seq = self.store.runtime.record_ingest(namespace, 0)
+            self.store.runtime.set_window_seq(namespace, ingest_seq)
+            self._live_seqs[namespace] = (ingest_seq, ingest_seq)
+            return {"namespace": namespace, "removed": len(entries)}
+
     def compact(self, to: str = "hour") -> list[StoreEntry]:
         """Roll stored buckets up to coarser granularity (exact merge).
 

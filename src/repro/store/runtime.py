@@ -93,6 +93,14 @@ CREATE TABLE IF NOT EXISTS counters (
     name  TEXT PRIMARY KEY,
     value INTEGER NOT NULL
 );
+CREATE TABLE IF NOT EXISTS cluster_workers (
+    worker_id TEXT PRIMARY KEY,
+    host      TEXT    NOT NULL,
+    port      INTEGER NOT NULL,
+    joined_at REAL    NOT NULL,
+    last_seen REAL,
+    alive     INTEGER NOT NULL DEFAULT 1
+);
 CREATE TABLE IF NOT EXISTS registrations (
     id              INTEGER PRIMARY KEY AUTOINCREMENT,
     namespace       TEXT    NOT NULL,
@@ -488,6 +496,62 @@ class RuntimeStore:
             (limit,),
         ).fetchall()
         return [dict(row) for row in rows]
+
+    # -- cluster membership (coordinator runtime tier) ------------------------
+
+    def cluster_join(self, worker_id: str, host: str, port: int) -> None:
+        """Register (or re-register) one worker in the membership table.
+
+        Re-joining with a new address updates the row in place — the
+        restart-with-same-id path — and always marks the worker alive
+        (the next heartbeat round corrects an optimistic join).
+        """
+        now = time.time()
+        with self.transaction():
+            self._conn.execute(
+                "INSERT INTO cluster_workers "
+                "(worker_id, host, port, joined_at, last_seen, alive) "
+                "VALUES (?, ?, ?, ?, ?, 1) "
+                "ON CONFLICT(worker_id) DO UPDATE SET "
+                "host = excluded.host, port = excluded.port, "
+                "last_seen = excluded.last_seen, alive = 1",
+                (worker_id, host, int(port), now, now),
+            )
+
+    def cluster_leave(self, worker_id: str) -> bool:
+        """Drop one worker from membership; True when it was registered."""
+        with self.transaction():
+            cursor = self._conn.execute(
+                "DELETE FROM cluster_workers WHERE worker_id = ?",
+                (worker_id,),
+            )
+            return cursor.rowcount > 0
+
+    def cluster_mark(self, worker_id: str, alive: bool) -> None:
+        """Record one heartbeat outcome (``last_seen`` moves only on life)."""
+        with self.transaction():
+            if alive:
+                self._conn.execute(
+                    "UPDATE cluster_workers SET alive = 1, last_seen = ? "
+                    "WHERE worker_id = ?",
+                    (time.time(), worker_id),
+                )
+            else:
+                self._conn.execute(
+                    "UPDATE cluster_workers SET alive = 0 "
+                    "WHERE worker_id = ?",
+                    (worker_id,),
+                )
+
+    def cluster_workers(self) -> list[dict]:
+        """Membership rows, stable worker-id order."""
+        rows = self._execute(
+            "SELECT worker_id, host, port, joined_at, last_seen, alive "
+            "FROM cluster_workers ORDER BY worker_id"
+        ).fetchall()
+        return [
+            {**dict(row), "alive": bool(row["alive"])} for row in rows
+        ]
 
     # -- continuous-query registrations ---------------------------------------
 

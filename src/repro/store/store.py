@@ -791,6 +791,45 @@ class SummaryStore:
         """Convenience: :meth:`load` by (namespace, bucket, part)."""
         return self.load(self._resolve(namespace, bucket, part), **kwargs)
 
+    def read_blob(self, namespace: str, bucket: str, part: str) -> bytes:
+        """One artifact's raw codec bytes (the ``GET /bundle`` wire form).
+
+        No decode on the serving side: the blob was CRC-stamped by
+        :func:`~repro.store.codec.encode` at write time and the receiver
+        verifies it, so shipping the file bytes verbatim is both the
+        cheapest and the safest transport.
+        """
+        entry = self._resolve(namespace, bucket, part)
+        with open(self.root / entry.path, "rb") as handle:
+            return handle.read()
+
+    def import_bundle(
+        self,
+        namespace: str,
+        bucket: str,
+        part: str,
+        blob: bytes,
+        overwrite: bool = False,
+    ) -> StoreEntry:
+        """Adopt one codec-encoded sketch bundle shipped from another store.
+
+        The bucket-handoff receive path of cluster rebalancing: the blob
+        is decoded with CRC verification (a corrupted transfer fails
+        loudly before anything is published) and must be a sketch bundle
+        — raw event checkpoints never travel between workers.  The
+        re-encode inside :meth:`write` is deterministic, so the adopted
+        artifact is byte-identical to the source worker's.
+        """
+        obj = decode(blob, verify=True)
+        kind, _assignments = self._kind_of(obj)
+        if kind not in BUNDLE_KINDS:
+            raise ValueError(
+                f"refusing to import artifact of kind {kind!r}; only "
+                f"sketch bundles ({', '.join(BUNDLE_KINDS)}) are handed off"
+            )
+        return self.write(namespace, bucket, obj, part=part,
+                          overwrite=overwrite)
+
     def merged_bundle(
         self, namespace: str, buckets: Sequence[str] | None = None
     ) -> SketchBundle:

@@ -44,6 +44,24 @@ def test_bench_json_includes_provenance(tmp_path, monkeypatch):
     ))
 
 
+def test_topology_stamp_is_opt_in(tmp_path, monkeypatch):
+    emit = load_emit()
+    monkeypatch.setattr(emit, "RESULTS_DIR", tmp_path)
+    topology = {"workers": 2, "replication": 1, "n_slots": 16}
+    path = emit.write_bench_json(
+        "cluster_unit", {"events": 1}, {"ops_per_s": 2.0}, topology=topology
+    )
+    payload = json.loads(path.read_text())
+    assert set(payload) == {
+        "name", "config", "metrics", "host", "provenance", "topology",
+    }
+    assert payload["topology"] == topology
+    # single-process benches omit the key entirely (envelope unchanged)
+    path = emit.write_bench_json("solo_unit", {"events": 1}, {"s": 0.1})
+    payload = json.loads(path.read_text())
+    assert "topology" not in payload
+
+
 def test_provenance_survives_missing_git(monkeypatch):
     emit = load_emit()
     monkeypatch.setattr(
