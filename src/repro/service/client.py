@@ -18,6 +18,7 @@ import http.client
 import json
 import random
 import socket
+import threading
 import time
 from typing import Callable, Sequence
 from urllib.parse import urlencode
@@ -59,8 +60,19 @@ class ServiceClient:
     (:class:`ServiceError`) are never retried either — a server
     answered; retrying cannot change its mind.
 
+    The client is **thread-safe**: keep-alive connections live in a
+    small pool keyed by socket timeout, every call checks out its own
+    connection for the full request/response exchange, and a per-call
+    timeout override never touches shared state — so the coordinator's
+    heartbeat, query, and ingest threads can share one client per worker
+    without a probe killing an in-flight bundle fetch or two callers
+    interleaving on one socket.
+
     ``rng`` and ``sleep`` are injectable for tests.
     """
+
+    #: keep-alive connections retained per client; extras close on release
+    _MAX_IDLE = 4
 
     def __init__(
         self, host: str = "127.0.0.1", port: int = 8765,
@@ -79,21 +91,45 @@ class ServiceClient:
         self.backoff_cap_s = backoff_cap_s
         self._rng = random.random if rng is None else rng
         self._sleep = sleep
-        self._conn: http.client.HTTPConnection | None = None
+        self._pool_lock = threading.Lock()
+        self._idle: list[tuple[float, http.client.HTTPConnection]] = []
 
     # -- plumbing -------------------------------------------------------------
 
-    def _connection(self) -> http.client.HTTPConnection:
-        if self._conn is None:
-            self._conn = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
-            )
-        return self._conn
+    def _connection(self, timeout: float) -> http.client.HTTPConnection:
+        """Check out a keep-alive connection built with ``timeout``.
+
+        Concurrent callers each get their own connection — one
+        :class:`~http.client.HTTPConnection` cannot interleave two
+        request/response pairs — and pooling by timeout means a per-call
+        override simply uses a different connection instead of rebuilding
+        (and racing on) a shared one.
+        """
+        with self._pool_lock:
+            for index, (built_with, conn) in enumerate(self._idle):
+                if built_with == timeout:
+                    del self._idle[index]
+                    return conn
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout
+        )
+
+    def _release(
+        self, timeout: float, conn: http.client.HTTPConnection
+    ) -> None:
+        """Return a healthy connection to the idle pool (or close it)."""
+        with self._pool_lock:
+            if len(self._idle) < self._MAX_IDLE:
+                self._idle.append((timeout, conn))
+                return
+        conn.close()
 
     def close(self) -> None:
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        """Close idle connections (in-flight ones close as they finish)."""
+        with self._pool_lock:
+            idle, self._idle = self._idle, []
+        for _timeout, conn in idle:
+            conn.close()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -119,31 +155,27 @@ class ServiceClient:
 
         ``timeout`` overrides the client-level socket timeout for this
         call only (per-verb override: a heartbeat probe wants 2s, a big
-        bundle fetch may want 120s).
+        bundle fetch may want 120s) by checking out a connection built
+        with that timeout — no shared state changes, so overlapping
+        calls from other threads are undisturbed.
         """
-        previous = self.timeout
-        if timeout is not None and timeout != previous:
-            self.timeout = timeout
-            self.close()  # drop the connection built with the old timeout
-        try:
-            attempts = (self.retries + 1) if idempotent else 1
-            for attempt in range(attempts):
-                conn = self._connection()
-                try:
-                    conn.request(method, path, body=payload, headers=headers)
-                    response = conn.getresponse()
-                    data = response.read()
-                    return response.status, response.headers, data
-                except _TRANSIENT:
-                    self.close()
-                    if attempt + 1 >= attempts:
-                        raise
-                    self._sleep(self._backoff(attempt))
-            raise AssertionError("unreachable")  # pragma: no cover
-        finally:
-            if timeout is not None and timeout != previous:
-                self.timeout = previous
-                self.close()
+        effective = self.timeout if timeout is None else timeout
+        attempts = (self.retries + 1) if idempotent else 1
+        for attempt in range(attempts):
+            conn = self._connection(effective)
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+            except _TRANSIENT:
+                conn.close()
+                if attempt + 1 >= attempts:
+                    raise
+                self._sleep(self._backoff(attempt))
+                continue
+            self._release(effective, conn)
+            return response.status, response.headers, data
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _request(
         self,
@@ -536,14 +568,10 @@ class ServiceClient:
         params = urlencode({
             "id": int(watch_id), "after": int(after), "timeout": timeout,
         })
-        previous = self.timeout
-        self.timeout = max(previous, timeout + 10.0)
-        self.close()  # drop any connection built with the shorter timeout
-        try:
-            result = self._request("GET", f"/watch/poll?{params}")
-        finally:
-            self.timeout = previous
-            self.close()
+        result = self._request(
+            "GET", f"/watch/poll?{params}",
+            timeout=max(self.timeout, timeout + 10.0),
+        )
         if isinstance(result.get("watch"), dict):
             self._restore_watch(result["watch"])
         return result

@@ -65,7 +65,11 @@ from repro.engine.queries import ESTIMATORS, QueryEngine, jaccard_from_summary
 from repro.ranks.hashing import _key_to_int, splitmix64
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.config import NamespaceConfig
-from repro.service.httpbase import HttpServerBase, _HttpError
+from repro.service.httpbase import (
+    HttpServerBase,
+    _HttpError,
+    query_request_from_params,
+)
 from repro.service.jsonutil import sanitize_non_finite
 from repro.service.cluster.topology import ClusterTopology, slot_namespace
 
@@ -631,7 +635,8 @@ class CoordinatorService(HttpServerBase):
                 }
                 target_ns = slot_namespace(namespace, slot)
                 delivered = False
-                for owner in self._owners(slot, worker_ids):
+                owners = self._owners(slot, worker_ids)
+                for position, owner in enumerate(owners):
                     try:
                         self._clients[owner].ingest(
                             target_ns, sub_keys, sub_weights, sync=sync
@@ -644,10 +649,29 @@ class CoordinatorService(HttpServerBase):
                         failed.append({"worker": owner, "slot": slot})
                         continue
                     except ServiceError as err:
+                        # A server answered and refused (429 queue full,
+                        # 503 stopping ...).  If a replica earlier in the
+                        # loop already applied the sub-batch, the
+                        # rejecting owner — and every owner the abort
+                        # skips — now under-counts the slot and must not
+                        # serve or hand it off; with nothing applied yet
+                        # the copies still agree and stay usable.
+                        if delivered:
+                            for behind in owners[position:]:
+                                self._stale.setdefault(
+                                    behind, set()
+                                ).add(slot)
+                        if delivered or failed:
+                            self._save_health_meta()
                         raise _HttpError(
                             502,
                             f"worker {owner!r} rejected slot {slot} of "
-                            f"{namespace!r}: {err}",
+                            f"{namespace!r}: {err}" + (
+                                "; a replica already applied the "
+                                "sub-batch — the rejecting and "
+                                "undelivered owners are marked stale"
+                                if delivered else ""
+                            ),
                         ) from err
                     delivered = True
                     deliveries += 1
@@ -925,16 +949,7 @@ class CoordinatorService(HttpServerBase):
             f"no route for {method} {path} (endpoints: {known})",
         )
 
-    @staticmethod
-    def _query_from_params(params: dict) -> dict:
-        request = dict(params)
-        if "assignments" in request:
-            request["assignments"] = [
-                part for part in request["assignments"].split(",") if part
-            ]
-        if "ell" in request:
-            request["ell"] = int(request["ell"])
-        return request
+    _query_from_params = staticmethod(query_request_from_params)
 
     def _cluster_view(self) -> dict:
         with self._cluster_lock:

@@ -23,7 +23,10 @@ import json
 
 from repro.service.jsonutil import dumps_strict, sanitize_non_finite
 
-__all__ = ["BinaryResponse", "HttpServerBase", "_HttpError"]
+__all__ = [
+    "BinaryResponse", "HttpServerBase", "_HttpError",
+    "coerce_query_key", "query_request_from_params",
+]
 
 _MAX_LINE = 16 * 1024
 _MAX_HEADERS = 100
@@ -43,6 +46,49 @@ class _HttpError(Exception):
     def __init__(self, status: int, message: str) -> None:
         super().__init__(message)
         self.status = status
+
+
+def coerce_query_key(raw: str):
+    """Best-effort typing for query-string keys.
+
+    JSON bodies carry key types exactly; a query string cannot, so
+    numeric-looking keys are folded to numbers — matching how JSON
+    ingest delivers them.  Keys that are digit *strings* in the data
+    must use ``POST /query``.
+    """
+    try:
+        return int(raw)
+    except ValueError:
+        try:
+            return float(raw)
+        except ValueError:
+            return raw
+
+
+def query_request_from_params(params: dict) -> dict:
+    """A ``GET /query`` query string as the equivalent POST body.
+
+    Comma-separated ``assignments`` and ``keys`` become lists (keys
+    typed via :func:`coerce_query_key`), ``ell`` becomes an int.  Both
+    daemons — the worker and the coordinator — parse their GET surface
+    through this one function, so a filter like ``keys=a,b`` means the
+    same subpopulation everywhere instead of silently degrading to a
+    per-character match where the splitting was forgotten.
+    """
+    request = dict(params)
+    if "assignments" in request:
+        request["assignments"] = [
+            part for part in request["assignments"].split(",") if part
+        ]
+    if "keys" in request:
+        request["keys"] = [
+            coerce_query_key(part)
+            for part in request["keys"].split(",")
+            if part
+        ]
+    if "ell" in request:
+        request["ell"] = int(request["ell"])
+    return request
 
 
 @dataclass

@@ -64,7 +64,12 @@ from typing import Callable
 import numpy as np
 
 from repro.service.config import ServiceConfig
-from repro.service.httpbase import BinaryResponse, HttpServerBase, _HttpError
+from repro.service.httpbase import (
+    BinaryResponse,
+    HttpServerBase,
+    _HttpError,
+    query_request_from_params,
+)
 from repro.service.jsonutil import restore_non_finite
 from repro.service.planner import FUNCTIONS, QueryPlanner
 from repro.service.temporal import parse_duration
@@ -472,39 +477,7 @@ class SummaryService(HttpServerBase):
             **result,
         }
 
-    @staticmethod
-    def _coerce_key(raw: str):
-        """Best-effort typing for query-string keys.
-
-        JSON bodies carry key types exactly; a query string cannot, so
-        numeric-looking keys are folded to numbers — matching how JSON
-        ingest delivers them.  Keys that are digit *strings* in the data
-        must use POST /query.
-        """
-        try:
-            return int(raw)
-        except ValueError:
-            try:
-                return float(raw)
-            except ValueError:
-                return raw
-
-    @classmethod
-    def _query_from_params(cls, params: dict) -> dict:
-        request = dict(params)
-        if "assignments" in request:
-            request["assignments"] = [
-                part for part in request["assignments"].split(",") if part
-            ]
-        if "keys" in request:
-            request["keys"] = [
-                cls._coerce_key(part)
-                for part in request["keys"].split(",")
-                if part
-            ]
-        if "ell" in request:
-            request["ell"] = int(request["ell"])
-        return request
+    _query_from_params = staticmethod(query_request_from_params)
 
     def _query_work(self, request: dict):
         """Validate a query request; return the planner thunk answering it.

@@ -66,7 +66,12 @@ class FakeConn:
 
 
 def scripted_client(outcomes, retries=3, backoff_s=0.1, backoff_cap_s=0.4):
-    """A client whose connections play out ``outcomes`` in order."""
+    """A client whose connections play out ``outcomes`` in order.
+
+    Checkout timeouts are recorded on ``client.checkout_timeouts`` (the
+    pool hands every call a connection built with the effective per-call
+    timeout).
+    """
     sleeps = []
     conns = [FakeConn(outcome) for outcome in outcomes]
     pool = iter(conns)
@@ -77,7 +82,13 @@ def scripted_client(outcomes, retries=3, backoff_s=0.1, backoff_cap_s=0.4):
         rng=lambda: 0.5,
         sleep=sleeps.append,
     )
-    client._connection = lambda: next(pool)
+    client.checkout_timeouts = []
+
+    def checkout(timeout):
+        client.checkout_timeouts.append(timeout)
+        return next(pool)
+
+    client._connection = checkout
     return client, conns, sleeps
 
 
@@ -139,11 +150,70 @@ class TestRetryPolicy:
         assert sleeps == []
         assert len(conns[1].requests) == 0
 
-    def test_per_call_timeout_is_restored(self):
-        client, _conns, _sleeps = scripted_client([FakeResponse()])
+    def test_per_call_timeout_is_scoped_to_the_call(self):
+        client, _conns, _sleeps = scripted_client(
+            [FakeResponse(), FakeResponse()]
+        )
         assert client.timeout == 30.0
         client.liveness(timeout=2.0)
+        client.status()
+        # the override selects the checked-out connection; the client's
+        # own timeout (shared, read by other threads) never changes
+        assert client.checkout_timeouts == [2.0, 30.0]
         assert client.timeout == 30.0
+
+
+class TestThreadSafety:
+    """One shared client across threads: the coordinator's usage pattern.
+
+    The coordinator shares one :class:`ServiceClient` per worker between
+    its heartbeat loop, query plane, and ingest router.  Before the
+    connection pool, a per-call timeout override mutated the client's
+    shared timeout and closed the one shared connection — a heartbeat
+    could kill an in-flight bundle fetch, and interleaved
+    request/getresponse pairs could hand one caller another caller's
+    response body.  Every call now runs its full exchange on its own
+    checked-out connection, so hammering mixed verbs with mixed timeout
+    overrides must yield only correct, endpoint-matching answers.
+    """
+
+    def test_shared_client_concurrent_mixed_timeouts(self, tmp_path):
+        config = ServiceConfig(
+            store_root=str(tmp_path / "store"),
+            namespaces=(NS,),
+            port=0,
+            compact_to=None,
+            tick_s=3600.0,
+        )
+        with ServiceThread(config) as thread:
+            client = ServiceClient(port=thread.service.port, timeout=10.0)
+            client.wait_ready()
+            errors = []
+            start = threading.Barrier(6)
+
+            def prober(override):
+                try:
+                    start.wait(timeout=10.0)
+                    for _ in range(20):
+                        health = client.liveness(timeout=override)
+                        assert health["ok"] is True
+                        assert "queue" not in health  # a /health body
+                        status = client.status()
+                        assert status["ok"] is True
+                        assert "queue" in status  # a /status body
+                except Exception as err:  # surfaced after the join
+                    errors.append(err)
+
+            threads = [
+                threading.Thread(target=prober, args=(override,), daemon=True)
+                for override in (None, None, 2.0, 3.0, 5.0, None)
+            ]
+            for worker in threads:
+                worker.start()
+            for worker in threads:
+                worker.join(timeout=60.0)
+            client.close()
+            assert errors == []
 
 
 class TestLockFreeHealth:

@@ -298,6 +298,85 @@ class TestFailover:
             AggregationSpec("max", ("h1", "h2"))
         )
 
+    def test_replica_rejection_after_apply_marks_stale(self, replicated2):
+        """Regression: an owner that *rejects* a delivery (HTTP error,
+        e.g. 429 queue-full) after a replica already applied it holds a
+        divergent under-counting copy — it must be marked stale exactly
+        like an unreachable owner, persisted, and never serve the slot.
+        """
+        from repro.service.cluster import slot_for_key
+        from repro.service.cluster.topology import slot_namespace
+
+        first = event_batch(0)
+        replicated2.client.ingest("web", *first, sync=True)
+        service = replicated2.coordinator.service
+        # pick a slot delivered to w1 before w2, and make w2's daemon
+        # refuse that slot's sub-batch (as a full ingest queue would)
+        slot = next(
+            s for s in range(N_SLOTS)
+            if service.topology.slot_owners(s, ("w1", "w2"))
+            == ("w1", "w2")
+        )
+        target_ns = slot_namespace("web", slot)
+        real_ingest = service._clients["w2"].ingest
+
+        def reject(namespace, keys, weights, sync=False):
+            if namespace == target_ns:
+                raise ServiceError(429, {"error": "ingest queue full"})
+            return real_ingest(namespace, keys, weights, sync=sync)
+
+        service._clients["w2"].ingest = reject
+        second = event_batch(1000, n=30)
+        try:
+            with pytest.raises(ServiceError) as excinfo:
+                replicated2.client.ingest("web", *second, sync=True)
+        finally:
+            service._clients["w2"].ingest = real_ingest
+        assert excinfo.value.status == 502
+        view = replicated2.client.cluster_status()
+        assert slot in view["stale"].get("w2", [])
+        # w1 applied the sub-batch w2 refused; slots sorted after the
+        # rejection got nothing — the exact state the coordinator must
+        # keep serving is first + the second batch's slots <= `slot`
+        served = replicated2.client.estimate("web", "max", ["h1", "h2"])
+        assert served["partial"] is False
+        keys2, weights2 = second
+        applied = [
+            i for i, k in enumerate(keys2)
+            if slot_for_key(k, N_SLOTS, SALT) <= slot
+        ]
+        offline = offline_engine([
+            first,
+            (
+                [keys2[i] for i in applied],
+                {
+                    name: [values[i] for i in applied]
+                    for name, values in weights2.items()
+                },
+            ),
+        ])
+        assert served["estimate"] == offline.estimate(
+            AggregationSpec("max", ("h1", "h2"))
+        )
+        # the stale marking survives a coordinator restart: it was
+        # persisted before the 502 went out
+        replicated2.client.close()
+        replicated2.coordinator.stop()
+        replicated2.coordinator = CoordinatorThread(
+            replicated2.coordinator.config, clock=replicated2.clock
+        )
+        replicated2.coordinator.start()
+        replicated2.client = ServiceClient(
+            port=replicated2.coordinator.service.port
+        )
+        view = replicated2.client.cluster_status()
+        assert slot in view["stale"].get("w2", [])
+        served = replicated2.client.estimate("web", "max", ["h1", "h2"])
+        assert served["partial"] is False
+        assert served["estimate"] == offline.estimate(
+            AggregationSpec("max", ("h1", "h2"))
+        )
+
     def test_no_owner_reachable_fails_ingest_loudly(self, cluster2):
         cluster2.kill("w1")
         cluster2.kill("w2")
@@ -491,6 +570,38 @@ class TestCoordinatorApi:
         assert payload["estimate"] == cluster2.client.estimate(
             "web", "max", ["h1", "h2"]
         )["estimate"]
+
+    def test_query_get_splits_keys_like_the_worker(self, cluster2):
+        """Regression: ``GET /query?keys=a,b`` on the coordinator must
+        select the listed keys, not filter on the string's characters.
+        """
+        import json
+        import urllib.request
+
+        from repro.core.predicates import key_in
+
+        keys, weights = event_batch(0)
+        cluster2.client.ingest("web", keys, weights, sync=True)
+        subset = keys[:9] + ["never-seen"]
+        port = cluster2.coordinator.service.port
+        url = (
+            f"http://127.0.0.1:{port}/query?"
+            "namespace=web&function=max&assignments=h1,h2&keys="
+            + ",".join(subset)
+        )
+        with urllib.request.urlopen(url, timeout=10) as response:
+            payload = json.load(response)
+        offline = offline_engine([(keys, weights)])
+        assert payload["estimate"] == offline.estimate(
+            AggregationSpec("max", ("h1", "h2")), predicate=key_in(subset)
+        )
+        # the GET and POST surfaces parse to the same request — same
+        # answer, and the second form replays the first's cache entry
+        posted = cluster2.client.estimate(
+            "web", "max", ["h1", "h2"], keys=subset
+        )
+        assert posted["estimate"] == payload["estimate"]
+        assert posted["cached"] is True
 
 
 class TestClusterClient:

@@ -334,7 +334,7 @@ class TestErrorMapping:
     def test_invalid_json_400(self, service):
         thread, _client = service
         conn_client = ServiceClient(port=thread.service.port)
-        conn = conn_client._connection()
+        conn = conn_client._connection(conn_client.timeout)
         conn.request("POST", "/query", body=b"{not json",
                      headers={"Content-Type": "application/json"})
         response = conn.getresponse()
