@@ -39,9 +39,11 @@ from repro.service.cluster import (
     CoordinatorConfig,
     CoordinatorService,
     CoordinatorThread,
+    RepairPlanner,
     slot_namespace_configs,
 )
 from repro.service.config import NamespaceConfig, ServiceConfig
+from repro.service.faults import FaultPlan, FaultRule
 from repro.service.planner import QueryPlanner
 from repro.service.server import ServiceThread, SummaryService
 from repro.service.windows import CHECKPOINT_PART, LiveWindowManager
@@ -54,9 +56,12 @@ __all__ = [
     "CoordinatorConfig",
     "CoordinatorService",
     "CoordinatorThread",
+    "FaultPlan",
+    "FaultRule",
     "LiveWindowManager",
     "NamespaceConfig",
     "QueryPlanner",
+    "RepairPlanner",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",

@@ -21,8 +21,15 @@ Cluster mode (see ``repro.service.cluster``):
         --assignments bytes packets --slots 16 --replication 2 --port 8900
     repro-serve cluster-join --port 8900 --worker-id w1 --worker-port 9001
     repro-serve cluster-status --port 8900
+    repro-serve repairs --port 8900          # replication health + journal
+    repro-serve repairs --port 8900 --run    # force one repair tick now
     repro-serve query --port 8900 --namespace web --function max \\
         --assignments bytes packets    # exact merge across all workers
+
+The coordinator self-heals: a worker that stops answering heartbeats is
+promoted to *failed* after ``--fail-after`` seconds and its slots are
+re-replicated onto survivors from healthy replicas — no operator action.
+``repro-serve repairs`` shows the journal driving that convergence.
 
 ``serve`` runs in the foreground until SIGTERM/SIGINT (or a client's
 ``POST /shutdown``), then drains the ingest queue and checkpoints every
@@ -99,10 +106,12 @@ def _config_from_args(args: argparse.Namespace) -> ServiceConfig:
     return config
 
 
-async def _serve(config: ServiceConfig) -> None:
+async def _serve(config: ServiceConfig, fault_plan=None) -> None:
     from repro.service.server import SummaryService
 
     service = SummaryService(config)
+    if fault_plan is not None:
+        service.install_faults(fault_plan)
     await service.start()
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGINT, signal.SIGTERM):
@@ -119,7 +128,10 @@ async def _serve(config: ServiceConfig) -> None:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    asyncio.run(_serve(_config_from_args(args)))
+    asyncio.run(_serve(
+        _config_from_args(args),
+        fault_plan=_load_fault_plan(args.fault_plan),
+    ))
     return 0
 
 
@@ -161,13 +173,28 @@ def _coordinator_config_from_args(args: argparse.Namespace):
         n_slots=args.slots,
         replication=args.replication,
         heartbeat_s=args.heartbeat,
+        probe_concurrency=args.probe_concurrency,
+        fail_after_s=args.fail_after,
+        repair_interval_s=args.repair_interval,
+        repair_max_attempts=args.repair_max_attempts,
+        anti_entropy=not args.no_anti_entropy,
     )
 
 
-async def _coordinate(config) -> None:
+def _load_fault_plan(path: str | None):
+    if path is None:
+        return None
+    from repro.service.faults import FaultPlan
+
+    return FaultPlan.from_file(path)
+
+
+async def _coordinate(config, fault_plan=None) -> None:
     from repro.service.cluster import CoordinatorService
 
     service = CoordinatorService(config)
+    if fault_plan is not None:
+        service.install_faults(fault_plan)
     await service.start()
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGINT, signal.SIGTERM):
@@ -185,7 +212,10 @@ async def _coordinate(config) -> None:
 
 
 def _cmd_coordinate(args: argparse.Namespace) -> int:
-    asyncio.run(_coordinate(_coordinator_config_from_args(args)))
+    asyncio.run(_coordinate(
+        _coordinator_config_from_args(args),
+        fault_plan=_load_fault_plan(args.fault_plan),
+    ))
     return 0
 
 
@@ -224,6 +254,48 @@ def _cmd_cluster_leave(args: argparse.Namespace) -> int:
 def _cmd_cluster_status(args: argparse.Namespace) -> int:
     with _client(args) as client:
         print(json.dumps(client.cluster_status(), indent=1, sort_keys=True))
+    return 0
+
+
+def _cmd_repairs(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        if args.run:
+            tick = client.repairs_run()
+            print(
+                f"repair tick: promoted {tick.get('promoted', [])}, "
+                f"{tick.get('enqueued', 0)} enqueued, "
+                f"{tick.get('done', 0)} done, "
+                f"{tick.get('failed', 0)} failed, "
+                f"{tick.get('requeued', 0)} requeued"
+            )
+        view = client.repairs(limit=args.limit)
+    if args.json:
+        print(json.dumps(view, indent=1, sort_keys=True))
+        return 0
+    journal = view.get("journal", {})
+    state = "fully replicated" if view.get("fully_replicated") else (
+        f"under-replicated slots: {view.get('under_replicated_slots', [])}"
+    )
+    print(
+        f"replication   {state}"
+        + (f", degraded: {view['degraded_slots']}"
+           if view.get("degraded_slots") else "")
+    )
+    if view.get("failed_workers"):
+        print(f"failed        {', '.join(view['failed_workers'])}")
+    print(
+        f"journal       {journal.get('queued', 0)} queued, "
+        f"{journal.get('active', 0)} active, "
+        f"{journal.get('done', 0)} done, "
+        f"{journal.get('failed', 0)} failed"
+    )
+    for op in view.get("ops", []):
+        source = f" <- {op['source']}" if op.get("source") else ""
+        detail = f" ({op['detail']})" if op.get("detail") else ""
+        print(
+            f"op {op['id']:>5}      {op['status']:<8} {op['kind']} "
+            f"slot {op['slot']} -> {op['target']}{source}{detail}"
+        )
     return 0
 
 
@@ -388,6 +460,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         key: status.get(key)
         for key in ("stats", "planner", "runtime", "queue")
     }
+    if "repairs" in status:  # coordinator: repair-journal tallies
+        subset["repairs"] = status["repairs"]
     print(json.dumps(subset, indent=1, sort_keys=True))
     return 0
 
@@ -449,6 +523,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cluster worker mode: expand every namespace "
                             "into N per-slot worker namespaces (must match "
                             "the coordinator's n_slots)")
+    serve.add_argument("--fault-plan", default=None, metavar="FILE",
+                       help="deterministic fault-injection plan JSON "
+                            "(testing: see repro.service.faults)")
     serve.set_defaults(func=_cmd_serve)
 
     coordinate = commands.add_parser(
@@ -479,6 +556,30 @@ def build_parser() -> argparse.ArgumentParser:
     coordinate.add_argument("--heartbeat", type=float, default=2.0,
                             metavar="SECONDS",
                             help="worker /health probe cadence")
+    coordinate.add_argument("--probe-concurrency", type=int, default=8,
+                            metavar="N",
+                            help="concurrent heartbeat probes per round")
+    coordinate.add_argument("--fail-after", type=float, default=10.0,
+                            metavar="SECONDS",
+                            help="grace window before a heartbeat-dead "
+                                 "worker is promoted to failed and its "
+                                 "slots re-replicated")
+    coordinate.add_argument("--repair-interval", type=float, default=2.0,
+                            metavar="SECONDS",
+                            help="background repair tick cadence "
+                                 "(0 disables the background loop; "
+                                 "POST /repairs/run still works)")
+    coordinate.add_argument("--repair-max-attempts", type=int, default=5,
+                            metavar="N",
+                            help="attempts before a repair op is marked "
+                                 "failed (anti-entropy re-plans it while "
+                                 "the copy stays stale)")
+    coordinate.add_argument("--no-anti-entropy", action="store_true",
+                            help="disable periodic stale-copy repair "
+                                 "planning")
+    coordinate.add_argument("--fault-plan", default=None, metavar="FILE",
+                            help="deterministic fault-injection plan JSON "
+                                 "(testing: see repro.service.faults)")
     coordinate.set_defaults(func=_cmd_coordinate)
 
     cluster_join = commands.add_parser(
@@ -503,6 +604,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_client_args(cluster_status)
     cluster_status.set_defaults(func=_cmd_cluster_status)
+
+    repairs = commands.add_parser(
+        "repairs",
+        help="replication health and the repair journal from a coordinator",
+    )
+    _add_client_args(repairs)
+    repairs.add_argument("--run", action="store_true",
+                         help="run one synchronous repair tick first")
+    repairs.add_argument("--limit", type=int, default=None,
+                         help="journal rows to show (default 200)")
+    repairs.add_argument("--json", action="store_true",
+                         help="print the raw /repairs JSON")
+    repairs.set_defaults(func=_cmd_repairs)
 
     status = commands.add_parser("status", help="print the daemon's status")
     _add_client_args(status)

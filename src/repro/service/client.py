@@ -93,6 +93,19 @@ class ServiceClient:
         self._sleep = sleep
         self._pool_lock = threading.Lock()
         self._idle: list[tuple[float, http.client.HTTPConnection]] = []
+        self._fault_plan = None
+        self._fault_scope = "client"
+
+    def install_faults(self, plan, scope: str = "client") -> None:
+        """Inject a :class:`~repro.service.faults.FaultPlan` into every
+        request attempt this client makes (``None`` uninstalls).
+
+        Client-side faults fire *before* anything touches the socket:
+        a ``drop``/``blackhole`` provably never reached a server, so the
+        normal transient-failure retry policy applies to them unchanged.
+        """
+        self._fault_plan = plan
+        self._fault_scope = scope
 
     # -- plumbing -------------------------------------------------------------
 
@@ -150,6 +163,7 @@ class ServiceClient:
         headers: dict,
         idempotent: bool,
         timeout: float | None = None,
+        namespace: str | None = None,
     ) -> tuple[int, "http.client.HTTPMessage", bytes]:
         """One HTTP exchange with the retry policy; returns the raw reply.
 
@@ -157,11 +171,45 @@ class ServiceClient:
         call only (per-verb override: a heartbeat probe wants 2s, a big
         bundle fetch may want 120s) by checking out a connection built
         with that timeout — no shared state changes, so overlapping
-        calls from other threads are undisturbed.
+        calls from other threads are undisturbed.  ``namespace`` only
+        feeds slot matching in an installed fault plan.
         """
         effective = self.timeout if timeout is None else timeout
         attempts = (self.retries + 1) if idempotent else 1
         for attempt in range(attempts):
+            if self._fault_plan is not None:
+                decision = self._fault_plan.decide(
+                    self._fault_scope, method, path, namespace=namespace
+                )
+                if decision is not None:
+                    if decision.action == "error":
+                        data = json.dumps({
+                            "error": "injected fault", "fault": True,
+                        }).encode("utf-8")
+                        return (
+                            decision.status,
+                            {"Content-Type": "application/json"},
+                            data,
+                        )
+                    if decision.action == "delay":
+                        self._sleep(decision.delay_s)
+                    else:
+                        # drop / blackhole: nothing touched the socket, so
+                        # the request provably never reached a server and
+                        # the normal transient retry policy applies
+                        if decision.action == "blackhole":
+                            self._sleep(effective)
+                            exc: OSError = socket.timeout(
+                                "injected fault: black hole"
+                            )
+                        else:
+                            exc = ConnectionRefusedError(
+                                "injected fault: connection dropped"
+                            )
+                        if attempt + 1 >= attempts:
+                            raise exc
+                        self._sleep(self._backoff(attempt))
+                        continue
             conn = self._connection(effective)
             try:
                 conn.request(method, path, body=payload, headers=headers)
@@ -191,8 +239,12 @@ class ServiceClient:
         headers = {"Content-Type": "application/json"} if payload else {}
         if idempotent is None:
             idempotent = method == "GET"
+        namespace = (
+            body.get("namespace") if isinstance(body, dict) else None
+        )
         status, _headers, data = self._raw_request(
-            method, path, payload, headers, idempotent, timeout
+            method, path, payload, headers, idempotent, timeout,
+            namespace=namespace,
         )
         try:
             decoded = json.loads(data) if data else {}
@@ -503,6 +555,23 @@ class ServiceClient:
         return self._request("POST", "/cluster/leave", {
             "worker_id": worker_id,
         }, timeout=timeout)
+
+    def repairs(
+        self, limit: int | None = None, timeout: float | None = None
+    ) -> dict:
+        """The coordinator's repair view: replication map + journal."""
+        path = "/repairs" if limit is None else f"/repairs?limit={int(limit)}"
+        return self._request("GET", path, timeout=timeout)
+
+    def repairs_run(self, timeout: float | None = None) -> dict:
+        """Run one synchronous repair tick (promote, plan, drain).
+
+        Idempotent by construction — promotion, planning, and the
+        purge-then-copy executor all converge — so it is safe to retry.
+        """
+        return self._request(
+            "POST", "/repairs/run", {}, idempotent=True, timeout=timeout
+        )
 
     # -- continuous queries ----------------------------------------------------
 

@@ -31,6 +31,7 @@ from repro.service.cluster.coordinator import (
     CoordinatorService,
     CoordinatorThread,
 )
+from repro.service.cluster.repair import RepairPlanner
 from repro.service.cluster.topology import (
     ClusterTopology,
     parse_slot_namespace,
@@ -47,6 +48,7 @@ __all__ = [
     "CoordinatorConfig",
     "CoordinatorService",
     "CoordinatorThread",
+    "RepairPlanner",
     "parse_slot_namespace",
     "slot_for_key",
     "slot_namespace",

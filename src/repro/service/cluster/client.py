@@ -13,10 +13,24 @@ arrival order, two replicas of a slot end up with bit-identical sketches
 — which is what lets the coordinator answer from *either* replica (or
 detect loss explicitly) instead of merging them, since merging two copies
 of the same keys would trip the exact-merge duplicate guard.
+
+A router built with :meth:`ClusterClient.from_coordinator` stays
+attached to the coordinator and can :meth:`~ClusterClient.refresh` its
+membership and topology from the live ``/cluster`` view (failed workers
+filtered out).  During ingest, a delivery that fails with
+``ConnectionRefusedError`` (nothing ever sent) or ``BrokenPipeError``
+(the send path failed, so the worker never saw a *complete* request and
+a Content-Length-framed server only dispatches complete requests) —
+the failures where the request provably was not applied — triggers a
+bounded refresh-and-re-route instead of a hard error.  Any *other*
+failure (HTTP error, timeout, reset on the response read) still raises:
+the sub-batch may already be applied, and blind-retrying a
+non-idempotent ``/ingest`` would double-count.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -43,13 +57,56 @@ class ClusterClient:
         self,
         workers: Mapping[str, tuple[str, int]],
         topology: ClusterTopology | None = None,
+        *,
+        max_refreshes: int = 3,
+        refresh_backoff_s: float = 0.05,
+        sleep=time.sleep,
         **client_kwargs,
     ) -> None:
+        if max_refreshes < 0:
+            raise ValueError(
+                f"max_refreshes must be >= 0, got {max_refreshes}"
+            )
         self.topology = topology if topology is not None else ClusterTopology()
+        self.max_refreshes = max_refreshes
+        self.refresh_backoff_s = refresh_backoff_s
+        self.refreshes = 0
+        self.rerouted = 0
+        self._sleep = sleep
         self._client_kwargs = dict(client_kwargs)
         self._clients: dict[str, ServiceClient] = {}
+        self._addresses: dict[str, tuple[str, int]] = {}
+        self._coordinator: ServiceClient | None = None
+        self._owns_coordinator = False
         for worker_id, (host, port) in workers.items():
             self.add_worker(worker_id, host, port)
+
+    @classmethod
+    def from_coordinator(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        coordinator: ServiceClient | None = None,
+        **kwargs,
+    ) -> "ClusterClient":
+        """Build a router from a live coordinator's ``/cluster`` view.
+
+        Membership, addresses, and topology come from the coordinator;
+        failed workers are excluded.  The router keeps the coordinator
+        client for later :meth:`refresh` calls (closing it on
+        :meth:`close` only if it created it here).
+        """
+        router = cls({}, **kwargs)
+        if coordinator is not None:
+            router._coordinator = coordinator
+        else:
+            router._coordinator = ServiceClient(
+                host, port, **router._client_kwargs
+            )
+            router._owns_coordinator = True
+        router._apply_view(router._coordinator.cluster_status())
+        return router
 
     # -- membership ------------------------------------------------------------
 
@@ -71,17 +128,61 @@ class ClusterClient:
         self._clients[worker_id] = ServiceClient(
             host, port, **self._client_kwargs
         )
+        self._addresses[worker_id] = (host, int(port))
 
     def remove_worker(self, worker_id: str) -> bool:
         client = self._clients.pop(worker_id, None)
+        self._addresses.pop(worker_id, None)
         if client is None:
             return False
         client.close()
         return True
 
+    def refresh(self) -> dict:
+        """Re-fetch membership and topology from the coordinator.
+
+        Failed workers drop out of the routing table; new or re-addressed
+        workers get fresh clients; the topology (replication, salt, slot
+        count) follows the coordinator's current view.
+        """
+        if self._coordinator is None:
+            raise ClusterError(
+                "no coordinator attached; build the router with "
+                "ClusterClient.from_coordinator() to enable refresh"
+            )
+        return self._apply_view(self._coordinator.cluster_status())
+
+    def _apply_view(self, view: dict) -> dict:
+        failed = set(view.get("failed_workers", ()))
+        rows = {
+            row["worker_id"]: row
+            for row in view.get("workers", ())
+            if row["worker_id"] not in failed
+        }
+        removed = [w for w in self._clients if w not in rows]
+        for worker_id in removed:
+            self.remove_worker(worker_id)
+        added = []
+        for worker_id, row in sorted(rows.items()):
+            address = (row["host"], int(row["port"]))
+            if self._addresses.get(worker_id) != address:
+                if worker_id not in self._addresses:
+                    added.append(worker_id)
+                self.add_worker(worker_id, *address)
+        self.topology = ClusterTopology.from_json(view.get("topology", {}))
+        self.refreshes += 1
+        return {
+            "ok": True,
+            "added": added,
+            "removed": removed,
+            "workers": list(self.worker_ids),
+        }
+
     def close(self) -> None:
         for client in self._clients.values():
             client.close()
+        if self._owns_coordinator and self._coordinator is not None:
+            self._coordinator.close()
 
     def __enter__(self) -> "ClusterClient":
         return self
@@ -126,10 +227,12 @@ class ClusterClient:
                 )
         if not keys:
             return {"ok": True, "events": 0, "slots": 0, "deliveries": 0}
-        worker_ids = self.worker_ids
-        if not worker_ids:
+        if not self.worker_ids:
             raise ClusterError("cluster has no workers")
         deliveries = 0
+        refreshes_left = (
+            self.max_refreshes if self._coordinator is not None else 0
+        )
         plan = self.plan_batch(namespace, keys)
         for slot, indices in sorted(plan.items()):
             sub_keys = [keys[i] for i in indices]
@@ -138,16 +241,64 @@ class ClusterClient:
                 for name, values in weights.items()
             }
             target = slot_namespace(namespace, slot)
-            for owner in self.topology.slot_owners(slot, worker_ids):
+            # ``delivered`` guards the re-route path: after a topology
+            # refresh the slot's owner set is recomputed, and only owners
+            # that have NOT already applied this sub-batch are fed —
+            # a replica never sees the same sub-batch twice.
+            delivered: set[str] = set()
+            pending = list(self.topology.slot_owners(slot, self.worker_ids))
+            while pending:
+                owner = pending.pop(0)
+                if owner in delivered or owner not in self._clients:
+                    continue
                 try:
                     self._clients[owner].ingest(
                         target, sub_keys, sub_weights, sync=sync
                     )
+                except (ConnectionRefusedError, BrokenPipeError) as exc:
+                    # the re-routable failures: refused means nothing was
+                    # sent; broken pipe means the send path failed, so
+                    # the worker never held a complete request to apply —
+                    # re-planning cannot double-apply anything
+                    if refreshes_left <= 0:
+                        raise ClusterError(
+                            f"delivery to worker {owner!r} refused for "
+                            f"slot {slot} of {namespace!r} and the "
+                            f"refresh budget is spent: {exc}"
+                        ) from exc
+                    refreshes_left -= 1
+                    backoff = self.refresh_backoff_s * (
+                        self.max_refreshes - refreshes_left
+                    )
+                    if backoff > 0:
+                        self._sleep(backoff)
+                    self.refresh()
+                    self.rerouted += 1
+                    pending = [
+                        w
+                        for w in self.topology.slot_owners(
+                            slot, self.worker_ids
+                        )
+                        if w not in delivered
+                    ]
+                    # feed surviving replicas before re-trying the owner
+                    # that just refused (it may still be in the view if
+                    # the coordinator has not promoted it yet)
+                    if owner in pending:
+                        pending.remove(owner)
+                        pending.append(owner)
+                    if not pending:
+                        raise ClusterError(
+                            f"slot {slot} of {namespace!r} has no "
+                            f"reachable owner after refresh"
+                        ) from exc
+                    continue
                 except (ServiceError, OSError) as exc:
                     raise ClusterError(
                         f"delivery to worker {owner!r} failed for slot "
                         f"{slot} of {namespace!r}: {exc}"
                     ) from exc
+                delivered.add(owner)
                 deliveries += 1
         return {
             "ok": True,

@@ -56,6 +56,7 @@ import json
 import os
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
@@ -71,6 +72,7 @@ from repro.service.httpbase import (
     query_request_from_params,
 )
 from repro.service.jsonutil import sanitize_non_finite
+from repro.service.cluster.repair import RepairPlanner
 from repro.service.cluster.topology import ClusterTopology, slot_namespace
 
 __all__ = ["CoordinatorConfig", "CoordinatorService", "CoordinatorThread"]
@@ -109,6 +111,19 @@ class CoordinatorConfig:
     worker_retries: int = 1
     max_body_bytes: int = 32 << 20
     result_cache_size: int = 1024
+    #: concurrent liveness probes per heartbeat round (bounded fan-out)
+    probe_concurrency: int = 8
+    #: grace window: a heartbeat-dead worker is promoted to *failed*
+    #: (and its slots re-replicated) once unseen for this many seconds
+    fail_after_s: float = 10.0
+    #: seconds between self-healing repair ticks; <= 0 disables the
+    #: background loop (ticks then only run via POST /repairs/run)
+    repair_interval_s: float = 2.0
+    #: transient-failure attempts per repair op before it fails for good
+    repair_max_attempts: int = 5
+    #: re-probe and repair stale-marked copies every tick (not just on
+    #: membership churn)
+    anti_entropy: bool = True
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -127,6 +142,12 @@ class CoordinatorConfig:
             raise ValueError(f"duplicate namespace names in {names!r}")
         if self.heartbeat_s <= 0:
             raise ValueError("heartbeat_s must be positive")
+        if self.probe_concurrency < 1:
+            raise ValueError("probe_concurrency must be >= 1")
+        if self.fail_after_s <= 0:
+            raise ValueError("fail_after_s must be positive")
+        if self.repair_max_attempts < 1:
+            raise ValueError("repair_max_attempts must be >= 1")
         # topology bounds are validated by ClusterTopology itself
         self.topology  # noqa: B018 - constructs, so bad values raise here
 
@@ -156,6 +177,11 @@ class CoordinatorConfig:
             "worker_retries": self.worker_retries,
             "max_body_bytes": self.max_body_bytes,
             "result_cache_size": self.result_cache_size,
+            "probe_concurrency": self.probe_concurrency,
+            "fail_after_s": self.fail_after_s,
+            "repair_interval_s": self.repair_interval_s,
+            "repair_max_attempts": self.repair_max_attempts,
+            "anti_entropy": self.anti_entropy,
         }
 
     @classmethod
@@ -164,6 +190,8 @@ class CoordinatorConfig:
             "root", "namespaces", "host", "port", "n_slots", "replication",
             "salt", "heartbeat_s", "probe_timeout_s", "worker_timeout_s",
             "worker_retries", "max_body_bytes", "result_cache_size",
+            "probe_concurrency", "fail_after_s", "repair_interval_s",
+            "repair_max_attempts", "anti_entropy",
         }
         unknown = set(payload) - known
         if unknown:
@@ -236,6 +264,8 @@ class CoordinatorService(HttpServerBase):
             "failovers": 0,
             "handoff_artifacts": 0,
             "heartbeat_rounds": 0,
+            "promotions": 0,
+            "repair_ticks": 0,
         })
         #: serializes membership changes against routing decisions
         self._cluster_lock = threading.RLock()
@@ -246,6 +276,10 @@ class CoordinatorService(HttpServerBase):
             )
         self._stale: dict[str, set[int]] = self._load_meta_map(_STALE_META)
         self._degraded: set[int] = set(self._load_meta_list(_DEGRADED_META))
+        self.repairs = RepairPlanner(self)
+        # ops left active by a crashed coordinator resume from the top:
+        # every repair is an idempotent purge-then-copy
+        self.runtime.repair_requeue_active(now=self.clock())
         self._stop_event: asyncio.Event | None = None
         self._tasks: list[asyncio.Task] = []
         self._started_monotonic: float | None = None
@@ -287,6 +321,17 @@ class CoordinatorService(HttpServerBase):
             row["worker_id"]: row for row in self.runtime.cluster_workers()
         }
 
+    @staticmethod
+    def _member_ids(rows: dict[str, dict]) -> list[str]:
+        """Effective membership: registered and not promoted to failed.
+
+        Everything that routes, owns, or serves — ingest fan-out, query
+        planning, handoff, repair — sees only these workers; a failed
+        row stays in the table purely as bookkeeping until it rejoins
+        or leaves.
+        """
+        return sorted(w for w, row in rows.items() if not row["failed"])
+
     def _owners(self, slot: int, worker_ids: Sequence[str]) -> tuple[str, ...]:
         if not worker_ids:
             return ()
@@ -305,6 +350,10 @@ class CoordinatorService(HttpServerBase):
         self._tasks = [
             asyncio.create_task(self._heartbeat_loop(), name="heartbeat"),
         ]
+        if self.config.repair_interval_s > 0:
+            self._tasks.append(
+                asyncio.create_task(self._repair_loop(), name="repair")
+            )
 
     def request_shutdown(self) -> None:
         if self._stop_event is not None:
@@ -350,15 +399,46 @@ class CoordinatorService(HttpServerBase):
                 self.stats["last_error"] = f"heartbeat: {err}"
 
     def _heartbeat_round(self) -> None:
+        """Probe every member concurrently; one hung worker costs one
+        ``probe_timeout_s``, not one per member behind it in line."""
         with self._cluster_lock:
-            clients = dict(self._clients)
-        for worker_id, client in clients.items():
+            rows = self._worker_rows()
+            clients = {
+                worker_id: self._clients[worker_id]
+                for worker_id in self._member_ids(rows)
+                if worker_id in self._clients
+            }
+        if not clients:
+            return
+
+        def probe(item: tuple[str, ServiceClient]) -> tuple[str, bool]:
+            worker_id, client = item
             try:
                 client.liveness(timeout=self.config.probe_timeout_s)
             except (ServiceError, *_UNREACHABLE):
-                self.runtime.cluster_mark(worker_id, alive=False)
-            else:
-                self.runtime.cluster_mark(worker_id, alive=True)
+                return worker_id, False
+            return worker_id, True
+
+        workers = min(self.config.probe_concurrency, len(clients))
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-probe"
+        ) as pool:
+            results = list(pool.map(probe, sorted(clients.items())))
+        now = self.clock()
+        for worker_id, alive in results:
+            self.runtime.cluster_mark(worker_id, alive=alive, now=now)
+
+    async def _repair_loop(self) -> None:
+        """Run the self-healing tick on the ``repair_interval_s`` cadence."""
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.config.repair_interval_s)
+            try:
+                await loop.run_in_executor(None, self.repairs.tick)
+            except asyncio.CancelledError:
+                raise
+            except Exception as err:  # keep healing; surface via /repairs
+                self.stats["last_error"] = f"repair: {err}"
 
     # -- membership + handoff -------------------------------------------------
 
@@ -369,9 +449,9 @@ class CoordinatorService(HttpServerBase):
         try:
             client.liveness(timeout=self.config.probe_timeout_s)
         except (ServiceError, *_UNREACHABLE):
-            self.runtime.cluster_mark(worker_id, alive=False)
+            self.runtime.cluster_mark(worker_id, alive=False, now=self.clock())
             return False
-        self.runtime.cluster_mark(worker_id, alive=True)
+        self.runtime.cluster_mark(worker_id, alive=True, now=self.clock())
         return True
 
     def _copy_slot(self, source: str, target: str, slot: int) -> int:
@@ -445,19 +525,25 @@ class CoordinatorService(HttpServerBase):
                             self._clients[source].rotate()
                             rotated.add(source)
                     except (ServiceError, *_UNREACHABLE):
-                        self.runtime.cluster_mark(source, alive=False)
+                        self.runtime.cluster_mark(
+                            source, alive=False, now=self.clock()
+                        )
                         continue
                     try:
                         if target not in purged.get(slot, set()):
                             self._reset_slot(target, slot)
                             purged.setdefault(slot, set()).add(target)
                     except (ServiceError, *_UNREACHABLE):
-                        self.runtime.cluster_mark(target, alive=False)
+                        self.runtime.cluster_mark(
+                            target, alive=False, now=self.clock()
+                        )
                         break  # target unreachable; try the next target
                     try:
                         copied_total += self._copy_slot(source, target, slot)
                     except (ServiceError, *_UNREACHABLE):
-                        self.runtime.cluster_mark(source, alive=False)
+                        self.runtime.cluster_mark(
+                            source, alive=False, now=self.clock()
+                        )
                         # a partial copy may have landed: purge again
                         # before any other source writes its own parts
                         purged.get(slot, set()).discard(target)
@@ -481,7 +567,9 @@ class CoordinatorService(HttpServerBase):
     def _join(self, worker_id: str, host: str, port: int) -> dict:
         with self._cluster_lock:
             before_rows = self._worker_rows()
-            before = sorted(before_rows)
+            # failed workers are out of effective membership: a rejoin
+            # (which clears the failed flag) plans against the survivors
+            before = self._member_ids(before_rows)
             rejoining = worker_id in before_rows
             after = sorted(set(before) | {worker_id})
             client = self._make_client(host, port)
@@ -503,7 +591,9 @@ class CoordinatorService(HttpServerBase):
                     self._stale.get(worker_id, set()) | owned
                 )
                 self._save_health_meta()
-                self.runtime.cluster_join(worker_id, host, port)
+                self.runtime.cluster_join(
+                    worker_id, host, port, now=self.clock()
+                )
                 return {
                     "ok": True, "worker_id": worker_id, "rejoined": True,
                     "stale_slots": sorted(owned),
@@ -530,7 +620,7 @@ class CoordinatorService(HttpServerBase):
                     set(new) & set(sources[slot])
                 ) or not old  # an empty cluster had no data to lose
             handoff = self._handoff(gained, sources, covered)
-            self.runtime.cluster_join(worker_id, host, port)
+            self.runtime.cluster_join(worker_id, host, port, now=self.clock())
             return {
                 "ok": True,
                 "worker_id": worker_id,
@@ -546,7 +636,23 @@ class CoordinatorService(HttpServerBase):
                 raise _HttpError(
                     404, f"worker {worker_id!r} is not a cluster member"
                 )
-            before = sorted(before_rows)
+            if before_rows[worker_id]["failed"]:
+                # already promoted out of effective membership: its
+                # slots were re-planned at promotion, nothing to move
+                self.runtime.cluster_leave(worker_id)
+                client = self._clients.pop(worker_id, None)
+                if client is not None:
+                    client.close()
+                self._stale.pop(worker_id, None)
+                self._save_health_meta()
+                return {
+                    "ok": True,
+                    "worker_id": worker_id,
+                    "slots": [],
+                    "handoff": {"artifacts": 0, "degraded": []},
+                    "was_failed": True,
+                }
+            before = self._member_ids(before_rows)
             after = sorted(set(before) - {worker_id})
             losing: dict[int, list[str]] = {}
             sources: dict[int, list[str]] = {}
@@ -621,7 +727,7 @@ class CoordinatorService(HttpServerBase):
         if not keys:
             return {"ok": True, "events": 0, "slots": 0, "deliveries": 0}
         with self._cluster_lock:
-            worker_ids = sorted(self._worker_rows())
+            worker_ids = self._member_ids(self._worker_rows())
             if not worker_ids:
                 raise _HttpError(503, "cluster has no workers")
             slots = self.topology.slots_for_keys(keys)
@@ -644,7 +750,9 @@ class CoordinatorService(HttpServerBase):
                     except _UNREACHABLE:
                         # this owner's copy just missed a delivery: it
                         # can no longer serve the slot exactly
-                        self.runtime.cluster_mark(owner, alive=False)
+                        self.runtime.cluster_mark(
+                            owner, alive=False, now=self.clock()
+                        )
                         self._stale.setdefault(owner, set()).add(slot)
                         failed.append({"worker": owner, "slot": slot})
                         continue
@@ -711,7 +819,7 @@ class CoordinatorService(HttpServerBase):
         """
         with self._cluster_lock:
             rows = self._worker_rows()
-            worker_ids = sorted(rows)
+            worker_ids = self._member_ids(rows)
             stale = {w: set(s) for w, s in self._stale.items()}
             degraded = set(self._degraded)
         if not worker_ids:
@@ -736,7 +844,9 @@ class CoordinatorService(HttpServerBase):
                         timeout=self.config.worker_timeout_s,
                     )
                 except _UNREACHABLE:
-                    self.runtime.cluster_mark(owner, alive=False)
+                    self.runtime.cluster_mark(
+                        owner, alive=False, now=self.clock()
+                    )
                     continue
                 if position > 0:
                     self.stats["failovers"] += 1
@@ -899,6 +1009,20 @@ class CoordinatorService(HttpServerBase):
                          "namespaces": list(self.namespaces)}
         if path == "/cluster" and method == "GET":
             return 200, await loop.run_in_executor(None, self._cluster_view)
+        if path == "/status" and method == "GET":
+            return 200, await loop.run_in_executor(None, self._status_view)
+        if path == "/repairs" and method == "GET":
+            try:
+                limit = int(params.get("limit", 100))
+            except ValueError:
+                raise _HttpError(400, "limit must be an integer") from None
+            return 200, await loop.run_in_executor(
+                None, self.repairs.view, limit
+            )
+        if path == "/repairs/run" and method == "POST":
+            if self._stopping:
+                raise _HttpError(503, "coordinator is shutting down")
+            return 200, await loop.run_in_executor(None, self.repairs.tick)
         if path == "/cluster/join" and method == "POST":
             payload = self._json_body(body)
             worker_id = payload.get("worker_id")
@@ -940,8 +1064,8 @@ class CoordinatorService(HttpServerBase):
             asyncio.get_running_loop().call_soon(self.request_shutdown)
             return 200, {"ok": True, "stopping": True}
         known = (
-            "/health /healthz /cluster /cluster/join /cluster/leave "
-            "/ingest /query "
+            "/health /healthz /status /cluster /cluster/join /cluster/leave "
+            "/ingest /query /repairs /repairs/run "
             "/shutdown"
         )
         raise _HttpError(
@@ -956,7 +1080,9 @@ class CoordinatorService(HttpServerBase):
             workers = self.runtime.cluster_workers()
             stale = {w: sorted(s) for w, s in self._stale.items() if s}
             degraded = sorted(self._degraded)
-        worker_ids = sorted(row["worker_id"] for row in workers)
+        worker_ids = sorted(
+            row["worker_id"] for row in workers if not row["failed"]
+        )
         return {
             "ok": True,
             "topology": self.topology.to_json(),
@@ -970,9 +1096,47 @@ class CoordinatorService(HttpServerBase):
             } if worker_ids else {},
             "stale": stale,
             "degraded_slots": degraded,
+            "failed_workers": sorted(
+                row["worker_id"] for row in workers if row["failed"]
+            ),
+            "repairs": self.runtime.repair_stats(),
             "stats": dict(self.stats),
             "cache": self.runtime.cache_stats(),
         }
+
+    def _status_view(self) -> dict:
+        """``GET /status`` — ops snapshot (``repro-serve stats --port``)."""
+        uptime = (
+            None if self._started_monotonic is None
+            else time.monotonic() - self._started_monotonic
+        )
+        with self._cluster_lock:
+            rows = self._worker_rows()
+        members = self._member_ids(rows)
+        return {
+            "ok": True,
+            "role": "coordinator",
+            "uptime_s": uptime,
+            "stats": dict(self.stats),
+            "cluster": {
+                "workers": len(rows),
+                "members": len(members),
+                "alive": sum(
+                    1 for w in members if rows[w]["alive"]
+                ),
+                "failed": len(rows) - len(members),
+            },
+            "repairs": self.runtime.repair_stats(),
+            "runtime": self.runtime.stats(),
+        }
+
+    def install_faults(self, plan, scope: str = "coordinator") -> None:
+        """Server-side fault injection with the runtime counter wired in."""
+        on_fire = None
+        if plan is not None:
+            def on_fire(decision, _runtime=self.runtime):
+                _runtime.add_counter("faults_injected", 1)
+        super().install_faults(plan, scope, on_fire=on_fire)
 
 
 class CoordinatorThread:

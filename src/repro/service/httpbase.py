@@ -118,6 +118,45 @@ class HttpServerBase:
         self._connections: set = set()
         self._busy: set = set()  # connections with a request in flight
         self._stopping = False
+        self._fault_plan = None
+        self._fault_scope = "server"
+        self._fault_on_fire = None
+
+    def install_faults(
+        self, plan, scope: str = "server", on_fire=None
+    ) -> None:
+        """Inject a :class:`~repro.service.faults.FaultPlan` into every
+        parsed request before dispatch (``None`` uninstalls).
+
+        Server-side faults fire after the request bytes are fully read:
+        an ``error`` answers without dispatching, a ``drop`` closes the
+        connection silently, a ``blackhole`` holds it open for the
+        rule's delay and then drops it.  ``on_fire(decision)`` runs on
+        each firing — the daemons use it to bump their ``faults_injected``
+        runtime counter.
+        """
+        self._fault_plan = plan
+        self._fault_scope = scope
+        self._fault_on_fire = on_fire
+
+    def _fault_decision(self, method, path, params, body):
+        plan = self._fault_plan
+        if plan is None:
+            return None
+        namespace = params.get("namespace")
+        if namespace is None and plan.wants_namespace and body:
+            # slot-scoped rules need the namespace; POST bodies carry it
+            with contextlib.suppress(Exception):
+                payload = json.loads(body)
+                if isinstance(payload, dict):
+                    namespace = payload.get("namespace")
+        decision = plan.decide(
+            self._fault_scope, method, path, namespace=namespace
+        )
+        if decision is not None and self._fault_on_fire is not None:
+            with contextlib.suppress(Exception):
+                self._fault_on_fire(decision)
+        return decision
 
     @property
     def port(self) -> int:
@@ -150,6 +189,25 @@ class HttpServerBase:
                     headers.get("connection", "keep-alive").lower() != "close"
                 )
                 self.stats["requests"] += 1
+                fault = self._fault_decision(method, path, params, body)
+                if fault is not None:
+                    if fault.action == "delay":
+                        await asyncio.sleep(fault.delay_s)
+                    elif fault.action == "error":
+                        self._write_response(
+                            writer, fault.status,
+                            {"error": "injected fault", "fault": True},
+                            keep_alive,
+                        )
+                        await writer.drain()
+                        if not keep_alive or self._stopping:
+                            break
+                        continue
+                    elif fault.action == "blackhole":
+                        await asyncio.sleep(fault.delay_s)
+                        break
+                    else:  # drop: close without answering
+                        break
                 self._busy.add(writer)  # shutdown leaves us to finish
                 try:
                     try:

@@ -119,6 +119,20 @@ class SummaryService(HttpServerBase):
         self._tasks: list[asyncio.Task] = []
         self._started_monotonic: float | None = None
 
+    def install_faults(self, plan, scope: str = "worker") -> None:
+        """Server-side fault injection with the runtime counter wired in.
+
+        Fired faults bump the ``faults_injected`` runtime counter, so a
+        chaos run's injections show up in ``/status`` and the stats CLI
+        verbs next to the repairs they exercised.
+        """
+        on_fire = None
+        if plan is not None:
+            runtime = self.store.runtime
+            def on_fire(decision):
+                runtime.add_counter("faults_injected", 1)
+        super().install_faults(plan, scope, on_fire=on_fire)
+
     # -- lifecycle ------------------------------------------------------------
 
     async def start(self) -> None:

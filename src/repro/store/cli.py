@@ -166,6 +166,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         )
     cache = stats["cache"]
     print(f"query cache   {cache['entries']} entries, {cache['hits']} hits")
+    repairs = stats.get("repairs") or {}
+    if repairs.get("total"):
+        print(
+            f"repairs       {repairs['queued']} queued, "
+            f"{repairs['active']} active, {repairs['done']} done, "
+            f"{repairs['failed']} failed"
+        )
     for name, value in stats["counters"].items():
         print(f"counter       {name} = {value}")
     return 0

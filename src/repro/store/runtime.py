@@ -99,8 +99,24 @@ CREATE TABLE IF NOT EXISTS cluster_workers (
     port      INTEGER NOT NULL,
     joined_at REAL    NOT NULL,
     last_seen REAL,
-    alive     INTEGER NOT NULL DEFAULT 1
+    alive     INTEGER NOT NULL DEFAULT 1,
+    failed    INTEGER NOT NULL DEFAULT 0,
+    failed_at REAL
 );
+CREATE TABLE IF NOT EXISTS repairs (
+    id         INTEGER PRIMARY KEY AUTOINCREMENT,
+    kind       TEXT    NOT NULL,
+    slot       INTEGER NOT NULL,
+    target     TEXT    NOT NULL,
+    source     TEXT,
+    status     TEXT    NOT NULL DEFAULT 'queued',
+    reason     TEXT,
+    detail     TEXT,
+    attempts   INTEGER NOT NULL DEFAULT 0,
+    created_at REAL    NOT NULL,
+    updated_at REAL    NOT NULL
+);
+CREATE INDEX IF NOT EXISTS repairs_status ON repairs (status);
 CREATE TABLE IF NOT EXISTS registrations (
     id              INTEGER PRIMARY KEY AUTOINCREMENT,
     namespace       TEXT    NOT NULL,
@@ -162,6 +178,7 @@ class RuntimeStore:
                 self._conn.execute("PRAGMA journal_mode = WAL")
                 self._conn.execute("PRAGMA synchronous = NORMAL")
             self._conn.executescript(_SCHEMA)
+            self._migrate_columns()
             version = self.get_meta("schema_version")
             if version is None:
                 with self.transaction():
@@ -172,6 +189,30 @@ class RuntimeStore:
                     f"runtime tier schema version {version} at {self.path} "
                     f"is not supported (supported: {_SCHEMA_VERSION})"
                 )
+
+    def _migrate_columns(self) -> None:
+        """Additive column migrations (no schema-version bump needed).
+
+        ``cluster_workers.failed`` / ``failed_at`` arrived with the
+        self-healing control loop; a database created before them gains
+        the columns in place with defaults older readers never see, so
+        both code generations keep opening the same file.
+        """
+        have = {
+            row["name"]
+            for row in self._conn.execute(
+                "PRAGMA table_info(cluster_workers)"
+            ).fetchall()
+        }
+        if "failed" not in have:
+            self._conn.execute(
+                "ALTER TABLE cluster_workers "
+                "ADD COLUMN failed INTEGER NOT NULL DEFAULT 0"
+            )
+        if "failed_at" not in have:
+            self._conn.execute(
+                "ALTER TABLE cluster_workers ADD COLUMN failed_at REAL"
+            )
 
     def close(self) -> None:
         with self._lock:
@@ -499,22 +540,30 @@ class RuntimeStore:
 
     # -- cluster membership (coordinator runtime tier) ------------------------
 
-    def cluster_join(self, worker_id: str, host: str, port: int) -> None:
+    def cluster_join(
+        self, worker_id: str, host: str, port: int,
+        now: float | None = None,
+    ) -> None:
         """Register (or re-register) one worker in the membership table.
 
         Re-joining with a new address updates the row in place — the
         restart-with-same-id path — and always marks the worker alive
-        (the next heartbeat round corrects an optimistic join).
+        and un-failed (the next heartbeat round corrects an optimistic
+        join; a promoted-failed worker re-enters service by rejoining).
+        ``now`` lets the coordinator stamp rows from its injectable
+        clock; defaults to wall time.
         """
-        now = time.time()
+        now = time.time() if now is None else now
         with self.transaction():
             self._conn.execute(
                 "INSERT INTO cluster_workers "
-                "(worker_id, host, port, joined_at, last_seen, alive) "
-                "VALUES (?, ?, ?, ?, ?, 1) "
+                "(worker_id, host, port, joined_at, last_seen, alive, "
+                "failed, failed_at) "
+                "VALUES (?, ?, ?, ?, ?, 1, 0, NULL) "
                 "ON CONFLICT(worker_id) DO UPDATE SET "
                 "host = excluded.host, port = excluded.port, "
-                "last_seen = excluded.last_seen, alive = 1",
+                "last_seen = excluded.last_seen, alive = 1, "
+                "failed = 0, failed_at = NULL",
                 (worker_id, host, int(port), now, now),
             )
 
@@ -527,14 +576,17 @@ class RuntimeStore:
             )
             return cursor.rowcount > 0
 
-    def cluster_mark(self, worker_id: str, alive: bool) -> None:
+    def cluster_mark(
+        self, worker_id: str, alive: bool, now: float | None = None
+    ) -> None:
         """Record one heartbeat outcome (``last_seen`` moves only on life)."""
+        now = time.time() if now is None else now
         with self.transaction():
             if alive:
                 self._conn.execute(
                     "UPDATE cluster_workers SET alive = 1, last_seen = ? "
                     "WHERE worker_id = ?",
-                    (time.time(), worker_id),
+                    (now, worker_id),
                 )
             else:
                 self._conn.execute(
@@ -543,15 +595,182 @@ class RuntimeStore:
                     (worker_id,),
                 )
 
+    def cluster_set_failed(
+        self, worker_id: str, failed: bool = True,
+        now: float | None = None,
+    ) -> bool:
+        """Flip one worker's *failed* promotion flag; True when changed.
+
+        A failed worker stays registered (its row documents the
+        failure) but drops out of effective membership — routing,
+        query planning, and ownership all ignore it until a rejoin
+        clears the flag.
+        """
+        now = time.time() if now is None else now
+        with self.transaction():
+            cursor = self._conn.execute(
+                "UPDATE cluster_workers SET failed = ?, failed_at = ? "
+                "WHERE worker_id = ? AND failed != ?",
+                (1 if failed else 0, now if failed else None,
+                 worker_id, 1 if failed else 0),
+            )
+            return cursor.rowcount > 0
+
     def cluster_workers(self) -> list[dict]:
         """Membership rows, stable worker-id order."""
         rows = self._execute(
-            "SELECT worker_id, host, port, joined_at, last_seen, alive "
+            "SELECT worker_id, host, port, joined_at, last_seen, alive, "
+            "failed, failed_at "
             "FROM cluster_workers ORDER BY worker_id"
         ).fetchall()
         return [
-            {**dict(row), "alive": bool(row["alive"])} for row in rows
+            {
+                **dict(row),
+                "alive": bool(row["alive"]),
+                "failed": bool(row["failed"]),
+            }
+            for row in rows
         ]
+
+    # -- repair journal (coordinator runtime tier) ----------------------------
+
+    @staticmethod
+    def _repair_dict(row: sqlite3.Row) -> dict:
+        return {
+            "id": int(row["id"]),
+            "kind": row["kind"],
+            "slot": int(row["slot"]),
+            "target": row["target"],
+            "source": row["source"],
+            "status": row["status"],
+            "reason": row["reason"],
+            "detail": row["detail"],
+            "attempts": int(row["attempts"]),
+            "created_at": float(row["created_at"]),
+            "updated_at": float(row["updated_at"]),
+        }
+
+    def repair_enqueue(
+        self,
+        kind: str,
+        slot: int,
+        target: str,
+        source: str | None = None,
+        reason: str | None = None,
+        now: float | None = None,
+        dedupe: bool = True,
+    ) -> int | None:
+        """Queue one repair op; returns its id (``None`` when deduped).
+
+        With ``dedupe`` (the default) an op is skipped when a queued or
+        active op already covers the same ``(slot, target)`` — the
+        planner re-scans stale bookkeeping every tick, and one pending
+        op per broken copy is enough.
+        """
+        now = time.time() if now is None else now
+        with self.transaction():
+            if dedupe:
+                existing = self._conn.execute(
+                    "SELECT id FROM repairs WHERE slot = ? AND target = ? "
+                    "AND status IN ('queued', 'active') LIMIT 1",
+                    (int(slot), target),
+                ).fetchone()
+                if existing is not None:
+                    return None
+            cursor = self._conn.execute(
+                "INSERT INTO repairs (kind, slot, target, source, status, "
+                "reason, attempts, created_at, updated_at) "
+                "VALUES (?, ?, ?, ?, 'queued', ?, 0, ?, ?)",
+                (kind, int(slot), target, source, reason, now, now),
+            )
+            self.add_counter("repairs_enqueued", 1)
+            return int(cursor.lastrowid)
+
+    def repair_claim(
+        self, op_id: int, now: float | None = None
+    ) -> dict | None:
+        """Atomically move one queued op to *active*; None when raced."""
+        now = time.time() if now is None else now
+        with self.transaction():
+            cursor = self._conn.execute(
+                "UPDATE repairs SET status = 'active', updated_at = ? "
+                "WHERE id = ? AND status = 'queued'",
+                (now, int(op_id)),
+            )
+            if cursor.rowcount == 0:
+                return None
+            row = self._conn.execute(
+                "SELECT * FROM repairs WHERE id = ?", (int(op_id),)
+            ).fetchone()
+            return self._repair_dict(row)
+
+    def repair_update(
+        self,
+        op_id: int,
+        status: str,
+        detail: str | None = None,
+        source: str | None = None,
+        bump_attempts: bool = False,
+        now: float | None = None,
+    ) -> None:
+        """Resolve (or requeue) one op, recording outcome and timestamps."""
+        now = time.time() if now is None else now
+        with self.transaction():
+            self._conn.execute(
+                "UPDATE repairs SET status = ?, updated_at = ?, "
+                "detail = COALESCE(?, detail), "
+                "source = COALESCE(?, source), "
+                "attempts = attempts + ? WHERE id = ?",
+                (status, now, detail, source,
+                 1 if bump_attempts else 0, int(op_id)),
+            )
+
+    def repair_requeue_active(self, now: float | None = None) -> int:
+        """Return in-flight ops to the queue (coordinator restart resume).
+
+        Every repair op is a purge-then-copy, idempotent end to end, so
+        an op interrupted mid-copy by a coordinator crash simply runs
+        again from the top.
+        """
+        now = time.time() if now is None else now
+        with self.transaction():
+            cursor = self._conn.execute(
+                "UPDATE repairs SET status = 'queued', updated_at = ?, "
+                "detail = 'requeued after coordinator restart' "
+                "WHERE status = 'active'",
+                (now,),
+            )
+            return cursor.rowcount
+
+    def repairs(
+        self, status: str | None = None, limit: int = 200
+    ) -> list[dict]:
+        """Journal rows, oldest first (optionally one status)."""
+        if status is None:
+            rows = self._execute(
+                "SELECT * FROM repairs ORDER BY id LIMIT ?", (int(limit),)
+            ).fetchall()
+        else:
+            rows = self._execute(
+                "SELECT * FROM repairs WHERE status = ? ORDER BY id "
+                "LIMIT ?",
+                (status, int(limit)),
+            ).fetchall()
+        return [self._repair_dict(row) for row in rows]
+
+    def repair_stats(self) -> dict:
+        """Journal rollup for the stats surfaces."""
+        rows = self._execute(
+            "SELECT status, COUNT(*) AS n FROM repairs GROUP BY status"
+        ).fetchall()
+        counts = {row["status"]: int(row["n"]) for row in rows}
+        return {
+            "queued": counts.get("queued", 0),
+            "active": counts.get("active", 0),
+            "done": counts.get("done", 0),
+            "failed": counts.get("failed", 0),
+            "total": sum(counts.values()),
+        }
 
     # -- continuous-query registrations ---------------------------------------
 
@@ -747,6 +966,7 @@ class RuntimeStore:
             "counters": self.counters(),
             "cache": self.cache_stats(),
             "watches": self.watch_stats(),
+            "repairs": self.repair_stats(),
             "migrated_legacy_entries": (
                 None if migrated is None else int(migrated)
             ),
