@@ -9,14 +9,25 @@ single / subpopulation) and weighted-Jaccard requests.  This is the full
 production path — HTTP parse, bounded-queue backpressure, live-window
 ingest, merged live+stored planning, version-keyed result cache.
 
+The load window runs **twice**: once with the observability layer off
+(``ServiceConfig(observability=False)`` — the uninstrumented baseline)
+and once with it on.  The instrumented pass scrapes ``GET /metrics`` at
+the end and derives ingest/query latency percentiles (p50/p95/p99) from
+the daemon's own ``repro_http_request_seconds`` histograms — the bench
+reports the latencies the operator would see, not a client-side re-take.
+
 Gates:
 
 * **exactness** — after the load window, a final synchronous flush and
   one estimate per function must equal an offline `QueryEngine` over a
-  `ShardedSummarizer` fed every event the service accepted, bit for bit;
+  `ShardedSummarizer` fed every event the service accepted, bit for bit
+  (checked on both passes);
 * **liveness** — both sides of the mixed workload made progress (>0
   ingested events/sec and >0 answered queries/sec) and every query
-  answered during the run was well-formed.
+  answered during the run was well-formed;
+* **overhead** — instrumented ingest throughput is within
+  ``BENCH_SERVICE_OVERHEAD_LIMIT`` (default 5%) of the uninstrumented
+  baseline.
 
 429 (backpressure) responses are *expected* under load and counted, not
 failed; the ingest threads retry those batches, so acceptance stays
@@ -25,7 +36,8 @@ exact.
 Environment knobs: ``BENCH_SERVICE_SECONDS`` (load window, default 5),
 ``BENCH_SERVICE_INGEST`` / ``BENCH_SERVICE_QUERY`` (thread counts,
 default 2 each), ``BENCH_SERVICE_BATCH`` (events per batch, default
-2000).
+2000), ``BENCH_SERVICE_OVERHEAD_LIMIT`` (fractional overhead gate,
+default 0.05).
 
 Run under pytest (`pytest benchmarks/bench_service_load.py`) or
 standalone (`PYTHONPATH=src python benchmarks/bench_service_load.py
@@ -34,6 +46,7 @@ standalone (`PYTHONPATH=src python benchmarks/bench_service_load.py
 
 from __future__ import annotations
 
+import math
 import os
 import sys
 import tempfile
@@ -44,6 +57,7 @@ import numpy as np
 
 from emit import write_bench_json
 from repro.core.aggregates import AggregationSpec
+from repro.obs import parse_prometheus_text, quantile_from_buckets
 from repro.core.predicates import key_in
 from repro.engine.queries import QueryEngine, jaccard_from_summary
 from repro.service import (
@@ -58,6 +72,9 @@ SECONDS = float(os.environ.get("BENCH_SERVICE_SECONDS", 5.0))
 N_INGEST = int(os.environ.get("BENCH_SERVICE_INGEST", 2))
 N_QUERY = int(os.environ.get("BENCH_SERVICE_QUERY", 2))
 BATCH = int(os.environ.get("BENCH_SERVICE_BATCH", 2000))
+OVERHEAD_LIMIT = float(
+    os.environ.get("BENCH_SERVICE_OVERHEAD_LIMIT", 0.05)
+)
 K = 128
 NS = NamespaceConfig("load", ("h1", "h2"), k=K, n_shards=4, salt=11)
 
@@ -124,11 +141,47 @@ def _query_worker(port, thread_id, stop, counters, lock):
     client.close()
 
 
-def measure(seconds: float = SECONDS) -> dict:
+def _latency_percentiles(samples: dict, path: str) -> dict:
+    """p50/p95/p99 for one route, from its scraped latency histogram.
+
+    The exposition carries *cumulative* bucket counts; differencing
+    adjacent ``le`` samples recovers the per-bucket counts that
+    :func:`quantile_from_buckets` interpolates over.
+    """
+    edges = []
+    for (name, labels), value in samples.items():
+        if name != "repro_http_request_seconds_bucket":
+            continue
+        byname = dict(labels)
+        if byname.get("path") != path:
+            continue
+        upper = byname["le"]
+        edges.append((
+            math.inf if upper == "+Inf" else float(upper), value
+        ))
+    edges.sort()
+    uppers = [upper for upper, _ in edges if upper != math.inf]
+    cumulative = [count for _, count in edges]
+    counts = [
+        int(count - (cumulative[pos - 1] if pos else 0))
+        for pos, count in enumerate(cumulative)
+    ]
+    total = int(cumulative[-1]) if cumulative else 0
+    return {
+        f"p{round(q * 100):d}_ms": (
+            quantile_from_buckets(uppers, counts, total, q) * 1e3
+            if total else None
+        )
+        for q in (0.5, 0.95, 0.99)
+    }
+
+
+def measure_once(seconds: float, observability: bool) -> dict:
     root = tempfile.mkdtemp(prefix="bench-service-")
     config = ServiceConfig(
         store_root=root, namespaces=(NS,), port=0, tick_s=0.2,
         compact_to=None, ingest_queue_batches=32,
+        observability=observability,
     )
     record: list = []
     counters = {
@@ -195,9 +248,18 @@ def measure(seconds: float = SECONDS) -> dict:
             reference.summary, ("h1", "h2"), "l"
         )
         status = client.status()
+        latency = {}
+        if observability:
+            samples = parse_prometheus_text(client.metrics())
+            latency = {
+                "ingest": _latency_percentiles(samples, "/ingest"),
+                "query": _latency_percentiles(samples, "/query"),
+            }
         client.close()
 
     return {
+        "observability": observability,
+        "latency": latency,
         "seconds": elapsed,
         "ingest_threads": N_INGEST,
         "query_threads": N_QUERY,
@@ -214,6 +276,36 @@ def measure(seconds: float = SECONDS) -> dict:
     }
 
 
+def measure(seconds: float = SECONDS) -> dict:
+    """Both passes: uninstrumented baseline first, then instrumented."""
+    bare = measure_once(seconds, observability=False)
+    instrumented = measure_once(seconds, observability=True)
+    result = dict(instrumented)
+    result["exact"] = bare["exact"] and instrumented["exact"]
+    result["bare_events_per_sec"] = bare["events_per_sec"]
+    result["bare_queries_per_sec"] = bare["queries_per_sec"]
+    result["overhead_fraction"] = (
+        max(0.0, 1.0 - instrumented["events_per_sec"]
+            / bare["events_per_sec"])
+        if bare["events_per_sec"] > 0 else 0.0
+    )
+    return result
+
+
+def _render_latency(result: dict) -> list[str]:
+    lines = []
+    for side in ("ingest", "query"):
+        percentiles = result.get("latency", {}).get(side)
+        if not percentiles or percentiles.get("p50_ms") is None:
+            continue
+        lines.append(
+            f"  {side:<7}: p50 {percentiles['p50_ms']:8.2f} ms   "
+            f"p95 {percentiles['p95_ms']:8.2f} ms   "
+            f"p99 {percentiles['p99_ms']:8.2f} ms   (from /metrics)"
+        )
+    return lines
+
+
 def render(result: dict) -> str:
     return "\n".join([
         f"SERVICE load — {result['ingest_threads']} ingest + "
@@ -226,6 +318,11 @@ def render(result: dict) -> str:
         f"  query  : {result['queries']:>10,} answers "
         f"({result['queries_per_sec']:8.1f} queries/s, "
         f"{result['query_cache_hits']} cache hits)",
+        *_render_latency(result),
+        f"  instrumentation overhead: "
+        f"{result['overhead_fraction'] * 100:.1f}% vs bare "
+        f"({result['bare_events_per_sec'] / 1e3:.1f} K events/s "
+        f"uninstrumented, limit {OVERHEAD_LIMIT * 100:.0f}%)",
         f"  exact vs offline engine: {result['exact']}",
     ])
 
@@ -249,6 +346,11 @@ def emit_json(result: dict) -> None:
             "query_cache_hits": result["query_cache_hits"],
             "rotations": result["rotations"],
             "exact": result["exact"],
+            "bare_events_per_sec": result["bare_events_per_sec"],
+            "bare_queries_per_sec": result["bare_queries_per_sec"],
+            "overhead_fraction": result["overhead_fraction"],
+            "ingest_latency": result["latency"].get("ingest"),
+            "query_latency": result["latency"].get("query"),
         },
     )
 
@@ -263,6 +365,20 @@ def check_gates(result: dict) -> list[str]:
         failures.append("no events ingested during the load window")
     if result["queries"] <= 0:
         failures.append("no queries answered during the load window")
+    if result["overhead_fraction"] > OVERHEAD_LIMIT:
+        failures.append(
+            f"instrumentation overhead "
+            f"{result['overhead_fraction'] * 100:.1f}% exceeds the "
+            f"{OVERHEAD_LIMIT * 100:.0f}% limit "
+            f"({result['bare_events_per_sec']:.0f} bare vs "
+            f"{result['events_per_sec']:.0f} instrumented events/s)"
+        )
+    latency = result.get("latency", {})
+    for side in ("ingest", "query"):
+        if latency.get(side, {}).get("p50_ms") is None:
+            failures.append(
+                f"no {side} latency percentiles derived from /metrics"
+            )
     return failures
 
 

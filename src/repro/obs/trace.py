@@ -1,0 +1,292 @@
+"""Distributed request tracing: spans, propagation, ring buffer.
+
+Every HTTP entry point opens a root :class:`Span` (or a child span when
+the request carries an ``X-Repro-Trace`` header), and the layers under
+it — parse, plan, cache-probe, engine-build, merge, encode, per-worker
+slot fetches, repair ops — open children.  Finished spans land in a
+bounded in-memory ring buffer served by ``GET /trace/recent`` and,
+optionally, an append-only JSONL trace log.
+
+IDs come from a splitmix64 stream over a seedable counter, so a
+:class:`Tracer` built with a fixed ``seed`` emits a reproducible ID
+sequence — tests pin exact trace IDs instead of regex-matching hex
+soup.  The header format is ``<trace:016x>-<span:016x>``: the
+coordinator's :class:`~repro.service.client.ServiceClient` stamps its
+active span into outgoing requests, the worker parses it back, and one
+query is grep-able across every daemon it touched.
+
+The *current* span travels in a :mod:`contextvars` variable, which
+asyncio tasks inherit automatically; executor threads do not, so work
+shipped to a thread pool is wrapped with :func:`bind_parent` to carry
+the request's span across the boundary.
+"""
+
+from __future__ import annotations
+
+import collections
+import contextvars
+import json
+import os
+import threading
+import time
+
+from repro.ranks.hashing import splitmix64
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TRACE_HEADER",
+    "bind_parent",
+    "current_span",
+    "current_trace_header",
+    "default_tracer",
+    "format_trace_header",
+    "parse_trace_header",
+]
+
+#: wire header carrying ``<trace_id:016x>-<span_id:016x>``
+TRACE_HEADER = "X-Repro-Trace"
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+_CURRENT: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_current_span", default=None
+)
+
+
+def current_span():
+    """The active :class:`Span` in this task/thread context, if any."""
+    return _CURRENT.get()
+
+
+def format_trace_header(span) -> str:
+    """A span's identity as the ``X-Repro-Trace`` wire value."""
+    return f"{span.trace_id:016x}-{span.span_id:016x}"
+
+
+def parse_trace_header(value):
+    """``(trace_id, span_id)`` from a wire value, or ``None`` if the
+    header is absent/malformed (a bad header must never fail a request —
+    the server just starts a fresh trace)."""
+    if not value:
+        return None
+    trace_part, sep, span_part = value.strip().partition("-")
+    if not sep:
+        return None
+    try:
+        trace_id = int(trace_part, 16)
+        span_id = int(span_part, 16)
+    except ValueError:
+        return None
+    if not (0 < trace_id <= _MASK64 and 0 < span_id <= _MASK64):
+        return None
+    return trace_id, span_id
+
+
+def current_trace_header():
+    """The active span's wire value, or ``None`` — what
+    :class:`~repro.service.client.ServiceClient` stamps into outgoing
+    requests so a coordinator's fan-out joins the request's trace."""
+    span = _CURRENT.get()
+    if span is None or not span.recording:
+        return None
+    return format_trace_header(span)
+
+
+def bind_parent(parent, fn, *args, **kwargs):
+    """Run ``fn`` with ``parent`` as the current span.
+
+    ``loop.run_in_executor`` does not copy the calling task's context
+    into the worker thread, so both daemons wrap executor-bound work in
+    this to keep planner/merge child spans attached to the request.
+    """
+    token = _CURRENT.set(parent)
+    try:
+        return fn(*args, **kwargs)
+    finally:
+        _CURRENT.reset(token)
+
+
+class Span:
+    """One timed operation within a trace.
+
+    A context manager: entering makes it the current span (children
+    created inside attach to it), exiting records the duration into the
+    tracer's ring buffer.  An exception on the way out marks the span
+    ``error`` and re-raises — tracing never swallows failures.
+    """
+
+    __slots__ = (
+        "tracer", "trace_id", "span_id", "parent_id", "name", "tags",
+        "start", "duration_s", "status", "error", "recording", "_t0",
+        "_token",
+    )
+
+    def __init__(
+        self, tracer, trace_id, span_id, parent_id, name, tags,
+        recording=True,
+    ):
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.tags = tags
+        self.start = time.time() if recording else 0.0
+        self.duration_s = 0.0
+        self.status = "ok"
+        self.error = None
+        self.recording = recording
+        self._t0 = time.perf_counter() if recording else 0.0
+        self._token = None
+
+    def header(self) -> str:
+        return format_trace_header(self)
+
+    def annotate(self, **tags) -> None:
+        """Attach tags after creation (e.g. the answer's cache outcome,
+        which is only known once the work ran)."""
+        if self.recording:
+            self.tags.update(tags)
+
+    def fail(self, error) -> None:
+        """Mark the span failed without raising through it."""
+        if self.recording:
+            self.status = "error"
+            self.error = str(error)
+
+    def __enter__(self) -> "Span":
+        self._token = _CURRENT.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, _tb):
+        _CURRENT.reset(self._token)
+        self._token = None
+        if not self.recording:
+            return False
+        self.duration_s = time.perf_counter() - self._t0
+        if exc is not None:
+            self.status = "error"
+            self.error = str(exc) or exc_type.__name__
+        self.tracer._record(self)
+        return False
+
+    def to_dict(self) -> dict:
+        row = {
+            "trace": f"{self.trace_id:016x}",
+            "span": f"{self.span_id:016x}",
+            "parent": (
+                f"{self.parent_id:016x}"
+                if self.parent_id is not None else None
+            ),
+            "name": self.name,
+            "start": round(self.start, 6),
+            "duration_ms": round(self.duration_s * 1e3, 3),
+            "status": self.status,
+        }
+        if self.tags:
+            row["tags"] = dict(self.tags)
+        if self.error is not None:
+            row["error"] = self.error
+        return row
+
+
+class Tracer:
+    """Span factory + bounded ring buffer + optional JSONL sink.
+
+    Each daemon owns one (two daemons in a test process must not share
+    ring buffers).  ``seed`` pins the splitmix64 ID stream; ``None``
+    draws a random seed, so concurrent daemons produce disjoint IDs.
+    ``enabled=False`` makes every span a no-op that records nothing and
+    never enters the ring — the bench's uninstrumented baseline.
+    """
+
+    def __init__(
+        self, seed=None, capacity: int = 512, log_path=None,
+        enabled: bool = True,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if seed is None:
+            seed = int.from_bytes(os.urandom(8), "big")
+        self._seed = seed & _MASK64
+        self._counter = 0
+        self._lock = threading.Lock()
+        self._ring: collections.deque = collections.deque(maxlen=capacity)
+        self._log_path = os.fspath(log_path) if log_path else None
+        self._log_handle = None
+        self.enabled = enabled
+        self.dropped = 0  # JSONL write failures, surfaced in /trace/recent
+
+    def _next_id(self) -> int:
+        with self._lock:
+            self._counter += 1
+            value = splitmix64((self._seed + self._counter) & _MASK64)
+        return value or 1  # 0 is reserved for "absent" in the header
+
+    def span(self, name: str, parent=None, **tags) -> Span:
+        """A child of ``parent`` (default: the current span), or a new
+        root when there is no active span."""
+        if not self.enabled:
+            return Span(self, 0, 0, None, name, {}, recording=False)
+        if parent is None:
+            parent = _CURRENT.get()
+        if parent is not None and parent.recording:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            trace_id, parent_id = self._next_id(), None
+        return Span(self, trace_id, self._next_id(), parent_id, name, tags)
+
+    def begin_request(self, name: str, header=None, **tags) -> Span:
+        """The entry-point span for one HTTP request: a child of the
+        caller's span when ``header`` carries one, else a trace root."""
+        if not self.enabled:
+            return Span(self, 0, 0, None, name, {}, recording=False)
+        parsed = parse_trace_header(header)
+        if parsed is not None:
+            trace_id, parent_id = parsed
+        else:
+            trace_id, parent_id = self._next_id(), None
+        return Span(self, trace_id, self._next_id(), parent_id, name, tags)
+
+    def _record(self, span: Span) -> None:
+        row = span.to_dict()
+        with self._lock:
+            self._ring.append(row)
+        if self._log_path is not None:
+            self._write_log(row)
+
+    def _write_log(self, row: dict) -> None:
+        with self._lock:
+            try:
+                if self._log_handle is None:
+                    self._log_handle = open(
+                        self._log_path, "a", encoding="utf-8"
+                    )
+                self._log_handle.write(json.dumps(row, sort_keys=True) + "\n")
+                self._log_handle.flush()
+            except OSError:
+                self.dropped += 1  # a full disk must not fail requests
+
+    def recent(self, limit: int = 50) -> list:
+        """The most recently finished spans, newest first."""
+        limit = max(1, min(int(limit), self._ring.maxlen))
+        with self._lock:
+            rows = list(self._ring)
+        return rows[::-1][:limit]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._log_handle is not None:
+                try:
+                    self._log_handle.close()
+                finally:
+                    self._log_handle = None
+
+
+_DEFAULT_TRACER = Tracer()
+
+
+def default_tracer() -> Tracer:
+    """The process-global tracer, for code with no daemon instance."""
+    return _DEFAULT_TRACER

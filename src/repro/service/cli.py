@@ -12,6 +12,8 @@ Run the daemon, check it, and talk to it:
         --assignments bytes packets
     repro-serve stats --port 8765            # ops telemetry via /status
     repro-serve stats --root /tmp/flows      # read runtime.sqlite directly
+    repro-serve metrics --port 8765          # Prometheus text scrape
+    repro-serve trace --port 8765 --limit 20 # recent request/span traces
 
 Cluster mode (see ``repro.service.cluster``):
 
@@ -89,6 +91,7 @@ def _config_from_args(args: argparse.Namespace) -> ServiceConfig:
             compact_every_s=args.compact_every,
             tick_s=args.tick,
             executor=args.executor,
+            trace_log=args.trace_log,
         )
     if getattr(args, "cluster_slots", None):
         # Cluster worker mode: every logical namespace expands into its
@@ -466,6 +469,47 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        text = client.metrics()
+    sys.stdout.write(text)
+    if text and not text.endswith("\n"):
+        sys.stdout.write("\n")
+    return 0
+
+
+def _format_span(span: dict) -> str:
+    parent = span.get("parent")
+    line = (
+        f"{span['trace']} {span['span']}"
+        f"{' <- ' + parent if parent else ''}"
+        f"  {span['name']}  {span['duration_ms']:.3f}ms  {span['status']}"
+    )
+    tags = span.get("tags")
+    if tags:
+        rendered = " ".join(
+            f"{key}={tags[key]}" for key in sorted(tags)
+        )
+        line += f"  [{rendered}]"
+    if span.get("error"):
+        line += f"  error={span['error']}"
+    return line
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    with _client(args) as client:
+        result = client.trace_recent(limit=args.limit)
+    if args.json:
+        print(json.dumps(result, indent=1, sort_keys=True))
+        return 0
+    for span in result["spans"]:
+        print(_format_span(span))
+    dropped = result.get("dropped_log_writes", 0)
+    if dropped:
+        print(f"({dropped} trace-log writes dropped)", file=sys.stderr)
+    return 0
+
+
 def _cmd_shutdown(args: argparse.Namespace) -> int:
     with _client(args) as client:
         client.shutdown()
@@ -526,6 +570,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--fault-plan", default=None, metavar="FILE",
                        help="deterministic fault-injection plan JSON "
                             "(testing: see repro.service.faults)")
+    serve.add_argument("--trace-log", default=None, metavar="FILE",
+                       help="append every finished span to this JSONL "
+                            "file (the /trace/recent ring, durably)")
     serve.set_defaults(func=_cmd_serve)
 
     coordinate = commands.add_parser(
@@ -733,6 +780,24 @@ def build_parser() -> argparse.ArgumentParser:
              "a daemon (works alongside a running daemon)",
     )
     stats.set_defaults(func=_cmd_stats)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="scrape a daemon's /metrics (Prometheus text exposition)",
+    )
+    _add_client_args(metrics)
+    metrics.set_defaults(func=_cmd_metrics)
+
+    trace = commands.add_parser(
+        "trace",
+        help="show a daemon's most recent request/span traces",
+    )
+    _add_client_args(trace)
+    trace.add_argument("--limit", type=int, default=50,
+                       help="maximum spans to fetch (newest first)")
+    trace.add_argument("--json", action="store_true",
+                       help="print the raw /trace/recent payload")
+    trace.set_defaults(func=_cmd_trace)
 
     shutdown = commands.add_parser(
         "shutdown", help="gracefully stop a running daemon"

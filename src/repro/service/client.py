@@ -23,6 +23,7 @@ import time
 from typing import Callable, Sequence
 from urllib.parse import urlencode
 
+from repro.obs import TRACE_HEADER, current_trace_header
 from repro.service.jsonutil import restore_non_finite
 
 __all__ = ["ServiceClient", "ServiceError"]
@@ -33,7 +34,13 @@ _TRANSIENT = (http.client.HTTPException, ConnectionError, socket.timeout,
 
 
 class ServiceError(Exception):
-    """A non-2xx response from the service, with its status and payload."""
+    """A non-2xx response from the service, with its status and payload.
+
+    When the error body carries the request's trace ID (every daemon
+    error does), it is appended to the message and exposed as
+    ``.trace`` — the handle that makes one failed request grep-able
+    across the coordinator's and workers' trace logs.
+    """
 
     def __init__(self, status: int, payload: dict) -> None:
         message = (
@@ -41,7 +48,11 @@ class ServiceError(Exception):
             if isinstance(payload, dict)
             else payload
         )
-        super().__init__(f"HTTP {status}: {message}")
+        self.trace = (
+            payload.get("trace") if isinstance(payload, dict) else None
+        )
+        suffix = f" [trace {self.trace}]" if self.trace else ""
+        super().__init__(f"HTTP {status}: {message}{suffix}")
         self.status = status
         self.payload = payload
 
@@ -175,6 +186,12 @@ class ServiceClient:
         feeds slot matching in an installed fault plan.
         """
         effective = self.timeout if timeout is None else timeout
+        # Propagate the caller's active span: a coordinator answering a
+        # query fans out with its request span current, so every worker
+        # request joins that trace (child spans on the worker side).
+        trace = current_trace_header()
+        if trace is not None and TRACE_HEADER not in headers:
+            headers = {**headers, TRACE_HEADER: trace}
         attempts = (self.retries + 1) if idempotent else 1
         for attempt in range(attempts):
             if self._fault_plan is not None:
@@ -290,6 +307,27 @@ class ServiceClient:
 
     def status(self, timeout: float | None = None) -> dict:
         return self._request("GET", "/status", timeout=timeout)
+
+    def metrics(self, timeout: float | None = None) -> str:
+        """The daemon's Prometheus text exposition (``GET /metrics``)."""
+        status, _headers, data = self._raw_request(
+            "GET", "/metrics", None, {}, idempotent=True, timeout=timeout
+        )
+        if status >= 400:
+            try:
+                decoded = json.loads(data)
+            except json.JSONDecodeError:
+                decoded = {"error": data.decode("utf-8", "replace")}
+            raise ServiceError(status, decoded)
+        return data.decode("utf-8")
+
+    def trace_recent(
+        self, limit: int = 50, timeout: float | None = None
+    ) -> dict:
+        """The daemon's most recently finished spans, newest first."""
+        return self._request(
+            "GET", f"/trace/recent?limit={int(limit)}", timeout=timeout
+        )
 
     def ingest(
         self,

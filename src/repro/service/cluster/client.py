@@ -307,6 +307,32 @@ class ClusterClient:
             "deliveries": deliveries,
         }
 
+    # -- queries (coordinator passthrough) -------------------------------------
+
+    def _require_coordinator(self) -> ServiceClient:
+        if self._coordinator is None:
+            raise ClusterError(
+                "no coordinator attached; build the router with "
+                "ClusterClient.from_coordinator() to enable queries"
+            )
+        return self._coordinator
+
+    def estimate(self, namespace: str, function, assignments, **kwargs):
+        """One cluster-wide estimate, answered by the coordinator as the
+        exact merge of per-slot worker bundles.  The coordinator's
+        answer carries the trace ID of the request (the response's
+        ``X-Repro-Trace``), under which each contacted worker recorded
+        a ``slot-fetch`` child span."""
+        return self._require_coordinator().estimate(
+            namespace, function, assignments, **kwargs
+        )
+
+    def jaccard(self, namespace: str, assignments, **kwargs):
+        """Cluster-wide Jaccard estimate via the coordinator."""
+        return self._require_coordinator().jaccard(
+            namespace, assignments, **kwargs
+        )
+
     def rotate_all(self) -> dict:
         """Ask every worker to flush its live windows into its store."""
         rotated = {}

@@ -63,6 +63,7 @@ from typing import Callable, Sequence
 from repro.core.aggregates import AggregationSpec
 from repro.core.predicates import key_in
 from repro.engine.queries import ESTIMATORS, QueryEngine, jaccard_from_summary
+from repro.obs import bind_parent, current_span
 from repro.ranks.hashing import _key_to_int, splitmix64
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.config import NamespaceConfig
@@ -124,6 +125,12 @@ class CoordinatorConfig:
     #: re-probe and repair stale-marked copies every tick (not just on
     #: membership churn)
     anti_entropy: bool = True
+    #: metrics + tracing on/off
+    observability: bool = True
+    #: optional JSONL file finished spans are appended to
+    trace_log: str | None = None
+    #: pins the splitmix64 trace-ID stream (None: random per daemon)
+    trace_seed: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -182,6 +189,9 @@ class CoordinatorConfig:
             "repair_interval_s": self.repair_interval_s,
             "repair_max_attempts": self.repair_max_attempts,
             "anti_entropy": self.anti_entropy,
+            "observability": self.observability,
+            "trace_log": self.trace_log,
+            "trace_seed": self.trace_seed,
         }
 
     @classmethod
@@ -192,6 +202,7 @@ class CoordinatorConfig:
             "worker_retries", "max_body_bytes", "result_cache_size",
             "probe_concurrency", "fail_after_s", "repair_interval_s",
             "repair_max_attempts", "anti_entropy",
+            "observability", "trace_log", "trace_seed",
         }
         unknown = set(payload) - known
         if unknown:
@@ -242,6 +253,11 @@ class CoordinatorService(HttpServerBase):
         POST /shutdown       graceful stop
     """
 
+    ROUTES = frozenset({
+        "/status", "/cluster", "/cluster/join", "/cluster/leave",
+        "/ingest", "/query", "/repairs", "/repairs/run", "/shutdown",
+    })
+
     def __init__(
         self,
         config: CoordinatorConfig,
@@ -252,8 +268,27 @@ class CoordinatorService(HttpServerBase):
         super().__init__()
         self.config = config
         self.clock = clock
+        self._init_obs(
+            enabled=config.observability,
+            trace_log=config.trace_log,
+            trace_seed=config.trace_seed,
+        )
         os.makedirs(config.root, exist_ok=True)
         self.runtime = RuntimeStore(config.root)
+        self.metrics.gauge(
+            "repro_result_cache_entries",
+            "Entries in the persistent cluster query-result cache.",
+            callback=lambda: self.runtime.cache_stats()["entries"],
+        )
+        self._slot_fetch_seconds = self.metrics.histogram(
+            "repro_cluster_slot_fetch_seconds",
+            "Latency of fetching one slot bundle from a worker.",
+            labelnames=("worker",),
+        )
+        self._merge_seconds = self.metrics.histogram(
+            "repro_cluster_merge_seconds",
+            "Latency of merging per-slot bundles into one engine.",
+        )
         self.topology = config.topology
         self.namespaces = {ns.name: ns for ns in config.namespaces}
         self.stats.update({
@@ -838,16 +873,29 @@ class CoordinatorService(HttpServerBase):
                 continue
             answered = False
             for position, owner in enumerate(usable):
+                # one sub-span per slot fetch: the worker sees this
+                # span's ID in X-Repro-Trace and parents its own
+                # request span under it
+                fetch_started = time.perf_counter()
                 try:
-                    blob, version = self._clients[owner].bundle(
-                        slot_namespace(namespace, slot), since, until,
-                        timeout=self.config.worker_timeout_s,
-                    )
+                    with self.tracer.span(
+                        "slot-fetch", slot=slot, worker=owner
+                    ):
+                        blob, version = self._clients[owner].bundle(
+                            slot_namespace(namespace, slot), since, until,
+                            timeout=self.config.worker_timeout_s,
+                        )
                 except _UNREACHABLE:
                     self.runtime.cluster_mark(
                         owner, alive=False, now=self.clock()
                     )
                     continue
+                finally:
+                    if self.metrics.enabled:
+                        self._slot_fetch_seconds.observe(
+                            time.perf_counter() - fetch_started,
+                            worker=owner,
+                        )
                 if position > 0:
                     self.stats["failovers"] += 1
                 if blob is not None:
@@ -910,9 +958,16 @@ class CoordinatorService(HttpServerBase):
         )
 
     def _answer_query(self, request: dict) -> dict:
-        parsed = self._query_request(request)
+        with self.tracer.span("parse"):
+            parsed = self._query_request(request)
         kind, namespace, since, until = parsed[0], parsed[1], parsed[2], parsed[3]
-        blobs, vector, missing = self._gather_bundles(namespace, since, until)
+        with self.tracer.span("gather", namespace=namespace) as gather_span:
+            blobs, vector, missing = self._gather_bundles(
+                namespace, since, until
+            )
+            gather_span.annotate(
+                answered_slots=len(vector), missing_slots=len(missing)
+            )
         partial = bool(missing)
         version = "v[" + ",".join(
             f"s{slot}:{worker}:{token}" for slot, worker, token in vector
@@ -933,7 +988,11 @@ class CoordinatorService(HttpServerBase):
                 list(names), variant,
             ], separators=(",", ":"))
         if not partial:
-            hit = self.runtime.cache_get(cache_key)
+            with self.tracer.span("cache-probe") as probe_span:
+                hit = self.runtime.cache_get(cache_key)
+                probe_span.annotate(
+                    outcome="miss" if hit is None else "hit"
+                )
             if hit is not None:
                 return {**hit, "cached": True}
         sources = {
@@ -951,7 +1010,13 @@ class CoordinatorService(HttpServerBase):
                 "sources": sources,
             }
         else:
-            engine = QueryEngine.from_encoded_bundles(blobs)
+            merge_started = time.perf_counter()
+            with self.tracer.span("merge", bundles=len(blobs)):
+                engine = QueryEngine.from_encoded_bundles(blobs)
+            if self.metrics.enabled:
+                self._merge_seconds.observe(
+                    time.perf_counter() - merge_started
+                )
             if kind == "estimate":
                 spec = AggregationSpec(function, names, ell=ell)
                 predicate = None if keys is None else key_in(keys)
@@ -1047,8 +1112,12 @@ class CoordinatorService(HttpServerBase):
         if path == "/ingest" and method == "POST":
             if self._stopping:
                 raise _HttpError(503, "coordinator is shutting down")
+            # bind_parent carries the request span into the executor
+            # thread, where ServiceClient reads it to stamp
+            # X-Repro-Trace on every routed worker request
             return 200, await loop.run_in_executor(
-                None, self._route_ingest, self._json_body(body)
+                None, bind_parent, current_span(),
+                self._route_ingest, self._json_body(body),
             )
         if path == "/query" and method in ("GET", "POST"):
             request = (
@@ -1058,15 +1127,16 @@ class CoordinatorService(HttpServerBase):
             )
             self.stats["queries"] += 1
             return 200, await loop.run_in_executor(
-                None, self._answer_query, request
+                None, bind_parent, current_span(),
+                self._answer_query, request,
             )
         if path == "/shutdown" and method == "POST":
             asyncio.get_running_loop().call_soon(self.request_shutdown)
             return 200, {"ok": True, "stopping": True}
         known = (
-            "/health /healthz /status /cluster /cluster/join /cluster/leave "
-            "/ingest /query /repairs /repairs/run "
-            "/shutdown"
+            "/health /healthz /status /metrics /trace/recent /cluster "
+            "/cluster/join /cluster/leave /ingest /query /repairs "
+            "/repairs/run /shutdown"
         )
         raise _HttpError(
             405 if path in known.split() else 404,

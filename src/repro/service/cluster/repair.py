@@ -45,6 +45,7 @@ routing state it repairs.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING
 
 from repro.service.client import ServiceError
@@ -239,8 +240,33 @@ class RepairPlanner:
     def _execute(self, op: dict) -> str:
         """Run one claimed op: the purge-then-copy repair, lock-scoped.
 
-        Returns ``"done"``, ``"failed"``, or ``"requeued"``.
+        Returns ``"done"``, ``"failed"``, or ``"requeued"``.  Each
+        execution is a traced ``repair-op`` span (the journal row ID
+        is a tag, so a trace correlates with ``GET /repairs``) and
+        lands in the coordinator's repair-op metrics by outcome.
         """
+        svc = self.service
+        started = time.perf_counter()
+        with svc.tracer.span(
+            "repair-op",
+            op_id=op["id"], kind=op.get("kind"),
+            slot=op["slot"], target=op["target"],
+        ) as span:
+            outcome = self._execute_locked(op)
+            span.annotate(outcome=outcome)
+        if svc.metrics.enabled:
+            svc.metrics.counter(
+                "repro_repair_ops_total",
+                "Executed repair ops, by outcome.",
+                labelnames=("outcome",),
+            ).inc(outcome=outcome)
+            svc.metrics.histogram(
+                "repro_repair_op_seconds",
+                "Latency of one repair-op execution.",
+            ).observe(time.perf_counter() - started)
+        return outcome
+
+    def _execute_locked(self, op: dict) -> str:
         svc = self.service
         slot, target = op["slot"], op["target"]
         with svc._cluster_lock:

@@ -118,6 +118,12 @@ class ServiceConfig:
     result_cache_size: int = 1024
     #: executor spec for finalization/compaction (see repro.engine.parallel)
     executor: str | None = None
+    #: metrics + tracing on/off (off is the bench's bare baseline)
+    observability: bool = True
+    #: optional JSONL file finished spans are appended to
+    trace_log: str | None = None
+    #: pins the splitmix64 trace-ID stream (None: random per daemon)
+    trace_seed: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -177,6 +183,9 @@ class ServiceConfig:
             "max_body_bytes": self.max_body_bytes,
             "result_cache_size": self.result_cache_size,
             "executor": self.executor,
+            "observability": self.observability,
+            "trace_log": self.trace_log,
+            "trace_seed": self.trace_seed,
         }
 
     @classmethod
@@ -186,6 +195,7 @@ class ServiceConfig:
             "compact_to", "compact_every_s", "tick_s",
             "ingest_queue_batches", "max_batch_events", "max_body_bytes",
             "result_cache_size", "executor",
+            "observability", "trace_log", "trace_seed",
         }
         unknown = set(payload) - known
         if unknown:

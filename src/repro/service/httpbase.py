@@ -16,11 +16,13 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import time
 import urllib.parse
 from dataclasses import dataclass, field
 
 import json
 
+from repro.obs import MetricsRegistry, Tracer
 from repro.service.jsonutil import dumps_strict, sanitize_non_finite
 
 __all__ = [
@@ -102,6 +104,12 @@ class BinaryResponse:
 
     data: bytes
     headers: dict = field(default_factory=dict)
+    content_type: str = "application/octet-stream"
+
+
+#: routes every daemon serves from the base class, kept out of the
+#: "other" bucket of the per-route metrics
+_BASE_ROUTES = frozenset({"/metrics", "/trace/recent", "/health", "/healthz"})
 
 
 class HttpServerBase:
@@ -112,6 +120,9 @@ class HttpServerBase:
     (binding ``self._server``, setting ``self._stopping`` on shutdown).
     """
 
+    #: subclass dispatch routes, for bounded-cardinality path labels
+    ROUTES: frozenset = frozenset()
+
     def __init__(self) -> None:
         self.stats = {"requests": 0, "last_error": None}
         self._server: asyncio.base_events.Server | None = None
@@ -121,6 +132,65 @@ class HttpServerBase:
         self._fault_plan = None
         self._fault_scope = "server"
         self._fault_on_fire = None
+        self._init_obs()
+
+    def _init_obs(
+        self, enabled: bool = True, trace_log=None, trace_seed=None,
+        trace_capacity: int = 512,
+    ) -> None:
+        """Build this daemon's metrics registry and tracer.
+
+        Called with defaults from ``__init__``; daemons re-run it with
+        their config's observability knobs before binding.  Per-daemon
+        instances (never the process-global registry) keep two daemons
+        in one test process from interleaving series.
+        """
+        self.metrics = MetricsRegistry(enabled=enabled)
+        self.tracer = Tracer(
+            seed=trace_seed, capacity=trace_capacity, log_path=trace_log,
+            enabled=enabled,
+        )
+        self._route_labels = frozenset(type(self).ROUTES) | _BASE_ROUTES
+        self._http_requests = self.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by route and status code.",
+            labelnames=("path", "status"),
+        )
+        self._http_latency = self.metrics.histogram(
+            "repro_http_request_seconds",
+            "End-to-end request handling latency in seconds.",
+            labelnames=("path",),
+        )
+
+    def _route_label(self, path: str) -> str:
+        """The path, folded to ``other`` when it is not a served route —
+        arbitrary 404 probes must not mint unbounded label values."""
+        return path if path in self._route_labels else "other"
+
+    def _dispatch_obs(self, method, path, params):
+        """The observability routes every daemon serves, or ``None``."""
+        if path == "/metrics":
+            if method != "GET":
+                raise _HttpError(405, "use GET /metrics")
+            return 200, BinaryResponse(
+                self.metrics.render().encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        if path == "/trace/recent":
+            if method != "GET":
+                raise _HttpError(405, "use GET /trace/recent")
+            try:
+                limit = int(params.get("limit", 50))
+            except ValueError:
+                raise _HttpError(
+                    400, f"invalid limit {params['limit']!r}"
+                ) from None
+            return 200, {
+                "ok": True,
+                "spans": self.tracer.recent(limit),
+                "dropped_log_writes": self.tracer.dropped,
+            }
+        return None
 
     def install_faults(
         self, plan, scope: str = "server", on_fire=None
@@ -210,21 +280,55 @@ class HttpServerBase:
                         break
                 self._busy.add(writer)  # shutdown leaves us to finish
                 try:
-                    try:
-                        status, payload = await self._dispatch(
-                            method, path, params, body
+                    route = self._route_label(path)
+                    span = self.tracer.begin_request(
+                        f"{method} {route}",
+                        header=headers.get("x-repro-trace"),
+                    )
+                    started = time.perf_counter()
+                    with span:
+                        try:
+                            response = self._dispatch_obs(
+                                method, path, params
+                            )
+                            if response is None:
+                                response = await self._dispatch(
+                                    method, path, params, body
+                                )
+                            status, payload = response
+                        except _HttpError as err:
+                            status, payload = err.status, {"error": str(err)}
+                        except (ValueError, TypeError) as err:
+                            status, payload = 400, {"error": str(err)}
+                        except (KeyError, LookupError) as err:
+                            message = err.args[0] if err.args else str(err)
+                            status, payload = 404, {"error": str(message)}
+                        except Exception as err:  # never kill the loop
+                            self.stats["last_error"] = f"{path}: {err}"
+                            status, payload = 500, {"error": str(err)}
+                        if status >= 400:
+                            span.fail(
+                                payload.get("error", status)
+                                if isinstance(payload, dict) else status
+                            )
+                            # the trace ID makes a failure grep-able
+                            # across every daemon the request touched
+                            if (
+                                isinstance(payload, dict)
+                                and span.recording
+                            ):
+                                payload.setdefault("trace", span.header())
+                    if self.metrics.enabled:
+                        self._http_latency.observe(
+                            time.perf_counter() - started, path=route
                         )
-                    except _HttpError as err:
-                        status, payload = err.status, {"error": str(err)}
-                    except (ValueError, TypeError) as err:
-                        status, payload = 400, {"error": str(err)}
-                    except (KeyError, LookupError) as err:
-                        message = err.args[0] if err.args else str(err)
-                        status, payload = 404, {"error": str(message)}
-                    except Exception as err:  # never kill the connection loop
-                        self.stats["last_error"] = f"{path}: {err}"
-                        status, payload = 500, {"error": str(err)}
-                    self._write_response(writer, status, payload, keep_alive)
+                        self._http_requests.inc(
+                            path=route, status=str(status)
+                        )
+                    self._write_response(
+                        writer, status, payload, keep_alive,
+                        trace=span.header() if span.recording else None,
+                    )
                     await writer.drain()
                 finally:
                     self._busy.discard(writer)
@@ -309,8 +413,9 @@ class HttpServerBase:
         return method.upper(), parsed.path, params, headers, body
 
     def _write_response(
-        self, writer, status: int, payload, keep_alive: bool
+        self, writer, status: int, payload, keep_alive: bool, trace=None
     ) -> None:
+        trace_line = f"X-Repro-Trace: {trace}\r\n" if trace else ""
         if isinstance(payload, BinaryResponse):
             extra = "".join(
                 f"{name}: {value}\r\n"
@@ -318,9 +423,9 @@ class HttpServerBase:
             )
             head = (
                 f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-                f"Content-Type: application/octet-stream\r\n"
+                f"Content-Type: {payload.content_type}\r\n"
                 f"Content-Length: {len(payload.data)}\r\n"
-                f"{extra}"
+                f"{extra}{trace_line}"
                 f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
                 "\r\n"
             ).encode("ascii")
@@ -338,6 +443,7 @@ class HttpServerBase:
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(data)}\r\n"
+            f"{trace_line}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         ).encode("ascii")

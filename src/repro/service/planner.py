@@ -34,10 +34,12 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from collections import OrderedDict
 from typing import Sequence
 
 from repro.core.aggregates import AggregationSpec
+from repro.obs import default_registry, default_tracer
 from repro.core.predicates import key_in
 from repro.engine.queries import ESTIMATORS, QueryEngine, jaccard_from_summary
 from repro.service.jsonutil import sanitize_non_finite
@@ -60,8 +62,29 @@ class QueryPlanner:
         max_cached_engines: int = 8,
         max_cached_results: int = 1024,
         max_cached_partials: int = 128,
+        metrics=None,
+        tracer=None,
     ) -> None:
         self.manager = manager
+        # the daemon injects its per-process registry/tracer; offline
+        # users (notebooks, benches without a daemon) get the globals
+        self._metrics = metrics if metrics is not None else default_registry()
+        self._tracer = tracer if tracer is not None else default_tracer()
+        self._plan_seconds = self._metrics.histogram(
+            "repro_query_plan_seconds",
+            "Merged-engine planning latency in seconds (cache hits "
+            "included).",
+            labelnames=("namespace",),
+        )
+        self._engine_build_seconds = self._metrics.histogram(
+            "repro_engine_build_seconds",
+            "Latency of building a merged QueryEngine on a cache miss.",
+        )
+        self._result_cache_lookups = self._metrics.counter(
+            "repro_result_cache_lookups_total",
+            "Persistent result-cache probes, by outcome.",
+            labelnames=("outcome",),
+        )
         self.max_cached_engines = max(1, max_cached_engines)
         self.max_cached_results = max(1, max_cached_results)
         self.max_cached_partials = max(1, max_cached_partials)
@@ -148,6 +171,19 @@ class QueryPlanner:
         snapshotted artifacts away, moving the version with them —
         triggers a re-snapshot and retry.
         """
+        started = time.perf_counter()
+        try:
+            with self._tracer.span("plan", namespace=namespace):
+                return self._plan(namespace, since, until)
+        finally:
+            if self._metrics.enabled:
+                self._plan_seconds.observe(
+                    time.perf_counter() - started, namespace=namespace
+                )
+
+    def _plan(
+        self, namespace: str, since: str | None, until: str | None
+    ) -> tuple[QueryEngine, str, dict]:
         manager = self.manager
         for _attempt in range(8):
             with manager.lock:
@@ -205,7 +241,15 @@ class QueryPlanner:
                         else ""
                     )
                 )
-            engine = QueryEngine.from_bundles(bundles)
+            build_started = time.perf_counter()
+            with self._tracer.span(
+                "engine-build", namespace=namespace, bundles=len(bundles)
+            ):
+                engine = QueryEngine.from_bundles(bundles)
+            if self._metrics.enabled:
+                self._engine_build_seconds.observe(
+                    time.perf_counter() - build_started
+                )
             sources = {
                 "stored_entries": len(entries),
                 "live_events": live_events,
@@ -559,9 +603,13 @@ class QueryPlanner:
 
     def _probe(self, key: tuple) -> dict | None:
         """Persistent-cache probe; counts a hit, returns ``None`` on miss."""
-        hit = self._runtime.cache_get(self._result_key(key))
+        with self._tracer.span("cache-probe") as span:
+            hit = self._runtime.cache_get(self._result_key(key))
+            span.annotate(outcome="miss" if hit is None else "hit")
         if hit is None:
             return None
+        if self._metrics.enabled:
+            self._result_cache_lookups.inc(outcome="hit")
         with self._lock:
             self.stats["hits"] += 1
         return {**hit, "cached": True}
@@ -581,6 +629,8 @@ class QueryPlanner:
             self._result_key(key), namespace, version, result,
             max_entries=self.max_cached_results,
         )
+        if self._metrics.enabled:
+            self._result_cache_lookups.inc(outcome="miss")
         with self._lock:
             self.stats["misses"] += 1
         return {**result, "cached": False}

@@ -27,6 +27,8 @@ Endpoints (JSON unless noted)::
                              or ingest cannot make the daemon look dead
                              (the coordinator heartbeats against this)
     GET  /status             live windows + store manifest + counters
+    GET  /metrics            Prometheus text exposition (repro.obs)
+    GET  /trace/recent       most recent finished spans, newest first
     POST /ingest             {"namespace", "keys": [...],
                               "weights": {assignment: [...]}, "sync": bool}
     POST /query              {"namespace", "kind": "estimate"|"jaccard", ...}
@@ -63,6 +65,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs import bind_parent, current_span
 from repro.service.config import ServiceConfig
 from repro.service.httpbase import (
     BinaryResponse,
@@ -84,6 +87,11 @@ __all__ = ["SummaryService", "ServiceThread"]
 class SummaryService(HttpServerBase):
     """The ``repro-serve`` daemon (see module docstring)."""
 
+    ROUTES = frozenset({
+        "/status", "/ingest", "/query", "/bundle", "/bundle/reset",
+        "/rotate", "/watch", "/watch/remove", "/watch/poll", "/shutdown",
+    })
+
     def __init__(
         self,
         config: ServiceConfig,
@@ -92,6 +100,11 @@ class SummaryService(HttpServerBase):
         super().__init__()
         self.config = config
         self.clock = clock
+        self._init_obs(
+            enabled=config.observability,
+            trace_log=config.trace_log,
+            trace_seed=config.trace_seed,
+        )
         self.store = SummaryStore(config.store_root)
         self.manager = LiveWindowManager(
             self.store,
@@ -99,9 +112,31 @@ class SummaryService(HttpServerBase):
             granularity=config.granularity,
             executor=config.executor,
             clock=clock,
+            metrics=self.metrics,
         )
         self.planner = QueryPlanner(
-            self.manager, max_cached_results=config.result_cache_size
+            self.manager,
+            max_cached_results=config.result_cache_size,
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
+        # point-in-time state, read by /status and the stats verb through
+        # the registry rather than recomputed ad hoc per request
+        self.metrics.gauge(
+            "repro_ingest_queue_depth",
+            "Batches waiting in the bounded ingest queue.",
+            callback=lambda: (
+                self._queue.qsize() if self._queue is not None else 0
+            ),
+        )
+        self.metrics.gauge(
+            "repro_ingest_queue_capacity",
+            "Ingest queue size that triggers 429 backpressure.",
+        ).set(config.ingest_queue_batches)
+        self.metrics.gauge(
+            "repro_result_cache_entries",
+            "Entries in the persistent query-result cache.",
+            callback=lambda: self.store.runtime.cache_stats()["entries"],
         )
         self.stats.update({
             "ingest_batches": 0,
@@ -236,10 +271,17 @@ class SummaryService(HttpServerBase):
                 self._queue.task_done()
 
     def _apply_batch(self, batch: dict) -> dict:
-        # weights were converted and validated at accept time
-        return self.manager.ingest(
-            batch["namespace"], batch["keys"], batch["weights"]
-        )
+        # weights were converted and validated at accept time; the span
+        # is a trace root — the accepting request may long be answered
+        # (async ingest) by the time the worker applies the batch
+        with self.tracer.span(
+            "ingest-apply", namespace=batch["namespace"]
+        ) as span:
+            result = self.manager.ingest(
+                batch["namespace"], batch["keys"], batch["weights"]
+            )
+            span.annotate(events=result["events"])
+            return result
 
     async def _ticker(self) -> None:
         """Rotate on bucket boundaries; compact on the configured cadence;
@@ -371,8 +413,9 @@ class SummaryService(HttpServerBase):
             asyncio.get_running_loop().call_soon(self.request_shutdown)
             return 200, {"ok": True, "stopping": True}
         known = (
-            "/health /healthz /status /ingest /query /bundle /bundle/reset "
-            "/rotate /watch /watch/remove /watch/poll /shutdown"
+            "/health /healthz /status /metrics /trace/recent /ingest "
+            "/query /bundle /bundle/reset /rotate /watch /watch/remove "
+            "/watch/poll /shutdown"
         )
         raise _HttpError(
             405 if path in known.split() else 404,
@@ -394,9 +437,26 @@ class SummaryService(HttpServerBase):
                         for name in self.manager.configs
                     },
                     "store": self.store.ls_json(),
+                    # point-in-time values read through the registry's
+                    # gauges — the same series /metrics exposes
                     "queue": {
-                        "depth": self._queue.qsize(),
-                        "capacity": self.config.ingest_queue_batches,
+                        "depth": int(
+                            self.metrics.gauge(
+                                "repro_ingest_queue_depth"
+                            ).value()
+                        ),
+                        "capacity": int(
+                            self.metrics.gauge(
+                                "repro_ingest_queue_capacity"
+                            ).value()
+                        ),
+                    },
+                    "result_cache": {
+                        "entries": int(
+                            self.metrics.gauge(
+                                "repro_result_cache_entries"
+                            ).value()
+                        ),
                     },
                     "planner": dict(self.planner.stats),
                     "stats": dict(self.stats),
@@ -583,10 +643,15 @@ class SummaryService(HttpServerBase):
         )
 
     async def _handle_query(self, request: dict):
-        work = self._query_work(request)
+        with self.tracer.span("parse"):
+            work = self._query_work(request)
         self.stats["queries"] += 1
         loop = asyncio.get_running_loop()
-        result = await loop.run_in_executor(None, work)
+        # executor threads do not inherit the task's context: carry the
+        # request span over so planner child spans join this trace
+        result = await loop.run_in_executor(
+            None, bind_parent, current_span(), work
+        )
         return 200, {"ok": True, **result}
 
     async def _handle_watch_register(self, payload: dict):
@@ -772,8 +837,13 @@ class SummaryService(HttpServerBase):
                 bundles.append(live)
             if not bundles:
                 return None, version, 0
-            merged = bundles[0].merge(*bundles[1:])
-            return encode(merged), version, len(bundles)
+            with self.tracer.span(
+                "merge", namespace=namespace, sources=len(bundles)
+            ):
+                merged = bundles[0].merge(*bundles[1:])
+            with self.tracer.span("encode", namespace=namespace):
+                blob = encode(merged)
+            return blob, version, len(bundles)
         raise RuntimeError(
             f"could not snapshot a stable bundle of namespace "
             f"{namespace!r}: the store kept mutating the selected "
@@ -831,7 +901,8 @@ class SummaryService(HttpServerBase):
             })
         since, until = params.get("since"), params.get("until")
         blob, version, sources = await loop.run_in_executor(
-            None, self._merged_bundle_blob, namespace, since, until
+            None, bind_parent, current_span(),
+            self._merged_bundle_blob, namespace, since, until,
         )
         if blob is None:
             return 200, {

@@ -41,6 +41,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.obs import default_registry
 from repro.service.config import NamespaceConfig
 from repro.store.store import (
     BUNDLE_KINDS,
@@ -112,11 +113,33 @@ class LiveWindowManager:
         granularity: str = "minute",
         executor: "str | None | object" = None,
         clock: Callable[[], float] = time.time,
+        metrics=None,
     ) -> None:
         self.store = store
         self.granularity = granularity
         self.executor = executor
         self.clock = clock
+        self._metrics = (
+            metrics if metrics is not None else default_registry()
+        )
+        self._ingest_events = self._metrics.counter(
+            "repro_ingest_events_total",
+            "Events applied to live windows, by namespace.",
+            labelnames=("namespace",),
+        )
+        self._ingest_seconds = self._metrics.histogram(
+            "repro_ingest_apply_seconds",
+            "Latency of applying one ingest batch to its live window.",
+            labelnames=("namespace",),
+        )
+        self._rotations = self._metrics.counter(
+            "repro_window_rotations_total",
+            "Live-window bundles published into the store.",
+        )
+        self._rotation_seconds = self._metrics.histogram(
+            "repro_rotation_seconds",
+            "Latency of rotations that published at least one bundle.",
+        )
         self.configs = {config.name: config for config in namespaces}
         if len(self.configs) != len(list(namespaces)):
             raise ValueError("namespace names must be distinct")
@@ -345,12 +368,18 @@ class LiveWindowManager:
         assignment names and malformed weights raise ``ValueError`` before
         any state changes (the summarizer validates up front).
         """
+        started = time.perf_counter()
         with self._lock:
             window = self._window(namespace)
             self.rotate(when=when)
             window = self._windows[namespace]  # rotation may have replaced it
             window.summarizer.ingest_multi(keys, weights_by_assignment)
             count = len(keys)
+            if self._metrics.enabled:
+                self._ingest_events.inc(count, namespace=namespace)
+                self._ingest_seconds.observe(
+                    time.perf_counter() - started, namespace=namespace
+                )
             # Derived, not accumulated: stays consistent with what a
             # checkpoint/resume cycle reconstructs (raw buffered rows,
             # summed over assignments).
@@ -398,6 +427,7 @@ class LiveWindowManager:
         the newly written sketch-bundle entries (checkpoint artifacts are
         plumbing, not query-servable data).
         """
+        started = time.perf_counter()
         with self._lock:
             now = self.clock() if when is None else when
             now_bucket = bucket_for(now, self.granularity)
@@ -453,6 +483,11 @@ class LiveWindowManager:
                         self._live_seqs[name] = (ingest_seq, ingest_seq)
             if written:
                 self.store.runtime.add_counter("rotations", len(written))
+                if self._metrics.enabled:
+                    self._rotations.inc(len(written))
+                    self._rotation_seconds.observe(
+                        time.perf_counter() - started
+                    )
             return written
 
     def reset(self, namespace: str) -> dict:
